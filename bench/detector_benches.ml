@@ -1,0 +1,281 @@
+(* Reproduction of the detector-side artefacts: Figure 7 (variant-1
+   response waveform), Figure 8 (tstability/Vmax maps for variant 1),
+   Figure 10 (variant 2), Figure 12 (comparator hysteresis) and
+   Figure 14 (load sharing). *)
+
+module B = Cml_cells.Builder
+module Dft = Cml_dft
+
+let proc = Cml_cells.Process.default
+
+let v1 cfg = Dft.Experiment.V1 cfg
+
+let v2 cfg = Dft.Experiment.V2 { cfg; vtest = Dft.Detector.vtest_test proc }
+
+let show_tstab = function
+  | Some t -> Printf.sprintf "%7.1f ns" (t *. 1e9)
+  | None -> "  (>tstop)"
+
+(* ------------------------------------------------------------------ *)
+
+let fig7 () =
+  Util.section "fig7" "Variant-1 detector response waveform (paper Fig. 7)";
+  Util.paper
+    [
+      "with a 1 kohm pipe, a diode + 10 pF load and a 100 MHz stimulus,";
+      "the detector output shows a transient decay followed by a stable";
+      "rippling period; tstability is the first-minimum time, Vmax the";
+      "ripple ceiling after it.";
+    ];
+  let r =
+    Dft.Experiment.detector_response ~variant:(v1 Dft.Detector.v1_default) ~freq:100e6
+      ~pipe:(Some 1e3) ~tstop:120e-9 ()
+  in
+  Printf.printf "tstability : %s\n" (show_tstab r.Dft.Experiment.tstability);
+  Printf.printf "Vmax       : %.3f V\n" r.Dft.Experiment.vmax;
+  Printf.printf "vout floor : %.3f V (from the %.1f V rail)\n"
+    (proc.Cml_cells.Process.vgnd -. r.Dft.Experiment.vout_drop)
+    proc.Cml_cells.Process.vgnd;
+  Util.verdict (r.Dft.Experiment.tstability <> None) "transient settles within the window";
+  Util.verdict (r.Dft.Experiment.vout_drop > 0.5) "strong detection of the 1 kohm pipe";
+  print_endline "\ndetector output voltage:";
+  print_string (Cml_wave.Ascii_plot.render ~height:13 [ ("vout", r.Dft.Experiment.vout) ])
+
+(* ------------------------------------------------------------------ *)
+
+let response_map ~variant ~pipes ~caps ~freqs ~tstop_of =
+  List.concat_map
+    (fun cap ->
+      List.concat_map
+        (fun pipe ->
+          List.map
+            (fun freq ->
+              let cfg, mk = variant in
+              let r =
+                Dft.Experiment.detector_response
+                  ~variant:(mk { cfg with Dft.Detector.c_load = cap })
+                  ~freq ~pipe:(Some pipe) ~tstop:(tstop_of cap) ()
+              in
+              (cap, pipe, freq, r))
+            freqs)
+        pipes)
+    caps
+
+let print_map label rows =
+  Printf.printf "%-8s %-10s %-10s %12s %12s %10s %12s\n" "cap" "pipe" "freq" "tstability"
+    "t95" "Vmax" "vout drop";
+  List.iter
+    (fun (cap, pipe, freq, r) ->
+      Printf.printf "%5.0f pF %7.0f ohm %6.0f MHz %12s %12s %8.3f V %10.3f V\n" (cap *. 1e12)
+        pipe (freq /. 1e6)
+        (show_tstab r.Dft.Experiment.tstability)
+        (show_tstab r.Dft.Experiment.t_settle)
+        r.Dft.Experiment.vmax r.Dft.Experiment.vout_drop)
+    rows;
+  ignore label
+
+let tstab_exn r =
+  match r.Dft.Experiment.tstability with Some t -> t | None -> Float.infinity
+
+let settle_exn r =
+  match r.Dft.Experiment.t_settle with Some t -> t | None -> Float.infinity
+
+let find_row rows (cap, pipe, freq) =
+  let _, _, _, r =
+    List.find (fun (c, p, f, _) -> c = cap && p = pipe && f = freq) rows
+  in
+  r
+
+let fig8 () =
+  Util.section "fig8" "tstability vs frequency, pipe and load cap - variant 1 (paper Fig. 8)";
+  Util.paper
+    [
+      "the time to a stable detector output grows significantly with";
+      "frequency; the smaller 1 pF load settles much faster than 10 pF;";
+      "Vmax falls as the pipe gets more severe; good results were also";
+      "obtained by replacing the diode with a 160 kohm resistor.";
+    ];
+  let freqs = [ 50e6; 100e6; 250e6; 500e6 ] in
+  let rows =
+    response_map
+      ~variant:(Dft.Detector.v1_default, v1)
+      ~pipes:[ 1e3; 2e3 ] ~caps:[ 10e-12; 1e-12 ] ~freqs
+      ~tstop_of:(fun cap -> if cap > 5e-12 then 400e-9 else 60e-9)
+  in
+  print_map "v1" rows;
+  let t_low = settle_exn (find_row rows (10e-12, 1e3, 50e6)) in
+  let t_high = settle_exn (find_row rows (10e-12, 1e3, 500e6)) in
+  Util.verdict (t_high > t_low)
+    (Printf.sprintf "tstability grows with frequency (%.0f -> %.0f ns at 10 pF / 1 kohm)"
+       (t_low *. 1e9) (t_high *. 1e9));
+  let t_small = settle_exn (find_row rows (1e-12, 1e3, 100e6)) in
+  let t_big = settle_exn (find_row rows (10e-12, 1e3, 100e6)) in
+  Util.verdict (t_small < t_big)
+    (Printf.sprintf "smaller load settles faster (%.0f vs %.0f ns)" (t_small *. 1e9)
+       (t_big *. 1e9));
+  let v1k = (find_row rows (10e-12, 1e3, 100e6)).Dft.Experiment.vmax in
+  let v2k = (find_row rows (10e-12, 2e3, 100e6)).Dft.Experiment.vmax in
+  Util.verdict (v1k < v2k)
+    (Printf.sprintf "Vmax lower for the stronger pipe (%.2f vs %.2f V)" v1k v2k);
+  (* the paper's note: good results also with a 160 kohm resistor
+     load, but the resistor-capacitor combination recovers much more
+     slowly *)
+  let r_resistor =
+    Dft.Experiment.detector_response
+      ~variant:
+        (v1 { Dft.Detector.v1_default with Dft.Detector.load = Dft.Detector.Resistor_load 160e3 })
+      ~freq:100e6 ~pipe:(Some 1e3) ~tstop:200e-9 ()
+  in
+  Printf.printf "\nresistor (160 kohm) load at 1 kohm / 100 MHz / 10 pF: drop %.3f V, %s\n"
+    r_resistor.Dft.Experiment.vout_drop
+    (show_tstab r_resistor.Dft.Experiment.tstability);
+  Util.verdict (r_resistor.Dft.Experiment.vout_drop > 0.4) "resistor load also detects"
+
+(* ------------------------------------------------------------------ *)
+
+let fig10 () =
+  Util.section "fig10"
+    "tstability vs frequency, pipe and load cap - variant 2 (paper Fig. 10)";
+  Util.paper
+    [
+      "with vtest raised in test mode (their 3.7 V), the detectable";
+      "amplitude drops (0.35 V, about a 5 kohm pipe, vs 0.57 V for";
+      "variant 1) and tstability is much shorter than variant 1.";
+    ];
+  let freqs = [ 50e6; 100e6; 250e6; 500e6 ] in
+  let rows =
+    response_map
+      ~variant:(Dft.Detector.v2_default, v2)
+      ~pipes:[ 1e3; 3e3; 5e3 ] ~caps:[ 10e-12; 1e-12 ] ~freqs
+      ~tstop_of:(fun cap -> if cap > 5e-12 then 200e-9 else 60e-9)
+  in
+  print_map "v2" rows;
+  (* threshold comparison: smallest detected amplitude per variant *)
+  let pipes = [ 1e3; 2e3; 3e3; 5e3; 8e3 ] in
+  let _, min_v1 =
+    Dft.Experiment.amplitude_thresholds ~detect_drop:0.35
+      ~variant:(v1 Dft.Detector.v1_default) ~freq:100e6 ~pipe_values:pipes ~tstop:120e-9 ()
+  in
+  let v2_ff =
+    (Dft.Experiment.detector_response ~variant:(v2 Dft.Detector.v2_default) ~freq:100e6
+       ~pipe:None ~tstop:120e-9 ())
+      .Dft.Experiment.vout_drop
+  in
+  let rows_v2, min_v2 =
+    Dft.Experiment.amplitude_thresholds ~detect_drop:(v2_ff +. 0.12)
+      ~variant:(v2 Dft.Detector.v2_default) ~freq:100e6 ~pipe_values:pipes ~tstop:120e-9 ()
+  in
+  ignore rows_v2;
+  (match (min_v1, min_v2) with
+  | Some a1, Some a2 ->
+      Printf.printf "\nminimal detected amplitude: variant 1 = %.2f V, variant 2 = %.2f V\n" a1
+        a2;
+      Util.verdict (a2 < a1)
+        (Printf.sprintf "variant 2 detects smaller excursions (paper: 0.35 vs 0.57 V)");
+      Util.verdict (a1 > 0.4 && a1 < 0.7) "variant-1 threshold in the 0.57 V region"
+  | _ -> Util.verdict false "threshold measurement incomplete");
+  let t_v1 =
+    settle_exn
+      (Dft.Experiment.detector_response ~variant:(v1 Dft.Detector.v1_default) ~freq:100e6
+         ~pipe:(Some 2e3) ~tstop:400e-9 ())
+  in
+  let t_v2 =
+    settle_exn
+      (Dft.Experiment.detector_response ~variant:(v2 Dft.Detector.v2_default) ~freq:100e6
+         ~pipe:(Some 2e3) ~tstop:400e-9 ())
+  in
+  Util.verdict (t_v2 < t_v1)
+    (Printf.sprintf "variant-2 tstability shorter (%.0f vs %.0f ns at 2 kohm)" (t_v2 *. 1e9)
+       (t_v1 *. 1e9))
+
+(* ------------------------------------------------------------------ *)
+
+let fig12 () =
+  Util.section "fig12" "Hysteresis of the variant-3 comparator (paper Fig. 12)";
+  Util.paper
+    [
+      "the positive feedback gives the comparator a hysteresis loop: a";
+      "vout of 3.54 V is guaranteed detected, one above 3.57 V is";
+      "treated as fault-free; a fault-free gate can never be wrongly";
+      "declared defective.";
+    ];
+  let h = Dft.Experiment.hysteresis () in
+  (match (h.Dft.Experiment.switch_down, h.Dft.Experiment.switch_up) with
+  | Some down, Some up ->
+      Printf.printf "measured switch thresholds: detect below %.3f V, pass above %.3f V\n" down
+        up;
+      Printf.printf "hysteresis width: %.0f mV\n" (Util.mv (up -. down));
+      Util.verdict (up > down) "true hysteresis (up-switch above down-switch)";
+      Util.verdict
+        (Util.mv (up -. down) > 20.0 && Util.mv (up -. down) < 200.0)
+        "width in the tens-of-mV range the paper's figure shows"
+  | _ -> Util.verdict false "no switching observed");
+  print_endline "\nvfb vs drive voltage (both sweep directions overlaid):";
+  let pts = List.map (fun (v, vfb, _) -> (v, vfb)) h.Dft.Experiment.sweep in
+  print_string (Cml_wave.Ascii_plot.render_xy ~height:12 ~xlabel:"vout drive (V)" [ ("vfb", pts) ])
+
+(* ------------------------------------------------------------------ *)
+
+let fig14 () =
+  Util.section "fig14" "Load sharing: vout/vfb vs N and the safe limit (paper Fig. 14)";
+  Util.paper
+    [
+      "the fault-free shared vout decreases linearly with N as sensor";
+      "leakage accumulates; requiring vout to stay above the upper";
+      "hysteresis threshold limits sharing to 45 buffers; a defective";
+      "gate still collapses vout unambiguously (3.41 V at N = 1 in the";
+      "paper), so sharing never masks a fault.";
+    ];
+  let ns = [ 1; 5; 10; 15; 20; 25; 30; 35; 40; 45; 50; 55; 60 ] in
+  let pts = Dft.Sharing.sweep_n ~multi_emitter:true ~ns () in
+  Printf.printf "%-6s %10s %10s %10s\n" "N" "vout" "vfb" "flag";
+  List.iter
+    (fun p ->
+      Printf.printf "%-6d %8.4f V %8.4f V %8.4f V\n" p.Dft.Sharing.n p.Dft.Sharing.vout
+        p.Dft.Sharing.vfb p.Dft.Sharing.flag)
+    pts;
+  (* linearity *)
+  let fit_pts = List.map (fun p -> (float_of_int p.Dft.Sharing.n, p.Dft.Sharing.vout)) pts in
+  let a, b = Util.linear_fit fit_pts in
+  let max_resid =
+    List.fold_left
+      (fun acc (x, y) -> Float.max acc (Float.abs (y -. (a +. (b *. x)))))
+      0.0 fit_pts
+  in
+  Printf.printf "\nlinear fit: vout = %.4f %+.3f mV/gate (max residual %.1f mV)\n" a
+    (Util.mv b) (Util.mv max_resid);
+  Util.verdict (b < 0.0 && max_resid < 0.01) "vout decreases linearly with N";
+  (* the safe-sharing criterion against the measured hysteresis *)
+  let h = Dft.Experiment.hysteresis () in
+  (match h.Dft.Experiment.switch_up with
+  | Some upper ->
+      let safe = Dft.Sharing.max_safe_sharing pts ~upper_threshold:upper in
+      Printf.printf "measured up-switch threshold: %.3f V -> safe sharing limit N = %d\n" upper
+        safe;
+      Util.verdict (safe >= 35 && safe <= 55)
+        (Printf.sprintf "safe limit close to the paper's 45 (got %d)" safe)
+  | None -> Util.verdict false "no hysteresis threshold");
+  (* faulty cases *)
+  let faulty_vout n =
+    let b, faulty =
+      Dft.Sharing.build_faulty ~multi_emitter:true ~n
+        ~defect:(Cml_defects.Defect.Pipe { device = "x1.q3"; r = 4e3 })
+        ()
+    in
+    (Dft.Sharing.measure_dc b ~net:faulty ()).Dft.Sharing.vout
+  in
+  let v1 = faulty_vout 1 and v45 = faulty_vout 45 in
+  Printf.printf "faulty vout: %.3f V at N = 1, %.3f V at N = 45 (paper: 3.41 V at N = 1)\n" v1
+    v45;
+  (match h.Dft.Experiment.switch_down with
+  | Some down ->
+      Util.verdict (v1 < down && v45 < down)
+        "sharing does not obstruct detection (faulty vout below the detect level)"
+  | None -> ())
+
+let run () =
+  fig7 ();
+  fig8 ();
+  fig10 ();
+  fig12 ();
+  fig14 ()

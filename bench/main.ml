@@ -1,0 +1,61 @@
+(* Experiment harness: regenerates every table and figure of the
+   paper's evaluation, printing the paper's claim next to the measured
+   result.
+
+   Usage:
+     dune exec bench/main.exe            # all experiments
+     dune exec bench/main.exe -- fig4    # one experiment
+     dune exec bench/main.exe -- list    # available names
+     dune exec bench/main.exe -- perf    # bechamel kernel benchmarks *)
+
+let experiments =
+  [
+    ("fig2", Analog_benches.fig2);
+    ("fig4", Analog_benches.fig4);
+    ("table1", Analog_benches.table1);
+    ("table2", Analog_benches.table2);
+    ("fig5", Analog_benches.fig5);
+    ("fig7", Detector_benches.fig7);
+    ("fig8", Detector_benches.fig8);
+    ("fig10", Detector_benches.fig10);
+    ("fig12", Detector_benches.fig12);
+    ("fig14", Detector_benches.fig14);
+    ("sec66", Extension_benches.sec66);
+    ("montecarlo", Extension_benches.montecarlo);
+    ("ablation", Extension_benches.ablation);
+    ("noise-margin", Extension_benches.noise_margin);
+    ("campaign", System_benches.campaign);
+    ("baseline", System_benches.baseline);
+    ("area", System_benches.area);
+    ("toggle", System_benches.toggle);
+  ]
+
+let run_all () =
+  print_endline "Reproducing: 'Design For Testability Method for CML Digital Circuits'";
+  print_endline "(Antaki, Savaria, Adham, Xiong - DATE 1999)";
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (name, f) ->
+      let t = Unix.gettimeofday () in
+      f ();
+      Printf.printf "\n[%s done in %.1f s]\n" name (Unix.gettimeofday () -. t))
+    experiments;
+  Printf.printf "\nall experiments done in %.1f s\n" (Unix.gettimeofday () -. t0)
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] -> run_all ()
+  | [ _; "list" ] ->
+      List.iter (fun (name, _) -> print_endline name) experiments;
+      print_endline "perf"
+  | [ _; "perf" ] -> Perf.run ()
+  | _ :: names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf "unknown experiment %S (try 'list')\n" name;
+              exit 1)
+        names
+  | [] -> run_all ()

@@ -1,0 +1,80 @@
+(* Bechamel micro-benchmarks of the simulator kernels: sparse and
+   dense LU, the full Newton DC solve, one transient step of the
+   paper's 8-buffer chain, and the waveform measurements. *)
+
+module E = Cml_spice.Engine
+module T = Cml_spice.Transient
+
+let sparse_system n =
+  let t = Cml_numerics.Sparse.triplet_create n in
+  for i = 0 to n - 1 do
+    Cml_numerics.Sparse.add t i i 4.0;
+    if i > 0 then Cml_numerics.Sparse.add t i (i - 1) (-1.0);
+    if i < n - 1 then Cml_numerics.Sparse.add t i (i + 1) (-1.0);
+    if i + 7 < n then Cml_numerics.Sparse.add t i (i + 7) (-0.5)
+  done;
+  Cml_numerics.Sparse.csc_of_pattern (Cml_numerics.Sparse.compress t)
+
+let dense_system n =
+  let m = Cml_numerics.Dense.create n in
+  for i = 0 to n - 1 do
+    Cml_numerics.Dense.add_entry m i i 4.0;
+    if i > 0 then Cml_numerics.Dense.add_entry m i (i - 1) (-1.0);
+    if i < n - 1 then Cml_numerics.Dense.add_entry m i (i + 1) (-1.0)
+  done;
+  m
+
+let tests () =
+  let open Bechamel in
+  let a200 = sparse_system 200 in
+  let d100 = dense_system 100 in
+  let rhs200 = Array.init 200 (fun i -> sin (float_of_int i)) in
+  let rhs100 = Array.init 100 (fun i -> cos (float_of_int i)) in
+  let chain = Cml_cells.Chain.build ~stages:8 ~freq:100e6 () in
+  let chain_net = chain.Cml_cells.Chain.builder.Cml_cells.Builder.net in
+  let wave =
+    let times = Array.init 5000 (fun i -> float_of_int i *. 1e-11) in
+    let values = Array.map (fun t -> 3.0 +. (0.25 *. sin (2.0 *. Float.pi *. 1e8 *. t))) times in
+    Cml_wave.Wave.create times values
+  in
+  [
+    Test.make ~name:"sparse LU factor+solve (n=200)" (Staged.stage (fun () ->
+        ignore (Cml_numerics.Sparse_lu.solve (Cml_numerics.Sparse_lu.factorize a200) rhs200)));
+    Test.make ~name:"dense LU factor+solve (n=100)" (Staged.stage (fun () ->
+        ignore (Cml_numerics.Dense.solve d100 rhs100)));
+    Test.make ~name:"chain DC operating point" (Staged.stage (fun () ->
+        let sim = E.compile chain_net in
+        ignore (E.dc_operating_point sim)));
+    Test.make ~name:"chain transient (2 ns)" (Staged.stage (fun () ->
+        let sim = E.compile chain_net in
+        ignore (T.run sim chain_net (T.config ~tstop:2e-9 ~max_step:10e-12 ()))));
+    Test.make ~name:"crossing detection (5k samples)" (Staged.stage (fun () ->
+        ignore (Cml_wave.Measure.crossings wave ~level:3.0)));
+  ]
+
+let run () =
+  Util.section "perf" "Bechamel micro-benchmarks of the simulation kernels";
+  let open Bechamel in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1500 ~quota:(Time.second 1.0) ~kde:(Some 500) () in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"kernels" ~fmt:"%s %s" (tests ()))
+  in
+  let results =
+    List.map
+      (fun instance -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+           ~predictors:[| Measure.run |]) instance raw)
+      instances
+  in
+  let merged = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:false
+      ~predictors:[| Measure.run |]) instances results in
+  Hashtbl.iter
+    (fun _ tbl ->
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-42s %12.1f ns/run\n" name est
+          | Some _ | None -> Printf.printf "  %-42s (no estimate)\n" name)
+        tbl)
+    merged

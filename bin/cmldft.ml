@@ -1,0 +1,346 @@
+(* Command-line interface to the cml-dft library: run the paper's
+   experiments, inspect circuits, characterise detectors and dump
+   waveforms to CSV for plotting. *)
+
+module N = Cml_spice.Netlist
+module E = Cml_spice.Engine
+module T = Cml_spice.Transient
+module B = Cml_cells.Builder
+module Dft = Cml_dft
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* shared arguments *)
+
+let freq_arg =
+  let doc = "Stimulus frequency in Hz." in
+  Arg.(value & opt float 100e6 & info [ "f"; "freq" ] ~docv:"HZ" ~doc)
+
+let pipe_arg =
+  let doc = "Collector-emitter pipe resistance (ohm) injected on the DUT's Q3; 0 = fault-free." in
+  Arg.(value & opt float 0.0 & info [ "p"; "pipe" ] ~docv:"OHM" ~doc)
+
+let csv_arg =
+  let doc = "Write waveforms/series to this CSV file." in
+  Arg.(value & opt (some string) None & info [ "o"; "csv" ] ~docv:"FILE" ~doc)
+
+let pipe_option pipe = if pipe > 0.0 then Some pipe else None
+
+(* ------------------------------------------------------------------ *)
+(* chain: simulate the Figure-3 buffer chain *)
+
+let chain_cmd =
+  let stages_arg =
+    Arg.(value & opt int 8 & info [ "n"; "stages" ] ~docv:"N" ~doc:"Chain length.")
+  in
+  let run freq pipe stages csv =
+    let chain = Cml_cells.Chain.build ~stages ~freq () in
+    let golden = chain.Cml_cells.Chain.builder.B.net in
+    let net =
+      match pipe_option pipe with
+      | None -> golden
+      | Some r ->
+          Cml_defects.Inject.apply golden
+            (Cml_defects.Defect.Pipe { device = "x3.q3"; r })
+    in
+    let sim = E.compile net in
+    let tstop = 2.0 /. freq in
+    let r = T.run sim net (T.config ~tstop ~max_step:10e-12 ()) in
+    let wave nd = Cml_wave.Wave.create r.T.times (T.node_trace r nd) in
+    Printf.printf "%-8s %10s %10s %10s\n" "stage" "vlow" "vhigh" "swing";
+    let named = ref [] in
+    for i = 1 to stages do
+      let d = Cml_cells.Chain.output chain i in
+      let w = wave d.B.p in
+      named := (Printf.sprintf "op%d" i, w) :: !named;
+      let lo, hi = Cml_wave.Measure.extremes w ~t_from:(tstop /. 2.0) in
+      Printf.printf "%-8d %8.4f V %8.4f V %7.1f mV\n" i lo hi ((hi -. lo) *. 1e3)
+    done;
+    match csv with
+    | None -> ()
+    | Some path ->
+        Cml_wave.Csv.write ~path (List.rev !named);
+        Printf.printf "wrote %s\n" path
+  in
+  let info = Cmd.info "chain" ~doc:"Simulate the paper's buffer chain (optionally faulty)." in
+  Cmd.v info Term.(const run $ freq_arg $ pipe_arg $ stages_arg $ csv_arg)
+
+(* ------------------------------------------------------------------ *)
+(* detector: characterise a built-in detector *)
+
+let detector_cmd =
+  let variant_arg =
+    let doc = "Detector variant: 1 (single-sided) or 2 (vtest-biased)." in
+    Arg.(value & opt int 1 & info [ "v"; "variant" ] ~docv:"V" ~doc)
+  in
+  let tstop_arg =
+    Arg.(value & opt float 120e-9 & info [ "t"; "tstop" ] ~docv:"S" ~doc:"Simulated time.")
+  in
+  let run freq pipe variant tstop csv =
+    let proc = Cml_cells.Process.default in
+    let v =
+      match variant with
+      | 1 -> Dft.Experiment.V1 Dft.Detector.v1_default
+      | 2 ->
+          Dft.Experiment.V2
+            { cfg = Dft.Detector.v2_default; vtest = Dft.Detector.vtest_test proc }
+      | n -> failwith (Printf.sprintf "unknown variant %d" n)
+    in
+    let r =
+      Dft.Experiment.detector_response ~variant:v ~freq ~pipe:(pipe_option pipe) ~tstop ()
+    in
+    Printf.printf "excursion   : %.3f V\n" r.Dft.Experiment.excursion;
+    Printf.printf "vout drop   : %.3f V\n" r.Dft.Experiment.vout_drop;
+    Printf.printf "tstability  : %s\n"
+      (match r.Dft.Experiment.tstability with
+      | Some t -> Printf.sprintf "%.1f ns" (t *. 1e9)
+      | None -> "beyond tstop");
+    Printf.printf "t95         : %s\n"
+      (match r.Dft.Experiment.t_settle with
+      | Some t -> Printf.sprintf "%.1f ns" (t *. 1e9)
+      | None -> "beyond tstop");
+    Printf.printf "Vmax        : %.3f V\n" r.Dft.Experiment.vmax;
+    (match csv with
+    | None -> ()
+    | Some path ->
+        Cml_wave.Csv.write ~path
+          [
+            ("vout", r.Dft.Experiment.vout);
+            ("op", r.Dft.Experiment.out_p);
+            ("opb", r.Dft.Experiment.out_n);
+          ];
+        Printf.printf "wrote %s\n" path);
+    print_string (Cml_wave.Ascii_plot.render ~height:12 [ ("vout", r.Dft.Experiment.vout) ])
+  in
+  let info = Cmd.info "detector" ~doc:"Characterise a built-in amplitude detector." in
+  Cmd.v info Term.(const run $ freq_arg $ pipe_arg $ variant_arg $ tstop_arg $ csv_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sharing: the Figure-14 sweep *)
+
+let sharing_cmd =
+  let ns_arg =
+    let doc = "Comma-separated sharing group sizes." in
+    Arg.(value & opt (list int) [ 1; 10; 20; 30; 45; 60 ] & info [ "n" ] ~docv:"N,.." ~doc)
+  in
+  let run ns csv =
+    let pts = Dft.Sharing.sweep_n ~multi_emitter:true ~ns () in
+    Printf.printf "%-6s %10s %10s %10s\n" "N" "vout" "vfb" "flag";
+    List.iter
+      (fun p ->
+        Printf.printf "%-6d %8.4f V %8.4f V %8.4f V\n" p.Dft.Sharing.n p.Dft.Sharing.vout
+          p.Dft.Sharing.vfb p.Dft.Sharing.flag)
+      pts;
+    (match csv with
+    | None -> ()
+    | Some path ->
+        Cml_wave.Csv.write_table ~path ~header:[ "n"; "vout"; "vfb"; "flag" ]
+          (List.map
+             (fun p ->
+               [ float_of_int p.Dft.Sharing.n; p.Dft.Sharing.vout; p.Dft.Sharing.vfb;
+                 p.Dft.Sharing.flag ])
+             pts);
+        Printf.printf "wrote %s\n" path);
+    let h = Dft.Experiment.hysteresis () in
+    match h.Dft.Experiment.switch_up with
+    | Some upper ->
+        Printf.printf "safe sharing limit (vout > %.3f V): N = %d\n" upper
+          (Dft.Sharing.max_safe_sharing pts ~upper_threshold:upper)
+    | None -> ()
+  in
+  let info = Cmd.info "sharing" ~doc:"Load-sharing sweep (paper Fig. 14)." in
+  Cmd.v info Term.(const run $ ns_arg $ csv_arg)
+
+(* ------------------------------------------------------------------ *)
+(* campaign: defect-injection campaign *)
+
+let campaign_cmd =
+  let dut_arg =
+    Arg.(value & opt string "x3" & info [ "dut" ] ~docv:"INST" ~doc:"Instance to attack.")
+  in
+  let run freq dut =
+    let golden = Cml_cells.Chain.build ~stages:8 ~freq () in
+    let defects =
+      Cml_defects.Sites.enumerate golden.Cml_cells.Chain.builder.B.net ~prefix:dut
+        ~pipe_values:[ 1e3; 4e3 ]
+    in
+    Printf.printf "running %d defects on %s...\n%!" (List.length defects) dut;
+    let c = Cml_defects.Campaign.run ~freq ~defects () in
+    List.iter
+      (fun e ->
+        let open Cml_defects.Campaign in
+        match e.outcome with
+        | Failed msg ->
+            Printf.printf "%-44s FAILED %s\n" (Cml_defects.Defect.describe e.defect) msg
+        | Measured (m, f) ->
+            Printf.printf "%-44s vlow=%.3f swing=%.3f%s%s%s\n"
+              (Cml_defects.Defect.describe e.defect) m.dut_vlow m.dut_swing
+              (if f.stuck then " STUCK" else "")
+              (if f.excessive_excursion then " EXCURSION" else "")
+              (if f.healed then " healed" else ""))
+      c.Cml_defects.Campaign.entries;
+    print_newline ();
+    List.iter (fun (k, v) -> Printf.printf "%-24s %d\n" k v) (Cml_defects.Campaign.summary c)
+  in
+  let info = Cmd.info "campaign" ~doc:"Defect-injection campaign (paper section 5)." in
+  Cmd.v info Term.(const run $ freq_arg $ dut_arg)
+
+(* ------------------------------------------------------------------ *)
+(* area *)
+
+let area_cmd =
+  let run () =
+    let schemes =
+      [
+        Dft.Area.Menon_xor;
+        Dft.Area.Variant1 Dft.Detector.v1_default;
+        Dft.Area.Variant2 Dft.Detector.v2_default;
+        Dft.Area.Variant3 { multi_emitter = true; sharing = 45 };
+      ]
+    in
+    Printf.printf "%-40s %8s %8s %8s %10s\n" "scheme" "BJT" "res" "cap" "overhead";
+    List.iter
+      (fun s ->
+        let b, r, c = Dft.Area.per_gate_counts s in
+        Printf.printf "%-40s %8.2f %8.2f %8.2f %9.0f%%\n" (Dft.Area.scheme_name s) b r c
+          (100.0 *. Dft.Area.overhead_fraction s))
+      schemes
+  in
+  let info = Cmd.info "area" ~doc:"Area overhead of the DFT schemes." in
+  Cmd.v info Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* mc: Monte-Carlo robustness *)
+
+let mc_cmd =
+  let samples_arg =
+    Arg.(value & opt int 40 & info [ "s"; "samples" ] ~docv:"N" ~doc:"Monte-Carlo samples.")
+  in
+  let seed_arg = Arg.(value & opt int 2024 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let gates_arg =
+    Arg.(value & opt int 10 & info [ "g"; "gates" ] ~docv:"N" ~doc:"Monitored gates per block.")
+  in
+  let run samples seed gates =
+    let r = Dft.Montecarlo.run ~n:gates ~samples ~seed () in
+    Printf.printf "samples       : %d good + %d faulty\n" samples samples;
+    Printf.printf "false alarms  : %d\n" r.Dft.Montecarlo.false_alarms;
+    Printf.printf "missed        : %d\n" r.Dft.Montecarlo.missed;
+    Printf.printf "good vout     : mean %.4f V, sigma %.1f mV, worst %.4f V\n"
+      (Cml_numerics.Stats.mean r.Dft.Montecarlo.good_vouts)
+      (1e3 *. Cml_numerics.Stats.stddev r.Dft.Montecarlo.good_vouts)
+      r.Dft.Montecarlo.good_vout_min;
+    Printf.printf "margin        : %.3f V\n" r.Dft.Montecarlo.separation
+  in
+  let info = Cmd.info "mc" ~doc:"Monte-Carlo robustness of the DFT under process spread." in
+  Cmd.v info Term.(const run $ samples_arg $ seed_arg $ gates_arg)
+
+(* ------------------------------------------------------------------ *)
+(* logic: run a .bench circuit through the digital test flow *)
+
+let logic_cmd =
+  let file_arg =
+    Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE"
+           ~doc:"ISCAS-style .bench netlist (default: the embedded s27).")
+  in
+  let patterns_arg =
+    Arg.(value & opt int 256 & info [ "p"; "patterns" ] ~docv:"N" ~doc:"LFSR pattern count.")
+  in
+  let vcd_arg =
+    Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE" ~doc:"Dump a VCD trace.")
+  in
+  let run file patterns vcd =
+    let c =
+      match file with
+      | Some path -> Cml_logic.Bench_format.read_file ~path
+      | None -> Cml_logic.Bench_format.s27 ()
+    in
+    let width = List.length c.Cml_logic.Circuit.inputs in
+    Printf.printf "circuit: %d nets, %d inputs, %d outputs, %d flip-flops, depth %d\n"
+      (Cml_logic.Circuit.num_nets c) width
+      (List.length c.Cml_logic.Circuit.outputs)
+      (Array.length c.Cml_logic.Circuit.dffs)
+      (Cml_logic.Timing.depth c);
+    Printf.printf "datapath clock floor at the 54 ps CML gate delay: %.2f GHz\n"
+      (1.0 /. Cml_logic.Timing.min_clock_period c ~gate_delay:54e-12 /. 1e9);
+    let initial = Cml_logic.Sim.initial c Cml_logic.Value.F in
+    let pats =
+      Cml_logic.Patterns.lfsr_patterns (Cml_logic.Patterns.lfsr_create ()) ~width ~count:patterns
+    in
+    Printf.printf "toggle coverage (%d LFSR patterns): %.1f%%\n" patterns
+      (100.0 *. Cml_logic.Coverage.coverage_after c ~initial ~patterns:pats);
+    let cov, det, total = Cml_logic.Faultsim.coverage c ~initial ~patterns:pats in
+    Printf.printf "stuck-at coverage: %.1f%% (%d/%d)\n" (100.0 *. cov) det total;
+    let directed = Cml_logic.Directed.directed_patterns c ~initial ~seed:7 () in
+    (match Cml_logic.Directed.patterns_to_full_coverage c ~initial ~patterns:directed with
+    | Some n -> Printf.printf "directed patterns to full toggle coverage: %d\n" n
+    | None -> print_endline "directed generation did not reach full coverage");
+    match vcd with
+    | None -> ()
+    | Some path ->
+        let _, frames = Cml_logic.Sim.run c initial ~patterns:pats in
+        Cml_logic.Vcd.write ~path c ~frames;
+        Printf.printf "wrote %s\n" path
+  in
+  let info = Cmd.info "logic" ~doc:"Digital test flow on a .bench circuit." in
+  Cmd.v info Term.(const run $ file_arg $ patterns_arg $ vcd_arg)
+
+(* ------------------------------------------------------------------ *)
+(* export: write a circuit as a SPICE-flavoured deck *)
+
+let export_cmd =
+  let stages_arg =
+    Arg.(value & opt int 8 & info [ "n"; "stages" ] ~docv:"N" ~doc:"Chain length.")
+  in
+  let out_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let run freq stages path =
+    let chain = Cml_cells.Chain.build ~stages ~freq () in
+    Cml_spice.Netlist_io.write_file ~path chain.Cml_cells.Chain.builder.B.net;
+    Printf.printf "wrote %s (%d devices)\n" path
+      (N.device_count chain.Cml_cells.Chain.builder.B.net)
+  in
+  let info = Cmd.info "export" ~doc:"Export the buffer-chain netlist as a text deck." in
+  Cmd.v info Term.(const run $ freq_arg $ stages_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* op: operating-point report *)
+
+let op_cmd =
+  let stages_arg =
+    Arg.(value & opt int 3 & info [ "n"; "stages" ] ~docv:"N" ~doc:"Chain length.")
+  in
+  let run pipe stages =
+    let chain = Cml_cells.Chain.build_dc ~stages ~value:true () in
+    let golden = chain.Cml_cells.Chain.builder.B.net in
+    let net =
+      match pipe_option pipe with
+      | None -> golden
+      | Some r ->
+          Cml_defects.Inject.apply golden (Cml_defects.Defect.Pipe { device = "x3.q3"; r })
+    in
+    let sim = E.compile net in
+    let x = E.dc_operating_point sim in
+    Printf.printf "%-16s %10s %10s %12s %12s\n" "device" "VBE" "VCE" "IC" "IB";
+    List.iter
+      (fun (o : E.bjt_op) ->
+        Printf.printf "%-16s %8.3f V %8.3f V %9.3f uA %9.3f uA\n" o.E.q_name o.E.vbe o.E.vce
+          (o.E.ic *. 1e6) (o.E.ib *. 1e6))
+      (E.bjt_report sim x)
+  in
+  let info = Cmd.info "op" ~doc:"SPICE-style transistor operating-point report." in
+  Cmd.v info Term.(const run $ pipe_arg $ stages_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc = "reproduction of 'DFT Method for CML Digital Circuits' (DATE 1999)" in
+  let info = Cmd.info "cmldft" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      chain_cmd; detector_cmd; sharing_cmd; campaign_cmd; area_cmd; mc_cmd; logic_cmd;
+      export_cmd; op_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,55 @@
+(* Production-style deployment of the DFT scheme: a block of CML
+   buffers all monitored by dual-emitter variant-2 sensors sharing a
+   single variant-3 read-out (load circuit + hysteresis comparator +
+   level shifter), exercised in test mode through the vtest rail.
+
+   Run with:  dune exec examples/bist_readout.exe *)
+
+module S = Cml_dft.Sharing
+
+let show label p =
+  Printf.printf "  %-22s vout = %.3f V   vfb = %.3f V   flag = %.3f V\n" label
+    p.S.vout p.S.vfb p.S.flag
+
+let () =
+  print_endline "=== shared BIST read-out over a 12-gate block ===\n";
+  let n = 12 in
+
+  (* fault-free block in test mode *)
+  let good = S.build ~multi_emitter:true ~n () in
+  let p_good = S.measure_dc good () in
+  show "fault-free block:" p_good;
+
+  (* the same block with a pipe defect in gate 7 *)
+  let defects =
+    [
+      ("weak pipe (8 kohm)", Cml_defects.Defect.Pipe { device = "x7.q3"; r = 8e3 });
+      ("pipe (4 kohm)", Cml_defects.Defect.Pipe { device = "x7.q3"; r = 4e3 });
+      ("strong pipe (1 kohm)", Cml_defects.Defect.Pipe { device = "x7.q3"; r = 1e3 });
+    ]
+  in
+  List.iter
+    (fun (label, defect) ->
+      let b, faulty = S.build_faulty ~multi_emitter:true ~n ~defect () in
+      show (label ^ ":") (S.measure_dc b ~net:faulty ()))
+    defects;
+
+  print_endline "\nthe flag output separates good from faulty blocks; one read-out";
+  print_endline "(9 devices) serves all 12 gates - and up to the safe sharing limit.\n";
+
+  (* how far can sharing go? (paper Figure 14: 45 gates) *)
+  print_endline "fault-free vout versus the number of gates sharing the read-out:";
+  let pts = S.sweep_n ~multi_emitter:true ~ns:[ 1; 10; 20; 30; 45; 60 ] () in
+  List.iter (fun p -> Printf.printf "  N = %2d : vout = %.4f V, vfb = %.4f V\n" p.S.n p.S.vout p.S.vfb) pts;
+  (* measure the comparator's hysteresis (the Figure-12 sweep) and
+     apply the paper's safe-sharing criterion: fault-free vout must
+     stay above the up-switch threshold *)
+  let h = Cml_dft.Experiment.hysteresis () in
+  match h.Cml_dft.Experiment.switch_up with
+  | None -> print_endline "\n(no comparator switch found)"
+  | Some upper ->
+      let safe = S.max_safe_sharing pts ~upper_threshold:upper in
+      Printf.printf
+        "\nsafe sharing limit (largest N with vout above the measured %.3f V\n\
+         up-switch threshold): N = %d   (the paper reports 45)\n"
+        upper safe

@@ -1,0 +1,48 @@
+(* Test application for the amplitude detectors (paper section 6.6):
+   a fault is only asserted while the defective gate's output toggles,
+   so the test plan needs high toggle coverage.  For sequential
+   circuits the paper recommends random patterns, relying on the
+   initialization-convergence result of its reference [13].
+
+   Run with:  dune exec examples/toggle_test_plan.exe *)
+
+module L = Cml_logic
+
+let () =
+  print_endline "=== toggle-based test planning on sequential benchmarks ===\n";
+  Printf.printf "%-10s %7s %9s %10s %12s %12s\n" "circuit" "nets" "LFSR-64" "LFSR-256"
+    "self-init" "stuck-at";
+  List.iter
+    (fun (name, c) ->
+      let width = List.length c.L.Circuit.inputs in
+      let pats count =
+        L.Patterns.lfsr_patterns (L.Patterns.lfsr_create ~seed:0xBEEF ()) ~width ~count
+      in
+      let initial = L.Sim.initial c L.Value.F in
+      let cov n = L.Coverage.coverage_after c ~initial ~patterns:(pats n) in
+      let self_init = L.Init_convergence.self_initialising c ~patterns:(pats 64) in
+      let sa, _, _ = L.Faultsim.coverage c ~initial ~patterns:(pats 64) in
+      Printf.printf "%-10s %7d %8.1f%% %9.1f%% %12s %11.1f%%\n" name (L.Circuit.num_nets c)
+        (100.0 *. cov 64) (100.0 *. cov 256)
+        (if self_init then "yes" else "no")
+        (100.0 *. sa))
+    (L.Bench_circuits.all ());
+
+  print_endline "\ninitialization convergence from random power-up states";
+  print_endline "(reference [13]: circuits converge to a deterministic state):";
+  let c = L.Bench_circuits.traffic_fsm () in
+  let patterns =
+    L.Patterns.lfsr_patterns (L.Patterns.lfsr_create ~seed:77 ()) ~width:1 ~count:24
+  in
+  let r = L.Init_convergence.analyse c ~patterns ~trials:16 ~seed:5 in
+  Printf.printf "  traffic FSM, 16 random initial states: converged = %b" r.L.Init_convergence.converged;
+  (match r.L.Init_convergence.convergence_cycle with
+  | Some k -> Printf.printf " (after %d cycles)\n" k
+  | None -> print_newline ());
+
+  print_endline "\ntoggle coverage growth under random patterns (counter4):";
+  let c = L.Bench_circuits.counter ~bits:4 in
+  let patterns = L.Patterns.random_patterns ~seed:9 ~width:1 ~count:120 in
+  let curve = L.Coverage.curve c ~initial:(L.Sim.initial c L.Value.F) ~patterns in
+  let pts = List.map (fun (n, cov) -> (float_of_int n, 100.0 *. cov)) curve in
+  print_string (Cml_wave.Ascii_plot.render_xy ~height:12 ~xlabel:"patterns" [ ("coverage %", pts) ])

@@ -1,0 +1,21 @@
+let full_adder bld ~name ~a ~b ~cin =
+  let axb = Gates.xor2 bld ~name:(name ^ ".axb") ~a ~b in
+  let sum = Gates.xor2 bld ~name:(name ^ ".sum") ~a:axb ~b:cin in
+  let g = Gates.and2 bld ~name:(name ^ ".g") ~a ~b in
+  let p = Gates.and2 bld ~name:(name ^ ".p") ~a:axb ~b:cin in
+  let cout = Gates.or2 bld ~name:(name ^ ".cout") ~a:g ~b:p in
+  (sum, cout)
+
+let ripple_carry bld ~name ~a ~b ~cin =
+  let n = Array.length a in
+  if n = 0 || Array.length b <> n then invalid_arg "ripple_carry: bad operand widths";
+  let sums = Array.make n cin in
+  let carry = ref cin in
+  for k = 0 to n - 1 do
+    let s, c =
+      full_adder bld ~name:(Printf.sprintf "%s.fa%d" name k) ~a:a.(k) ~b:b.(k) ~cin:!carry
+    in
+    sums.(k) <- s;
+    carry := c
+  done;
+  (sums, !carry)

@@ -1,0 +1,24 @@
+(** A transistor-level CML ripple-carry adder built from the gate
+    library — the kind of realistic datapath block the DFT-insertion
+    pass instruments. *)
+
+val full_adder :
+  Builder.t ->
+  name:string ->
+  a:Builder.diff ->
+  b:Builder.diff ->
+  cin:Builder.diff ->
+  Builder.diff * Builder.diff
+(** [(sum, carry_out)]; builds five series-gated cells named
+    [<name>.axb], [<name>.sum], [<name>.g], [<name>.p],
+    [<name>.cout]. *)
+
+val ripple_carry :
+  Builder.t ->
+  name:string ->
+  a:Builder.diff array ->
+  b:Builder.diff array ->
+  cin:Builder.diff ->
+  Builder.diff array * Builder.diff
+(** N-bit adder (LSB first); [(sums, carry_out)].
+    @raise Invalid_argument if the operand widths differ or are 0. *)

@@ -1,0 +1,72 @@
+module N = Cml_spice.Netlist
+module W = Cml_spice.Waveform
+
+type diff = { p : N.node; n : N.node }
+
+let swap d = { p = d.n; n = d.p }
+
+type t = {
+  net : N.t;
+  proc : Process.t;
+  vgnd : N.node;
+  vbias : N.node;
+  mutable cells : (string * diff) list;
+}
+
+let create ?(proc = Process.default) () =
+  let net = N.create () in
+  let vgnd = N.node net "vgnd" in
+  let vbias = N.node net "vbias" in
+  N.vsource net ~name:"vdd" ~pos:vgnd ~neg:N.gnd (W.Dc proc.Process.vgnd);
+  N.vsource net ~name:"vbias" ~pos:vbias ~neg:N.gnd (W.Dc (Process.v_bias proc));
+  { net; proc; vgnd; vbias; cells = [] }
+
+let register_cell t ~name ~outputs = t.cells <- (name, outputs) :: t.cells
+
+let cells t = List.rev t.cells
+
+let node t name = N.node t.net name
+
+let fresh_diff t name = { p = N.node t.net (name ^ ".p"); n = N.node t.net (name ^ ".n") }
+
+let tail_source t ~name nd =
+  N.bjt t.net ~name ~model:t.proc.Process.bjt ~c:nd ~b:t.vbias ~e:N.gnd ()
+
+let load_resistor t ~name nd = N.resistor t.net ~name t.vgnd nd t.proc.Process.r_load
+
+let wire_cap t ~name nd =
+  if t.proc.Process.c_wire > 0.0 then N.capacitor t.net ~name nd N.gnd t.proc.Process.c_wire
+
+let diff_square_input t ~name ~freq ?(delay = 0.0) () =
+  let proc = t.proc in
+  let hi = proc.Process.vgnd and lo = Process.v_low proc in
+  let edge = proc.Process.edge_time in
+  let half = 1.0 /. freq /. 2.0 in
+  let d = fresh_diff t name in
+  N.vsource t.net ~name:(name ^ ".vp") ~pos:d.p ~neg:N.gnd
+    (W.Pulse { v1 = lo; v2 = hi; delay; rise = edge; fall = edge; width = half -. edge; period = 1.0 /. freq });
+  (* the complement starts high and pulses low half a period later *)
+  N.vsource t.net ~name:(name ^ ".vn") ~pos:d.n ~neg:N.gnd
+    (W.Pulse { v1 = hi; v2 = lo; delay; rise = edge; fall = edge; width = half -. edge; period = 1.0 /. freq });
+  d
+
+let diff_dc_input t ~name ~value =
+  let proc = t.proc in
+  let hi = proc.Process.vgnd and lo = Process.v_low proc in
+  let d = fresh_diff t name in
+  let vp, vn = if value then (hi, lo) else (lo, hi) in
+  N.vsource t.net ~name:(name ^ ".vp") ~pos:d.p ~neg:N.gnd (W.Dc vp);
+  N.vsource t.net ~name:(name ^ ".vn") ~pos:d.n ~neg:N.gnd (W.Dc vn);
+  d
+
+let emitter_follower t ~name ~input =
+  let out = N.node t.net (name ^ ".out") in
+  N.bjt t.net ~name:(name ^ ".qf") ~model:t.proc.Process.bjt ~c:t.vgnd ~b:input ~e:out ();
+  tail_source t ~name:(name ^ ".qt") out;
+  out
+
+let level_shift_diff t ~name ~input =
+  {
+    p = emitter_follower t ~name:(name ^ ".lsp") ~input:input.p;
+    n = emitter_follower t ~name:(name ^ ".lsn") ~input:input.n;
+  }

@@ -1,0 +1,65 @@
+(** Shared context for building CML circuits: the netlist, the
+    process, the supply rails and the current-source bias line that
+    every gate's tail transistor connects to.
+
+    Naming convention: a cell instance called [x3] names its devices
+    [x3.q1], [x3.r1], ... and its internal nodes [x3.op], [x3.ce], ...
+    The defect injector addresses fault sites through these names. *)
+
+type diff = { p : Cml_spice.Netlist.node; n : Cml_spice.Netlist.node }
+(** A differential CML signal (true and complement rails). *)
+
+val swap : diff -> diff
+(** Logical inversion: in CML, complementing a signal is free. *)
+
+type t = {
+  net : Cml_spice.Netlist.t;
+  proc : Process.t;
+  vgnd : Cml_spice.Netlist.node;  (** positive rail node *)
+  vbias : Cml_spice.Netlist.node;  (** current-source base bias line *)
+  mutable cells : (string * diff) list;
+      (** every cell instance built so far, newest first — the
+          monitor points a DFT-insertion pass instruments *)
+}
+
+val create : ?proc:Process.t -> unit -> t
+(** Fresh netlist with the supply and bias sources installed
+    (device names ["vdd"] and ["vbias"]; [vee] is the ground node). *)
+
+val node : t -> string -> Cml_spice.Netlist.node
+val fresh_diff : t -> string -> diff
+(** The pair of nodes [<name>.p] / [<name>.n]. *)
+
+val register_cell : t -> name:string -> outputs:diff -> unit
+(** Record a cell instance's output pair; called by every cell
+    constructor ({!Buffer_cell}, {!Gates}, {!Latch}). *)
+
+val cells : t -> (string * diff) list
+(** Registered cells in construction order. *)
+
+val tail_source : t -> name:string -> Cml_spice.Netlist.node -> unit
+(** Add a grounded-emitter current-source transistor ([<name>]) whose
+    collector sinks [i_tail] from the given node — the paper's Q3. *)
+
+val load_resistor : t -> name:string -> Cml_spice.Netlist.node -> unit
+(** Collector load resistor from the rail to the node. *)
+
+val wire_cap : t -> name:string -> Cml_spice.Netlist.node -> unit
+(** The process's parasitic wiring capacitance at an output node. *)
+
+val diff_square_input :
+  t -> name:string -> freq:float -> ?delay:float -> unit -> diff
+(** Complementary square-wave sources swinging between the CML low
+    and high levels (drives a chain input like the paper's va/vab).
+    Device names [<name>.vp] / [<name>.vn]. *)
+
+val diff_dc_input : t -> name:string -> value:bool -> diff
+(** Static differential level (true = p rail high). *)
+
+val emitter_follower : t -> name:string -> input:Cml_spice.Netlist.node -> Cml_spice.Netlist.node
+(** Level shifter: one-VBE-down copy of the input, with its own
+    current-source pull-down — required before driving the lower
+    differential pairs of stacked gates (paper section 2). *)
+
+val level_shift_diff : t -> name:string -> input:diff -> diff
+(** Emitter-follower pair for a differential signal. *)

@@ -1,0 +1,32 @@
+type t = { builder : Builder.t; input : Builder.diff; stages : Builder.diff array }
+
+let stage_name i = Printf.sprintf "x%d" i
+
+let dut_stage = 3
+
+let build_from builder ~stages ~input =
+  let outs = Array.make stages input in
+  let rec extend i prev =
+    if i > stages then ()
+    else begin
+      let out = Buffer_cell.add builder ~name:(stage_name i) ~input:prev in
+      outs.(i - 1) <- out;
+      extend (i + 1) out
+    end
+  in
+  extend 1 input;
+  { builder; input; stages = outs }
+
+let build ?proc ?(stages = 8) ~freq () =
+  let builder = Builder.create ?proc () in
+  let input = Builder.diff_square_input builder ~name:"vin" ~freq () in
+  build_from builder ~stages ~input
+
+let build_dc ?proc ?(stages = 8) ~value () =
+  let builder = Builder.create ?proc () in
+  let input = Builder.diff_dc_input builder ~name:"vin" ~value in
+  build_from builder ~stages ~input
+
+let output t i =
+  if i < 1 || i > Array.length t.stages then invalid_arg "Chain.output: bad stage index";
+  t.stages.(i - 1)

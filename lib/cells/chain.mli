@@ -1,0 +1,27 @@
+(** The paper's test circuit (Figure 3): a chain of data buffers in
+    which each stage's differential inputs come from the previous
+    stage's differential outputs.  Stage instances are named [x1],
+    [x2], ... — the paper's device under test is stage 3 of an
+    8-stage chain. *)
+
+type t = {
+  builder : Builder.t;
+  input : Builder.diff;  (** the driving va/vab pair *)
+  stages : Builder.diff array;  (** output of each stage, in order *)
+}
+
+val build : ?proc:Process.t -> ?stages:int -> freq:float -> unit -> t
+(** A chain driven by complementary square sources at [freq]
+    (defaults to the paper's 8 stages). *)
+
+val build_dc : ?proc:Process.t -> ?stages:int -> value:bool -> unit -> t
+(** Same chain with a static input, for DC experiments. *)
+
+val stage_name : int -> string
+(** ["x3"] for stage 3 (1-based, matching the paper's numbering). *)
+
+val dut_stage : int
+(** The paper's defective stage: 3. *)
+
+val output : t -> int -> Builder.diff
+(** Output diff of the 1-based stage index. *)

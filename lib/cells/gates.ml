@@ -1,0 +1,74 @@
+module N = Cml_spice.Netlist
+
+(* Series-gated skeleton shared by AND and MUX: a bottom pair steers
+   the tail current either into a top differential pair or directly
+   into one of the output loads. *)
+
+let outputs (b : Builder.t) name =
+  let op = N.node b.Builder.net (name ^ ".op") in
+  let on = N.node b.Builder.net (name ^ ".on") in
+  Builder.load_resistor b ~name:(name ^ ".r2") op;
+  Builder.load_resistor b ~name:(name ^ ".r1") on;
+  Builder.wire_cap b ~name:(name ^ ".cp") op;
+  Builder.wire_cap b ~name:(name ^ ".cn") on;
+  let out = { Builder.p = op; n = on } in
+  Builder.register_cell b ~name ~outputs:out;
+  out
+
+let and2 (bld : Builder.t) ~name ~a ~b =
+  let model = bld.Builder.proc.Process.bjt in
+  let net = bld.Builder.net in
+  let out = outputs bld name in
+  let bb = Builder.level_shift_diff bld ~name ~input:b in
+  let etop = N.node net (name ^ ".etop") in
+  let ce = N.node net (name ^ ".ce") in
+  (* top pair: active when b is high; a=1 routes current to the
+     complement load (output reads true) *)
+  N.bjt net ~name:(name ^ ".q1") ~model ~c:out.Builder.n ~b:a.Builder.p ~e:etop ();
+  N.bjt net ~name:(name ^ ".q2") ~model ~c:out.Builder.p ~b:a.Builder.n ~e:etop ();
+  (* bottom pair: b=1 feeds the top pair, b=0 pulls the true output low *)
+  N.bjt net ~name:(name ^ ".q4") ~model ~c:etop ~b:bb.Builder.p ~e:ce ();
+  N.bjt net ~name:(name ^ ".q5") ~model ~c:out.Builder.p ~b:bb.Builder.n ~e:ce ();
+  Builder.tail_source bld ~name:(name ^ ".q3") ce;
+  out
+
+let or2 bld ~name ~a ~b =
+  (* a OR b = not (not a AND not b); complements are free *)
+  Builder.swap (and2 bld ~name ~a:(Builder.swap a) ~b:(Builder.swap b))
+
+let xor2 (bld : Builder.t) ~name ~a ~b =
+  let model = bld.Builder.proc.Process.bjt in
+  let net = bld.Builder.net in
+  let out = outputs bld name in
+  let bb = Builder.level_shift_diff bld ~name ~input:b in
+  let e1 = N.node net (name ^ ".e1") in
+  let e2 = N.node net (name ^ ".e2") in
+  let ce = N.node net (name ^ ".ce") in
+  (* pair 1 (active when b = 1): a = 1 pulls the true output low *)
+  N.bjt net ~name:(name ^ ".q1") ~model ~c:out.Builder.p ~b:a.Builder.p ~e:e1 ();
+  N.bjt net ~name:(name ^ ".q2") ~model ~c:out.Builder.n ~b:a.Builder.n ~e:e1 ();
+  (* pair 2 (active when b = 0): cross-coupled *)
+  N.bjt net ~name:(name ^ ".q6") ~model ~c:out.Builder.n ~b:a.Builder.p ~e:e2 ();
+  N.bjt net ~name:(name ^ ".q7") ~model ~c:out.Builder.p ~b:a.Builder.n ~e:e2 ();
+  N.bjt net ~name:(name ^ ".q4") ~model ~c:e1 ~b:bb.Builder.p ~e:ce ();
+  N.bjt net ~name:(name ^ ".q5") ~model ~c:e2 ~b:bb.Builder.n ~e:ce ();
+  Builder.tail_source bld ~name:(name ^ ".q3") ce;
+  out
+
+let mux21 (bld : Builder.t) ~name ~sel ~a ~b =
+  let model = bld.Builder.proc.Process.bjt in
+  let net = bld.Builder.net in
+  let out = outputs bld name in
+  let ss = Builder.level_shift_diff bld ~name ~input:sel in
+  let e1 = N.node net (name ^ ".e1") in
+  let e2 = N.node net (name ^ ".e2") in
+  let ce = N.node net (name ^ ".ce") in
+  (* pair 1 passes a (sel = 1), pair 2 passes b (sel = 0) *)
+  N.bjt net ~name:(name ^ ".q1") ~model ~c:out.Builder.n ~b:a.Builder.p ~e:e1 ();
+  N.bjt net ~name:(name ^ ".q2") ~model ~c:out.Builder.p ~b:a.Builder.n ~e:e1 ();
+  N.bjt net ~name:(name ^ ".q6") ~model ~c:out.Builder.n ~b:b.Builder.p ~e:e2 ();
+  N.bjt net ~name:(name ^ ".q7") ~model ~c:out.Builder.p ~b:b.Builder.n ~e:e2 ();
+  N.bjt net ~name:(name ^ ".q4") ~model ~c:e1 ~b:ss.Builder.p ~e:ce ();
+  N.bjt net ~name:(name ^ ".q5") ~model ~c:e2 ~b:ss.Builder.n ~e:ce ();
+  Builder.tail_source bld ~name:(name ^ ".q3") ce;
+  out

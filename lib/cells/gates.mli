@@ -1,0 +1,25 @@
+(** Two-level series-gated CML gates.  The second-level input is
+    level-shifted down one VBE internally (paper section 2: "gate
+    outputs must be level shifted by one VBE before driving" lower
+    pairs), so all gate inputs and outputs use the standard CML
+    levels and gates compose freely. *)
+
+val outputs : Builder.t -> string -> Builder.diff
+(** Create the output pair of an instance — two load resistors
+    ([<name>.r1], [<name>.r2]) and wiring capacitances on nodes
+    [<name>.op] / [<name>.on].  Shared by every gate topology (also
+    used by {!Latch}). *)
+
+val and2 : Builder.t -> name:string -> a:Builder.diff -> b:Builder.diff -> Builder.diff
+(** [a AND b]; [a] steers the top pair, [b] the bottom pair. *)
+
+val or2 : Builder.t -> name:string -> a:Builder.diff -> b:Builder.diff -> Builder.diff
+(** By De Morgan on the free CML complements. *)
+
+val xor2 : Builder.t -> name:string -> a:Builder.diff -> b:Builder.diff -> Builder.diff
+(** Series-gated XOR with cross-coupled top pairs. *)
+
+val mux21 :
+  Builder.t -> name:string -> sel:Builder.diff -> a:Builder.diff -> b:Builder.diff ->
+  Builder.diff
+(** [sel ? a : b]; the data inputs steer the top pairs. *)

@@ -1,0 +1,26 @@
+module N = Cml_spice.Netlist
+
+let d_latch (bld : Builder.t) ~name ~d ~clk =
+  let model = bld.Builder.proc.Process.bjt in
+  let net = bld.Builder.net in
+  let out = Gates.outputs bld name in
+  let cc = Builder.level_shift_diff bld ~name ~input:clk in
+  let e1 = N.node net (name ^ ".e1") in
+  let e2 = N.node net (name ^ ".e2") in
+  let ce = N.node net (name ^ ".ce") in
+  (* sampling pair, active while the clock is high *)
+  N.bjt net ~name:(name ^ ".q1") ~model ~c:out.Builder.n ~b:d.Builder.p ~e:e1 ();
+  N.bjt net ~name:(name ^ ".q2") ~model ~c:out.Builder.p ~b:d.Builder.n ~e:e1 ();
+  (* cross-coupled regeneration pair, active while the clock is low *)
+  N.bjt net ~name:(name ^ ".q6") ~model ~c:out.Builder.n ~b:out.Builder.p ~e:e2 ();
+  N.bjt net ~name:(name ^ ".q7") ~model ~c:out.Builder.p ~b:out.Builder.n ~e:e2 ();
+  N.bjt net ~name:(name ^ ".q4") ~model ~c:e1 ~b:cc.Builder.p ~e:ce ();
+  N.bjt net ~name:(name ^ ".q5") ~model ~c:e2 ~b:cc.Builder.n ~e:ce ();
+  Builder.tail_source bld ~name:(name ^ ".q3") ce;
+  out
+
+let dff bld ~name ~d ~clk =
+  (* master transparent on clock low, slave on clock high: the output
+     updates on the rising edge *)
+  let m = d_latch bld ~name:(name ^ ".m") ~d ~clk:(Builder.swap clk) in
+  d_latch bld ~name:(name ^ ".s") ~d:m ~clk

@@ -1,0 +1,12 @@
+(** Sequential CML cells: the level-sensitive D latch (data pair plus
+    cross-coupled regeneration pair, clock-steered) and the
+    master-slave rising-edge D flip-flop built from two of them. *)
+
+val d_latch :
+  Builder.t -> name:string -> d:Builder.diff -> clk:Builder.diff -> Builder.diff
+(** Transparent while [clk] is high, holds while low. *)
+
+val dff :
+  Builder.t -> name:string -> d:Builder.diff -> clk:Builder.diff -> Builder.diff
+(** Rising-edge master-slave flip-flop (instances [<name>.m] and
+    [<name>.s]). *)

@@ -1,0 +1,31 @@
+type t = {
+  vgnd : float;
+  swing : float;
+  r_load : float;
+  i_tail : float;
+  bjt : Cml_spice.Models.bjt;
+  diode : Cml_spice.Models.diode;
+  c_wire : float;
+  edge_time : float;
+}
+
+let default =
+  {
+    vgnd = 3.3;
+    swing = 0.25;
+    r_load = 500.0;
+    i_tail = 0.5e-3;
+    bjt = Cml_spice.Models.default_bjt;
+    diode = Cml_spice.Models.default_diode;
+    c_wire = 95e-15;
+    edge_time = 50e-12;
+  }
+
+let v_bias p =
+  Cml_spice.Models.boltzmann_vt *. log (p.i_tail /. p.bjt.Cml_spice.Models.q_is)
+
+let v_low p = p.vgnd -. p.swing
+
+let vbe_on = v_bias
+
+let with_tail_current p i_tail = { p with i_tail; swing = i_tail *. p.r_load }

@@ -1,0 +1,35 @@
+(** Parameters of the simulated bipolar CML process, calibrated to the
+    operating point the paper quotes: 3.3 V rail, about 250 mV output
+    swing, VBE about 0.9 V at the tail current, and a gate delay in
+    the 50 ps range. *)
+
+type t = {
+  vgnd : float;  (** positive supply rail (the paper's vgnd = 3.3 V) *)
+  swing : float;  (** nominal single-ended output swing (V) *)
+  r_load : float;  (** collector load resistance (ohm) *)
+  i_tail : float;  (** tail current of a gate (A) *)
+  bjt : Cml_spice.Models.bjt;  (** transistor model for all gate devices *)
+  diode : Cml_spice.Models.diode;  (** junction model for diode-connected loads *)
+  c_wire : float;  (** parasitic wiring capacitance per gate output (F) *)
+  edge_time : float;  (** rise/fall time used for generated stimuli (s) *)
+}
+
+val default : t
+(** The calibrated process: [vgnd = 3.3], [r_load = 500], [i_tail =
+    0.5 mA] (so [swing = 250 mV]), VBE(0.5 mA) about 0.9 V. *)
+
+val v_bias : t -> float
+(** Base bias voltage that makes the grounded-emitter current-source
+    transistor sink exactly [i_tail]:
+    [v_bias = VT * ln (i_tail / Is)]. *)
+
+val v_low : t -> float
+(** Nominal low output level, [vgnd - swing]. *)
+
+val vbe_on : t -> float
+(** VBE at the tail current — the paper's "VBE = 900 mV" figure. *)
+
+val with_tail_current : t -> float -> t
+(** Same process with a different gate current (the speed/power knob
+    the paper mentions in section 6.3); the swing follows
+    [i_tail * r_load]. *)

@@ -1,0 +1,48 @@
+module N = Cml_spice.Netlist
+module W = Cml_spice.Waveform
+
+type t = { builder : Builder.t; tap : Builder.diff; stages : int }
+
+let build ?(proc = Process.default) ?(stages = 5) () =
+  let builder = Builder.create ~proc () in
+  let input = Builder.fresh_diff builder "ring" in
+  let rec grow k signal =
+    if k > stages then signal
+    else grow (k + 1) (Buffer_cell.add builder ~name:(Printf.sprintf "r%d" k) ~input:signal)
+  in
+  let tap = grow 1 input in
+  (* close the loop with an inverting twist through negligible
+     resistances (distinct devices keep the netlist well-formed) *)
+  N.resistor builder.Builder.net ~name:"loop_p" tap.Builder.p input.Builder.n 1.0;
+  N.resistor builder.Builder.net ~name:"loop_n" tap.Builder.n input.Builder.p 1.0;
+  N.isource builder.Builder.net ~name:"kick" ~pos:input.Builder.p ~neg:N.gnd
+    (W.Pulse
+       {
+         v1 = 0.0;
+         v2 = 1e-4;
+         delay = 0.1e-9;
+         rise = 10e-12;
+         fall = 10e-12;
+         width = 100e-12;
+         period = 0.0;
+       });
+  { builder; tap; stages }
+
+let measure_frequency ?(tstop = 8e-9) ?settle t =
+  let settle = match settle with Some s -> s | None -> tstop /. 2.0 in
+  let net = t.builder.Builder.net in
+  let sim = Cml_spice.Engine.compile net in
+  let r = Cml_spice.Transient.run sim net (Cml_spice.Transient.config ~tstop ~max_step:5e-12 ()) in
+  let w =
+    Cml_wave.Wave.create r.Cml_spice.Transient.times
+      (Cml_spice.Transient.diff_trace r t.tap.Builder.p t.tap.Builder.n)
+  in
+  match List.filter (fun x -> x > settle) (Cml_wave.Measure.crossings w ~level:0.0) with
+  | t1 :: rest when List.length rest >= 2 ->
+      let tlast = List.nth rest (List.length rest - 1) in
+      let periods = float_of_int (List.length rest) /. 2.0 in
+      Some (periods /. (tlast -. t1))
+  | _ -> None
+
+let expected_frequency ?(gate_delay = 54e-12) t =
+  1.0 /. (2.0 *. float_of_int t.stages *. gate_delay)

@@ -1,0 +1,23 @@
+(** CML ring oscillator: a buffer chain closed back on itself with an
+    inverting twist.  Oscillation at about 1/(2 N t_pd) is both a
+    classic process monitor and a demanding self-consistency check of
+    the transient engine (nothing drives it but its own feedback). *)
+
+type t = {
+  builder : Builder.t;
+  tap : Builder.diff;  (** output of the last stage *)
+  stages : int;
+}
+
+val build : ?proc:Process.t -> ?stages:int -> unit -> t
+(** Default 5 stages.  A small current kick (device ["kick"]) breaks
+    the metastable DC balance shortly after t = 0. *)
+
+val measure_frequency :
+  ?tstop:float -> ?settle:float -> t -> float option
+(** Run a transient and measure the oscillation frequency from the
+    differential zero crossings of the tap; [None] if it never
+    oscillates.  Defaults: [tstop = 8 ns], [settle = tstop / 2]. *)
+
+val expected_frequency : ?gate_delay:float -> t -> float
+(** [1 / (2 N t_pd)] with the calibrated 54 ps default delay. *)

@@ -1,0 +1,82 @@
+module N = Cml_spice.Netlist
+module W = Cml_spice.Waveform
+
+let dc_transfer ?(proc = Process.default) ?span ?(points = 81) ?prepare ~build () =
+  let span =
+    match span with Some s -> s | None -> 1.25 *. proc.Process.swing
+  in
+  let mid = proc.Process.vgnd -. (proc.Process.swing /. 2.0) in
+  let b = Builder.create ~proc () in
+  let input = Builder.fresh_diff b "tin" in
+  (* vp is swept; vn mirrors it around the midpoint through a VCVS:
+     V(n) - V(mid) = V(mid) - V(p) *)
+  let midnode = Builder.node b "tmid" in
+  N.vsource b.Builder.net ~name:"tmid.src" ~pos:midnode ~neg:N.gnd (W.Dc mid);
+  N.vsource b.Builder.net ~name:"tin.vp" ~pos:input.Builder.p ~neg:N.gnd (W.Dc mid);
+  N.vcvs b.Builder.net ~name:"tin.mirror" ~pos:input.Builder.n ~neg:midnode ~cpos:midnode
+    ~cneg:input.Builder.p 1.0;
+  let out = build b input in
+  let net = match prepare with Some f -> f b | None -> b.Builder.net in
+  let values =
+    Array.init points (fun k ->
+        mid -. (span /. 2.0) +. (span *. float_of_int k /. float_of_int (points - 1)))
+  in
+  let sols = Cml_spice.Sweep.vsource_sweep net ~source:"tin.vp" ~values in
+  Array.to_list
+    (Array.mapi
+       (fun k x ->
+         let vout =
+           Cml_spice.Engine.voltage x out.Builder.p -. Cml_spice.Engine.voltage x out.Builder.n
+         in
+         (2.0 *. (values.(k) -. mid), vout))
+       sols)
+
+type margins = {
+  gain : float;
+  v_il : float;
+  v_ih : float;
+  v_ol : float;
+  v_oh : float;
+  nm_low : float;
+  nm_high : float;
+}
+
+let margins curve =
+  let pts = Array.of_list curve in
+  let n = Array.length pts in
+  if n < 5 then invalid_arg "Transfer.margins: too few points";
+  let slope k =
+    let x0, y0 = pts.(k) and x1, y1 = pts.(k + 1) in
+    (y1 -. y0) /. (x1 -. x0)
+  in
+  (* differential gain at the balance point (input closest to 0) *)
+  let center = ref 0 in
+  Array.iteri (fun k (x, _) -> if Float.abs x < Float.abs (fst pts.(!center)) then center := k) pts;
+  let gain = slope (min !center (n - 2)) in
+  (* unity-gain points: |slope| falls below 1 moving outward *)
+  let rec outward k step =
+    if k <= 0 || k >= n - 2 then k
+    else if Float.abs (slope k) < 1.0 then k
+    else outward (k + step) step
+  in
+  let k_il = outward !center (-1) in
+  let k_ih = outward !center 1 in
+  let v_il, v_ol_at = pts.(k_il) in
+  let v_ih, v_oh_at = pts.(k_ih) in
+  (* output levels: the saturated extremes of the curve *)
+  let v_oh = Array.fold_left (fun acc (_, y) -> Float.max acc y) (snd pts.(0)) pts in
+  let v_ol = Array.fold_left (fun acc (_, y) -> Float.min acc y) (snd pts.(0)) pts in
+  ignore v_ol_at;
+  ignore v_oh_at;
+  (* differential noise margins: the output levels become the next
+     stage's input levels, so NM is how far they sit beyond the
+     unity-gain input points *)
+  {
+    gain;
+    v_il;
+    v_ih;
+    v_ol;
+    v_oh;
+    nm_low = Float.abs v_ol -. Float.abs v_il;
+    nm_high = v_oh -. v_ih;
+  }

@@ -1,0 +1,32 @@
+(** DC transfer curves and noise margins of differential cells.  The
+    paper's section-1 fault list includes "reduced noise-margin"
+    faults; this analysis measures them, and section 6.3's comparator
+    design is argued in noise-margin terms. *)
+
+type margins = {
+  gain : float;  (** small-signal differential gain at balance *)
+  v_il : float;  (** unity-gain input points (differential volts) *)
+  v_ih : float;
+  v_ol : float;  (** output levels at the unity-gain points *)
+  v_oh : float;
+  nm_low : float;  (** noise margins: NM_L = VIL - VOL, NM_H = VOH - VIH *)
+  nm_high : float;
+}
+
+val dc_transfer :
+  ?proc:Process.t ->
+  ?span:float ->
+  ?points:int ->
+  ?prepare:(Builder.t -> Cml_spice.Netlist.t) ->
+  build:(Builder.t -> Builder.diff -> Builder.diff) ->
+  unit ->
+  (float * float) list
+(** Sweep a differential input across [±span/2] (default the process
+    swing ±25%) around the logic midpoint and return
+    [(vin_diff, vout_diff)] pairs.  [build] creates the cell under
+    test from the input diff; [prepare] may transform the finished
+    netlist (e.g. inject a defect) before simulation. *)
+
+val margins : (float * float) list -> margins
+(** Analyse a transfer curve.
+    @raise Invalid_argument on fewer than 5 points. *)

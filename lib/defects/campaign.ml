@@ -1,0 +1,144 @@
+module N = Cml_spice.Netlist
+module E = Cml_spice.Engine
+module T = Cml_spice.Transient
+
+type measurement = {
+  dut_vlow : float;
+  dut_vhigh : float;
+  dut_swing : float;
+  final_vlow : float;
+  final_vhigh : float;
+  final_swing : float;
+  final_delay : float option;
+  supply_current : float;
+}
+
+type flags = {
+  stuck : bool;
+  excessive_excursion : bool;
+  reduced_swing : bool;
+  delay_detectable : bool;
+  iddq_detectable : bool;
+  healed : bool;
+}
+
+type outcome = Measured of measurement * flags | Failed of string
+
+type entry = { defect : Defect.t; outcome : outcome }
+
+type t = { reference : measurement; entries : entry list }
+
+let measure_chain chain net ~freq ~tstop ~dut =
+  let sim = E.compile net in
+  let cfg = T.config ~tstop ~max_step:10e-12 () in
+  let r = T.run sim net cfg in
+  let wave nd = Cml_wave.Wave.create r.T.times (T.node_trace r nd) in
+  let t_from = tstop /. 2.0 in
+  let supply_current =
+    match E.branch_unknown sim "vdd" with
+    | exception Not_found -> 0.0
+    | br ->
+        let samples = Array.map (fun x -> Float.abs x.(br)) r.T.data in
+        let w = Cml_wave.Wave.create r.T.times samples in
+        Cml_wave.Wave.mean (Cml_wave.Wave.sub_range w ~t_from ~t_to:(Cml_wave.Wave.t_end w))
+  in
+  let dut_out = Cml_cells.Chain.output chain dut in
+  let stages = Array.length chain.Cml_cells.Chain.stages in
+  let final_out = Cml_cells.Chain.output chain stages in
+  let wp_dut = wave dut_out.Cml_cells.Builder.p and wn_dut = wave dut_out.Cml_cells.Builder.n in
+  let wp_fin = wave final_out.Cml_cells.Builder.p and wn_fin = wave final_out.Cml_cells.Builder.n in
+  let lo_p, hi_p = Cml_wave.Measure.extremes wp_dut ~t_from in
+  let lo_n, hi_n = Cml_wave.Measure.extremes wn_dut ~t_from in
+  let lo_fp, hi_fp = Cml_wave.Measure.extremes wp_fin ~t_from in
+  let lo_fn, hi_fn = Cml_wave.Measure.extremes wn_fin ~t_from in
+  (* delay from the input pair's actual crossing to the final
+     output's next actual crossing *)
+  let input = chain.Cml_cells.Chain.input in
+  let w_in_p = wave input.Cml_cells.Builder.p and w_in_n = wave input.Cml_cells.Builder.n in
+  let final_delay =
+    match
+      List.find_opt (fun t -> t >= t_from) (Cml_wave.Measure.differential_crossings w_in_p w_in_n)
+    with
+    | None -> None
+    | Some t0 -> (
+        match
+          List.find_opt (fun t -> t > t0)
+            (Cml_wave.Measure.differential_crossings wp_fin wn_fin)
+        with
+        | None -> None
+        | Some t1 when t1 -. t0 < 0.75 /. freq -> Some (t1 -. t0)
+        | Some _ -> None)
+  in
+  {
+    dut_vlow = Float.min lo_p lo_n;
+    dut_vhigh = Float.max hi_p hi_n;
+    dut_swing = hi_p -. lo_p;
+    final_vlow = Float.min lo_fp lo_fn;
+    final_vhigh = Float.max hi_fp hi_fn;
+    final_swing = hi_fp -. lo_fp;
+    final_delay;
+    supply_current;
+  }
+
+let classify ~proc ~reference m =
+  let swing = proc.Cml_cells.Process.swing in
+  let stuck = m.final_swing < 0.5 *. swing in
+  let excessive_excursion = m.dut_vlow < reference.dut_vlow -. 0.1 in
+  let reduced_swing = (not stuck) && m.dut_swing < 0.6 *. swing in
+  let delay_detectable =
+    match (m.final_delay, reference.final_delay) with
+    | Some d, Some d0 -> Float.abs (d -. d0) > 0.2 *. d0
+    | None, Some _ -> not stuck  (* toggles but missed the window: gross delay shift *)
+    | _, None -> false
+  in
+  let final_nominal =
+    (not stuck)
+    && Float.abs (m.final_vlow -. reference.final_vlow) < 0.2 *. swing
+    && Float.abs (m.final_vhigh -. reference.final_vhigh) < 0.2 *. swing
+    && Float.abs (m.final_swing -. reference.final_swing) < 0.2 *. swing
+  in
+  let iddq_detectable = m.supply_current > 1.15 *. reference.supply_current in
+  let degraded_at_dut = excessive_excursion || reduced_swing || m.dut_vhigh > reference.dut_vhigh +. 0.1 in
+  {
+    stuck;
+    excessive_excursion;
+    reduced_swing;
+    delay_detectable;
+    iddq_detectable;
+    healed = degraded_at_dut && final_nominal;
+  }
+
+let run ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?(stages = 8) ?dut ?tstop ~defects () =
+  let dut = match dut with Some d -> d | None -> Cml_cells.Chain.dut_stage in
+  let tstop = match tstop with Some t -> t | None -> 2.0 /. freq in
+  let chain = Cml_cells.Chain.build ~proc ~stages ~freq () in
+  let golden = chain.Cml_cells.Chain.builder.Cml_cells.Builder.net in
+  let reference = measure_chain chain golden ~freq ~tstop ~dut in
+  let run_one defect =
+    match Inject.apply golden defect with
+    | exception (Not_found | Invalid_argument _) ->
+        { defect; outcome = Failed "injection failed" }
+    | faulty -> (
+        match measure_chain chain faulty ~freq ~tstop ~dut with
+        | m -> { defect; outcome = Measured (m, classify ~proc ~reference m) }
+        | exception E.No_convergence msg -> { defect; outcome = Failed msg })
+  in
+  { reference; entries = List.map run_one defects }
+
+let summary t =
+  let count p = List.length (List.filter p t.entries) in
+  let flagged f = count (fun e -> match e.outcome with Measured (_, fl) -> f fl | Failed _ -> false) in
+  [
+    ("defects", List.length t.entries);
+    ("stuck-at", flagged (fun f -> f.stuck));
+    ("excessive-excursion", flagged (fun f -> f.excessive_excursion));
+    ("excursion-not-stuck", flagged (fun f -> f.excessive_excursion && not f.stuck));
+    ("reduced-swing", flagged (fun f -> f.reduced_swing));
+    ("delay-detectable", flagged (fun f -> f.delay_detectable));
+    ("iddq-detectable", flagged (fun f -> f.iddq_detectable));
+    ("healed", flagged (fun f -> f.healed));
+    ( "benign",
+      flagged (fun f ->
+          not (f.stuck || f.excessive_excursion || f.reduced_swing || f.delay_detectable)) );
+    ("failed", count (fun e -> match e.outcome with Failed _ -> true | Measured _ -> false));
+  ]

@@ -1,0 +1,68 @@
+(** Defect-injection campaigns on the paper's buffer-chain test
+    circuit (Figure 3): simulate every candidate defect, measure the
+    device-under-test and chain outputs, and classify the fault
+    behaviour.  This reproduces the section-5 observations — many
+    defects map into abnormal output excursions rather than stuck-at
+    faults, and excursions heal after a few stages. *)
+
+type measurement = {
+  dut_vlow : float;  (** lowest voltage at either DUT output *)
+  dut_vhigh : float;  (** highest voltage at either DUT output *)
+  dut_swing : float;  (** single-ended swing at the DUT true output *)
+  final_vlow : float;
+  final_vhigh : float;
+  final_swing : float;
+  final_delay : float option;  (** input-to-final-output delay at actual crossings *)
+  supply_current : float;  (** mean magnitude of the rail supply current (A) *)
+}
+
+type flags = {
+  stuck : bool;  (** chain output no longer toggles: classic stuck-at testable *)
+  excessive_excursion : bool;
+      (** DUT output goes well below the nominal low level — the fault
+          class the paper's detectors target *)
+  reduced_swing : bool;  (** DUT swing collapsed but the chain still toggles *)
+  delay_detectable : bool;  (** chain delay shifted by more than 20% *)
+  iddq_detectable : bool;
+      (** supply current elevated by more than 15% over the fault-free
+          chain — the Iddq fault class of the paper's section 1 *)
+  healed : bool;  (** degraded at the DUT yet nominal at the chain output *)
+}
+
+type outcome = Measured of measurement * flags | Failed of string
+
+type entry = { defect : Defect.t; outcome : outcome }
+
+type t = {
+  reference : measurement;  (** fault-free chain measurement *)
+  entries : entry list;
+}
+
+val measure_chain :
+  Cml_cells.Chain.t -> Cml_spice.Netlist.t -> freq:float -> tstop:float -> dut:int ->
+  measurement
+(** Simulate the given (possibly faulty) netlist of a chain and
+    extract the measurement.  @raise Engine.No_convergence on solver
+    failure (callers of {!run} get it folded into [Failed]). *)
+
+val run :
+  ?proc:Cml_cells.Process.t ->
+  ?freq:float ->
+  ?stages:int ->
+  ?dut:int ->
+  ?tstop:float ->
+  defects:Defect.t list ->
+  unit ->
+  t
+(** Full campaign at [freq] (default 100 MHz) on a chain of [stages]
+    (default 8) with the defect in stage [dut] (default 3).  The
+    defect list normally comes from {!Sites.enumerate} on the DUT
+    instance. *)
+
+val classify :
+  proc:Cml_cells.Process.t -> reference:measurement -> measurement -> flags
+
+val summary : t -> (string * int) list
+(** Histogram of the observed fault classes, for reporting: counts of
+    stuck / excessive-excursion / healed / delay-detectable /
+    benign / failed. *)

@@ -1,0 +1,22 @@
+type t =
+  | Pipe of { device : string; r : float }
+  | Terminal_short of { device : string; t1 : string; t2 : string }
+  | Bridge of { node1 : string; node2 : string; r : float }
+  | Open_terminal of { device : string; terminal : string }
+  | Resistor_short of { device : string }
+  | Resistor_open of { device : string }
+
+let short_resistance = 1.0
+
+let open_resistance = 100e6
+
+let open_capacitance = 1e-15
+
+let describe = function
+  | Pipe { device; r } -> Printf.sprintf "C-E pipe (%.3g kohm) on %s" (r /. 1e3) device
+  | Terminal_short { device; t1; t2 } -> Printf.sprintf "%s-%s short on %s" t1 t2 device
+  | Bridge { node1; node2; r } ->
+      Printf.sprintf "bridge (%.3g ohm) between %s and %s" r node1 node2
+  | Open_terminal { device; terminal } -> Printf.sprintf "open at %s of %s" terminal device
+  | Resistor_short { device } -> Printf.sprintf "resistor short on %s" device
+  | Resistor_open { device } -> Printf.sprintf "resistor open on %s" device

@@ -1,0 +1,33 @@
+(** Device-level defect models for bipolar CML, following the paper's
+    section 3/5 recipe: shorts and bridges are ~1 ohm resistors, opens
+    split a connection and bridge it with 100 Mohm in parallel with
+    1 fF, and a pipe is a resistor of a few kilo-ohms between a
+    transistor's collector and emitter. *)
+
+type t =
+  | Pipe of { device : string; r : float }
+      (** collector-emitter pipe on a BJT (the paper's marquee defect
+          on the current-source transistor Q3) *)
+  | Terminal_short of { device : string; t1 : string; t2 : string }
+      (** ~1 ohm short between two terminals of one device, e.g. C-E
+          of Q2 (the paper's Figure 2 stuck-at example) *)
+  | Bridge of { node1 : string; node2 : string; r : float }
+      (** resistive short between two named nodes *)
+  | Open_terminal of { device : string; terminal : string }
+      (** severed connection at a device terminal *)
+  | Resistor_short of { device : string }
+      (** resistor body shorted to ~1 ohm *)
+  | Resistor_open of { device : string }
+      (** resistor strip severed: 100 Mohm in parallel with 1 fF *)
+
+val short_resistance : float
+(** 1 ohm. *)
+
+val open_resistance : float
+(** 100 Mohm. *)
+
+val open_capacitance : float
+(** 1 fF. *)
+
+val describe : t -> string
+(** One-line human-readable description. *)

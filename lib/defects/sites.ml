@@ -1,0 +1,33 @@
+module N = Cml_spice.Netlist
+
+let enumerate ?(pipe_values = [ 4e3 ]) net ~prefix =
+  let dot_prefix = prefix ^ "." in
+  let starts_with s = String.length s >= String.length dot_prefix
+    && String.sub s 0 (String.length dot_prefix) = dot_prefix
+  in
+  let acc = ref [] in
+  let add d = acc := d :: !acc in
+  N.iter_devices net (fun d ->
+      let name = N.device_name d in
+      if starts_with name then begin
+        match d with
+        | N.Bjt { emitters; _ } ->
+            List.iter (fun r -> add (Defect.Pipe { device = name; r })) pipe_values;
+            let e_term = if Array.length emitters = 1 then "e" else "e0" in
+            add (Defect.Terminal_short { device = name; t1 = "c"; t2 = e_term });
+            add (Defect.Terminal_short { device = name; t1 = "b"; t2 = e_term });
+            add (Defect.Terminal_short { device = name; t1 = "b"; t2 = "c" });
+            List.iter
+              (fun terminal -> add (Defect.Open_terminal { device = name; terminal }))
+              [ "c"; "b"; e_term ]
+        | N.Resistor _ ->
+            add (Defect.Resistor_short { device = name });
+            add (Defect.Resistor_open { device = name })
+        | N.Capacitor _ | N.Diode _ | N.Vsource _ | N.Isource _ | N.Vcvs _ | N.Vccs _ -> ()
+      end);
+  let op = prefix ^ ".op" and on = prefix ^ ".on" in
+  (match (N.find_node net op, N.find_node net on) with
+  | Some _, Some _ ->
+      add (Defect.Bridge { node1 = op; node2 = on; r = Defect.short_resistance })
+  | None, _ | _, None -> ());
+  List.rev !acc

@@ -1,0 +1,16 @@
+(** Enumeration of candidate defect sites in a circuit, mirroring the
+    defect classes the paper simulates in section 5: transistor
+    pipes, transistor node opens and shorts, bridges between the
+    differential outputs, wire opens, resistor shorts and opens. *)
+
+val enumerate :
+  ?pipe_values:float list ->
+  Cml_spice.Netlist.t ->
+  prefix:string ->
+  Defect.t list
+(** All candidate defects for the devices whose name starts with
+    [prefix ^ "."]: for each BJT a C-E pipe per resistance in
+    [pipe_values] (default [[4e3]]), C-E / B-E / B-C shorts and an
+    open per terminal; for each resistor a short and an open.  If the
+    instance has both [<prefix>.op] and [<prefix>.on] nodes, an
+    output bridge is included. *)

@@ -1,0 +1,26 @@
+(** Parametric process variation: perturb every passive value and
+    transistor model in a netlist with lognormal mismatch, for
+    Monte-Carlo analysis of the DFT scheme — in particular the
+    paper's guarantee that "a fault free gate will never be wrongly
+    declared defective" must survive realistic process spread. *)
+
+type spec = {
+  resistor_sigma : float;  (** relative sigma of every resistance *)
+  capacitor_sigma : float;
+  is_sigma : float;  (** saturation-current spread (dominates VBE mismatch) *)
+  beta_sigma : float;
+}
+
+val default_spec : spec
+(** 2% resistors, 5% capacitors, 5% Is, 10% beta.  The Is spread is
+    the *local mismatch* number: the paper's environment-independent
+    bias generator tracks the global Is/VBE shift of the die, so only
+    device-to-device mismatch reaches the detector margins. *)
+
+val tight_spec : spec
+(** A quarter of the default sigmas. *)
+
+val perturb : ?spec:spec -> seed:int -> Cml_spice.Netlist.t -> Cml_spice.Netlist.t
+(** A perturbed deep copy; deterministic in [seed].  Independent
+    sources and controlled-source gains are left untouched (they
+    model ideal test equipment). *)

@@ -1,0 +1,64 @@
+module N = Cml_spice.Netlist
+module W = Cml_spice.Waveform
+
+type load_kind = Diode_load | Resistor_load of float
+
+type config = { load : load_kind; c_load : float; multi_emitter : bool }
+
+let v1_default = { load = Diode_load; c_load = 10e-12; multi_emitter = false }
+
+let v2_default = { load = Diode_load; c_load = 10e-12; multi_emitter = false }
+
+let vtest_normal (proc : Cml_cells.Process.t) = proc.Cml_cells.Process.vgnd
+
+let vtest_test (proc : Cml_cells.Process.t) = proc.Cml_cells.Process.vgnd +. 0.4
+
+let ensure_vtest (b : Cml_cells.Builder.t) v =
+  let nd = N.node b.Cml_cells.Builder.net "vtest" in
+  if not (N.mem_device b.Cml_cells.Builder.net "vtest") then
+    N.vsource b.Cml_cells.Builder.net ~name:"vtest" ~pos:nd ~neg:N.gnd (W.Dc v);
+  nd
+
+let set_vtest (b : Cml_cells.Builder.t) v =
+  match N.get_device b.Cml_cells.Builder.net "vtest" with
+  | N.Vsource src -> N.set_device b.Cml_cells.Builder.net "vtest" (N.Vsource { src with wave = W.Dc v })
+  | N.Resistor _ | N.Capacitor _ | N.Diode _ | N.Bjt _ | N.Isource _ | N.Vcvs _ | N.Vccs _
+    -> invalid_arg "set_vtest: vtest is not a voltage source"
+
+(* Diode-(or resistor-)capacitor load: the paper's Q5/C7 in variant 1,
+   Q6/C in variant 2.  [diode_name] names the diode-connected
+   transistor. *)
+let attach_load (b : Cml_cells.Builder.t) ~name ~diode_name ~supply ~vout (cfg : config) =
+  (match cfg.load with
+  | Diode_load ->
+      N.bjt b.Cml_cells.Builder.net ~name:diode_name ~model:b.Cml_cells.Builder.proc.Cml_cells.Process.bjt
+        ~c:supply ~b:supply ~e:vout ()
+  | Resistor_load r -> N.resistor b.Cml_cells.Builder.net ~name:(name ^ ".rload") supply vout r);
+  if cfg.c_load > 0.0 then N.capacitor b.Cml_cells.Builder.net ~name:(name ^ ".c7") vout N.gnd cfg.c_load
+
+let attach_v1 (b : Cml_cells.Builder.t) ~name ~outputs cfg =
+  let vout = N.node b.Cml_cells.Builder.net (name ^ ".vout") in
+  (* sensing transistor across the differential pair: conducts when
+     the complement output drops a junction drop below the true one *)
+  N.bjt b.Cml_cells.Builder.net ~name:(name ^ ".q4") ~model:b.Cml_cells.Builder.proc.Cml_cells.Process.bjt
+    ~c:vout ~b:outputs.Cml_cells.Builder.p ~e:outputs.Cml_cells.Builder.n ();
+  attach_load b ~name ~diode_name:(name ^ ".q5") ~supply:b.Cml_cells.Builder.vgnd ~vout cfg;
+  vout
+
+let attach_sensors (b : Cml_cells.Builder.t) ~name ~outputs ~vtest ~vout ~multi_emitter =
+  let model = b.Cml_cells.Builder.proc.Cml_cells.Process.bjt in
+  if multi_emitter then
+    N.bjt_multi b.Cml_cells.Builder.net ~name:(name ^ ".q45") ~model ~c:vout ~b:vtest
+      ~emitters:[| outputs.Cml_cells.Builder.p; outputs.Cml_cells.Builder.n |] ()
+  else begin
+    N.bjt b.Cml_cells.Builder.net ~name:(name ^ ".q4") ~model ~c:vout ~b:vtest ~e:outputs.Cml_cells.Builder.p ();
+    N.bjt b.Cml_cells.Builder.net ~name:(name ^ ".q5") ~model ~c:vout ~b:vtest ~e:outputs.Cml_cells.Builder.n ()
+  end
+
+let attach_v2 (b : Cml_cells.Builder.t) ~name ~outputs ~vtest cfg =
+  let vout = N.node b.Cml_cells.Builder.net (name ^ ".vout") in
+  attach_sensors b ~name ~outputs ~vtest ~vout ~multi_emitter:cfg.multi_emitter;
+  (* the variant-2 load still hangs from the normal rail (Figure 9);
+     only variant 3 pulls it up to vtest *)
+  attach_load b ~name ~diode_name:(name ^ ".q6") ~supply:b.Cml_cells.Builder.vgnd ~vout cfg;
+  vout

@@ -1,0 +1,71 @@
+(** The paper's built-in amplitude detectors (sections 6.1–6.2).
+
+    Variant 1 (Figure 6): a single sensing transistor whose
+    base-emitter junction spans the two gate outputs, with a
+    diode-(or resistor-)capacitor load to the rail; it conducts when
+    one output drops more than a junction turn-on below the other
+    (the paper's 0.57 V figure).
+
+    Variant 2 (Figure 9): two sensing transistors (or one
+    dual-emitter transistor, section 6.5) with their bases on a
+    dedicated [vtest] rail, raised above the supply in test mode so
+    smaller excursions (0.35 V) forward-bias the detector. *)
+
+type load_kind =
+  | Diode_load  (** diode-connected transistor: non-linear, fast recovery *)
+  | Resistor_load of float  (** the paper's 160 kohm alternative *)
+
+type config = {
+  load : load_kind;
+  c_load : float;  (** load capacitance (the paper studies 1 pF and 10 pF) *)
+  multi_emitter : bool;  (** variant-2 only: one dual-emitter transistor *)
+}
+
+val v1_default : config
+(** Diode load, 10 pF, no multi-emitter. *)
+
+val v2_default : config
+
+val vtest_normal : Cml_cells.Process.t -> float
+(** [vtest] voltage in normal mode: the supply rail (detector off). *)
+
+val vtest_test : Cml_cells.Process.t -> float
+(** [vtest] in test mode: rail + 0.4 V (the paper's 3.7 V for a
+    3.3 V rail and 900 mV VBE). *)
+
+val ensure_vtest : Cml_cells.Builder.t -> float -> Cml_spice.Netlist.node
+(** The [vtest] rail node, creating its source (device ["vtest"]) on
+    first use. *)
+
+val set_vtest : Cml_cells.Builder.t -> float -> unit
+(** Re-program the [vtest] source (switch between normal and test
+    mode). *)
+
+val attach_v1 :
+  Cml_cells.Builder.t -> name:string -> outputs:Cml_cells.Builder.diff -> config -> Cml_spice.Netlist.node
+(** Attach a variant-1 detector to a gate's output pair; returns the
+    detector output node [<name>.vout].  Devices: [<name>.q4]
+    (sensor), [<name>.q5] or [<name>.rload] (load), [<name>.c7]. *)
+
+val attach_v2 :
+  Cml_cells.Builder.t ->
+  name:string ->
+  outputs:Cml_cells.Builder.diff ->
+  vtest:Cml_spice.Netlist.node ->
+  config ->
+  Cml_spice.Netlist.node
+(** Attach a variant-2 detector (private load).  Devices: [<name>.q4]/
+    [<name>.q5] (or one dual-emitter [<name>.q45]), [<name>.q6] or
+    [<name>.rload], [<name>.c7]. *)
+
+val attach_sensors :
+  Cml_cells.Builder.t ->
+  name:string ->
+  outputs:Cml_cells.Builder.diff ->
+  vtest:Cml_spice.Netlist.node ->
+  vout:Cml_spice.Netlist.node ->
+  multi_emitter:bool ->
+  unit
+(** Only the sensing transistor(s), collector wired to an externally
+    provided [vout] — the building block for load sharing
+    (section 6.4 / Figure 13). *)

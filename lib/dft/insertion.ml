@@ -1,0 +1,82 @@
+module N = Cml_spice.Netlist
+module E = Cml_spice.Engine
+
+type group = {
+  index : int;
+  readout : Readout.t;
+  members : (string * Cml_cells.Builder.diff) list;
+}
+
+type plan = {
+  groups : group list;
+  vtest_node : N.node;
+  decision : float;
+}
+
+let chunk ~size xs =
+  let rec go acc current n = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | x :: rest ->
+        if n = size then go (List.rev current :: acc) [ x ] 1 rest
+        else go acc (x :: current) (n + 1) rest
+  in
+  go [] [] 0 xs
+
+let instrument ?(max_share = 45) ?(multi_emitter = true) ?(config = Readout.default_config)
+    ?vtest builder =
+  let proc = builder.Cml_cells.Builder.proc in
+  let vtest_value = match vtest with Some v -> v | None -> Detector.vtest_test proc in
+  let vtest_node = Detector.ensure_vtest builder vtest_value in
+  let lo, hi = Readout.thresholds config ~vtest:vtest_value in
+  let groups =
+    List.mapi
+      (fun index members ->
+        let readout =
+          Readout.attach builder ~name:(Printf.sprintf "ro%d" index) ~vtest:vtest_node ~config
+            ()
+        in
+        List.iteri
+          (fun k (name, outputs) ->
+            ignore name;
+            Detector.attach_sensors builder
+              ~name:(Printf.sprintf "ro%d.det%d" index k)
+              ~outputs ~vtest:vtest_node ~vout:readout.Readout.vout ~multi_emitter)
+          members;
+        { index; readout; members })
+      (chunk ~size:max_share (Cml_cells.Builder.cells builder))
+  in
+  { groups; vtest_node; decision = (lo +. hi) /. 2.0 }
+
+let device_overhead plan net =
+  let added =
+    List.fold_left
+      (fun acc g ->
+        (* read-out: devices named ro<i>.* *)
+        let prefix = Printf.sprintf "ro%d." g.index in
+        let count = ref 0 in
+        N.iter_devices net (fun d ->
+            let name = N.device_name d in
+            if String.length name >= String.length prefix
+               && String.sub name 0 (String.length prefix) = prefix
+            then incr count);
+        acc + !count)
+      0 plan.groups
+  in
+  let total = N.device_count net in
+  float_of_int added /. float_of_int (max 1 (total - added))
+
+type screen_result = { group : group; vfb : float; failed : bool }
+
+let screen plan net =
+  let sim = E.compile net in
+  let x = E.dc_operating_point sim in
+  List.map
+    (fun group ->
+      let vfb = E.voltage x group.readout.Readout.vfb in
+      { group; vfb; failed = vfb > plan.decision })
+    plan.groups
+
+let localize plan net =
+  List.concat_map
+    (fun r -> if r.failed then List.map fst r.group.members else [])
+    (screen plan net)

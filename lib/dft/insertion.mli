@@ -1,0 +1,51 @@
+(** Automatic DFT insertion: instrument every cell of a circuit with
+    variant-2 sensors, grouped onto shared variant-3 read-outs of at
+    most the safe sharing size (paper section 6.4), and screen the
+    result in test mode.  This is the paper's scheme packaged the way
+    a user would deploy it. *)
+
+type group = {
+  index : int;
+  readout : Readout.t;
+  members : (string * Cml_cells.Builder.diff) list;  (** instance name, output pair *)
+}
+
+type plan = {
+  groups : group list;
+  vtest_node : Cml_spice.Netlist.node;
+  decision : float;  (** vfb above this value means the group latched faulty *)
+}
+
+val instrument :
+  ?max_share:int ->
+  ?multi_emitter:bool ->
+  ?config:Readout.config ->
+  ?vtest:float ->
+  Cml_cells.Builder.t ->
+  plan
+(** Attach sensors to every cell registered in the builder (see
+    {!Cml_cells.Builder.cells}), creating one read-out (instances
+    [ro0], [ro1], ...) per group of at most [max_share] (default 45)
+    cells.  [vtest] defaults to the test-mode level.  Instrument once,
+    after the functional circuit is complete. *)
+
+val device_overhead : plan -> Cml_spice.Netlist.t -> float
+(** Added devices as a fraction of the functional circuit's devices
+    (supply/bias/stimulus sources excluded from neither side — a
+    simple gross ratio). *)
+
+type screen_result = {
+  group : group;
+  vfb : float;
+  failed : bool;
+}
+
+val screen : plan -> Cml_spice.Netlist.t -> screen_result list
+(** DC test-mode screen of a (possibly faulty) copy of the
+    instrumented netlist: solve the operating point and read each
+    group's comparator.
+    @raise Engine.No_convergence if the solve fails. *)
+
+val localize : plan -> Cml_spice.Netlist.t -> string list
+(** Instance names of all members of failing groups — the suspect
+    list a diagnosis flow would start from. *)

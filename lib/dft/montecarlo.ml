@@ -1,0 +1,59 @@
+module E = Cml_spice.Engine
+
+type result = {
+  samples : int;
+  false_alarms : int;
+  missed : int;
+  good_vout_min : float;
+  good_vout_max : float;
+  bad_vout_max : float;
+  separation : float;
+  good_vouts : float array;
+  bad_vouts : float array;
+}
+
+let run ?(proc = Cml_cells.Process.default) ?(spec = Cml_defects.Variation.default_spec)
+    ?(n = 10) ?defect ?(multi_emitter = true) ~samples ~seed () =
+  let defect =
+    match defect with
+    | Some d -> d
+    | None ->
+        Cml_defects.Defect.Pipe
+          { device = Printf.sprintf "x%d.q3" (((n - 1) / 2) + 1); r = 4e3 }
+  in
+  let built = Sharing.build ~proc ~multi_emitter ~n () in
+  let golden = built.Sharing.builder.Cml_cells.Builder.net in
+  let faulty = Cml_defects.Inject.apply golden defect in
+  let vtest_value = Detector.vtest_test proc in
+  let lo, hi = Readout.thresholds Readout.default_config ~vtest:vtest_value in
+  let decision = (lo +. hi) /. 2.0 in
+  let measure net k =
+    let perturbed = Cml_defects.Variation.perturb ~spec ~seed:(seed + k) net in
+    let sim = E.compile perturbed in
+    let x = E.dc_operating_point sim in
+    let vfb = E.voltage x built.Sharing.readout.Readout.vfb in
+    let vout = E.voltage x built.Sharing.readout.Readout.vout in
+    (vfb > decision, vout)
+  in
+  let false_alarms = ref 0 and missed = ref 0 in
+  let good_vouts = Array.make samples 0.0 and bad_vouts = Array.make samples 0.0 in
+  for k = 0 to samples - 1 do
+    let flagged_good, vout_good = measure golden k in
+    if flagged_good then incr false_alarms;
+    good_vouts.(k) <- vout_good;
+    let flagged_bad, vout_bad = measure faulty k in
+    if not flagged_bad then incr missed;
+    bad_vouts.(k) <- vout_bad
+  done;
+  let gmin = Cml_numerics.Stats.minimum good_vouts in
+  {
+    samples;
+    false_alarms = !false_alarms;
+    missed = !missed;
+    good_vout_min = gmin;
+    good_vout_max = Cml_numerics.Stats.maximum good_vouts;
+    bad_vout_max = Cml_numerics.Stats.maximum bad_vouts;
+    separation = gmin -. Cml_numerics.Stats.maximum bad_vouts;
+    good_vouts;
+    bad_vouts;
+  }

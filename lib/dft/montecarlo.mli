@@ -1,0 +1,33 @@
+(** Monte-Carlo verification of the DFT scheme under process spread:
+    the paper guarantees that a fault-free gate "will never be wrongly
+    declared defective"; this harness checks both that (no false
+    alarms on fault-free blocks) and the detection of a defective
+    block across perturbed process samples. *)
+
+type result = {
+  samples : int;
+  false_alarms : int;  (** fault-free blocks whose comparator latched faulty *)
+  missed : int;  (** faulty blocks not flagged *)
+  good_vout_min : float;  (** worst-case fault-free vout across samples *)
+  good_vout_max : float;
+  bad_vout_max : float;  (** best-case (i.e. least collapsed) faulty vout *)
+  separation : float;  (** good_vout_min - bad_vout_max: the decision margin *)
+  good_vouts : float array;  (** every fault-free sample, for statistics *)
+  bad_vouts : float array;
+}
+
+val run :
+  ?proc:Cml_cells.Process.t ->
+  ?spec:Cml_defects.Variation.spec ->
+  ?n:int ->
+  ?defect:Cml_defects.Defect.t ->
+  ?multi_emitter:bool ->
+  samples:int ->
+  seed:int ->
+  unit ->
+  result
+(** Simulate [samples] perturbed copies of an [n]-gate (default 10)
+    shared-read-out block, fault-free and with [defect] (default a
+    4 kohm pipe on the middle gate's Q3), at the DC operating point in
+    test mode.  A sample is flagged when its comparator feedback node
+    latches to the fault state. *)

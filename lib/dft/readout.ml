@@ -1,0 +1,61 @@
+module N = Cml_spice.Netlist
+
+type t = {
+  vout : N.node;
+  vfb : N.node;
+  flag : N.node;
+  vtest : N.node;
+}
+
+type config = { r0 : float; c0 : float; fb_high_drop : float; fb_width : float }
+
+let default_config = { r0 = 40e3; c0 = 10e-12; fb_high_drop = 0.169; fb_width = 0.25 }
+
+let thresholds cfg ~vtest =
+  let upper = vtest -. cfg.fb_high_drop in
+  (upper -. cfg.fb_width, upper)
+
+(* Feedback-side load: a divider from vtest to ground whose Thevenin
+   voltage is the upper threshold and whose Thevenin resistance times
+   the comparator tail current is the hysteresis width. *)
+let feedback_divider (b : Cml_cells.Builder.t) cfg ~vtest_value =
+  let i_tail = b.Cml_cells.Builder.proc.Cml_cells.Process.i_tail in
+  let v_high = vtest_value -. cfg.fb_high_drop in
+  let r_th = cfg.fb_width /. i_tail in
+  let r1 = r_th *. vtest_value /. v_high in
+  let r2 = r1 *. v_high /. (vtest_value -. v_high) in
+  (r1, r2)
+
+let attach (b : Cml_cells.Builder.t) ~name ~vtest ?(config = default_config) () =
+  let net = b.Cml_cells.Builder.net in
+  let proc = b.Cml_cells.Builder.proc in
+  let model = proc.Cml_cells.Process.bjt in
+  let vout = N.node net (name ^ ".vout") in
+  let vfb = N.node net (name ^ ".vfb") in
+  let von = N.node net (name ^ ".von") in
+  let ce = N.node net (name ^ ".ce") in
+  (* shared load circuit: diode Q0 with R0 in parallel, C0 to ground *)
+  N.bjt net ~name:(name ^ ".q0") ~model ~c:vtest ~b:vtest ~e:vout ();
+  N.resistor net ~name:(name ^ ".r0") vtest vout config.r0;
+  N.capacitor net ~name:(name ^ ".c0") vout N.gnd config.c0;
+  (* comparator: vout against its own complementary output vfb *)
+  let vtest_value =
+    (* design-time value of the vtest rail, read from its source *)
+    match N.get_device net "vtest" with
+    | N.Vsource { wave = Cml_spice.Waveform.Dc v; _ } -> v
+    | N.Vsource _ -> proc.Cml_cells.Process.vgnd +. 0.4
+    | N.Resistor _ | N.Capacitor _ | N.Diode _ | N.Bjt _ | N.Isource _ | N.Vcvs _
+    | N.Vccs _ -> proc.Cml_cells.Process.vgnd +. 0.4
+  in
+  let r1, r2 = feedback_divider b config ~vtest_value in
+  (* Qa senses vout and drives the feedback node low when the circuit
+     is fault-free; Qb takes over when vout sinks below vfb *)
+  N.bjt net ~name:(name ^ ".qa") ~model ~c:vfb ~b:vout ~e:ce ();
+  N.bjt net ~name:(name ^ ".qb") ~model ~c:von ~b:vfb ~e:ce ();
+  N.resistor net ~name:(name ^ ".r1") vtest vfb r1;
+  N.resistor net ~name:(name ^ ".r2") vfb N.gnd r2;
+  N.resistor net ~name:(name ^ ".rc") vtest von proc.Cml_cells.Process.r_load;
+  Cml_cells.Builder.tail_source b ~name:(name ^ ".q3") ce;
+  (* level shifter back toward CML levels *)
+  let flag = Cml_cells.Builder.emitter_follower b ~name:(name ^ ".ls") ~input:von in
+  { vout; vfb; flag; vtest }

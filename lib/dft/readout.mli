@@ -1,0 +1,49 @@
+(** Variant 3 (section 6.3, Figure 11): the shared load circuit and
+    the comparator that converts the detector output voltage into a
+    logic value.
+
+    The load hangs from [vtest] so it can supply the comparator's
+    input bias current; a resistor R0 in parallel with the
+    diode-connected load keeps the fault-free drop small.  The
+    comparator is a CML pair supplied from [vtest] whose complement
+    output [vfb] is fed back as its own reference input — the
+    positive feedback yields the hysteresis of Figure 12 — followed
+    by a level shifter back to CML levels. *)
+
+type t = {
+  vout : Cml_spice.Netlist.node;  (** shared detector output / comparator input *)
+  vfb : Cml_spice.Netlist.node;  (** feedback node = comparator reference *)
+  flag : Cml_spice.Netlist.node;
+      (** level-shifted pass/fail output: high = fault-free, low =
+          fault detected *)
+  vtest : Cml_spice.Netlist.node;
+}
+
+type config = {
+  r0 : float;  (** parallel load resistor (paper: 40 kohm) *)
+  c0 : float;  (** stabilising capacitor on vout *)
+  fb_high_drop : float;
+      (** how far below [vtest] the upper feedback level sits; sets
+          the centre of the hysteresis window *)
+  fb_width : float;  (** hysteresis width (upper minus lower threshold) *)
+}
+
+val default_config : config
+(** [r0 = 40 kohm], [c0 = 10 pF], [fb_high_drop = 0.169 V],
+    [fb_width = 0.25 V].  The feedback swing keeps the comparator's
+    regenerative loop gain well above one: the *measured* hysteresis
+    (the Figure-12 sweep) is then about 85 mV wide, with the
+    up-switch threshold placed just below the fault-free [vout] of a
+    45-gate sharing group — which is exactly the paper's
+    safe-sharing criterion.  Use {!Experiment.hysteresis} for the
+    measured thresholds; {!thresholds} only reports the designed
+    feedback levels, which bracket the measured window. *)
+
+val attach : Cml_cells.Builder.t -> name:string -> vtest:Cml_spice.Netlist.node -> ?config:config ->
+  unit -> t
+(** Build the load + comparator + level shifter; detectors then wire
+    their sensor collectors to [vout] via {!Detector.attach_sensors}. *)
+
+val thresholds : config -> vtest:float -> float * float
+(** Designed [(lower, upper)] hysteresis thresholds (the feedback
+    levels); the measured ones come out of the Fig. 12 sweep. *)

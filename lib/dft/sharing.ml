@@ -1,0 +1,55 @@
+module N = Cml_spice.Netlist
+module E = Cml_spice.Engine
+
+type built = {
+  builder : Cml_cells.Builder.t;
+  chain : Cml_cells.Chain.t;
+  readout : Readout.t;
+}
+
+let build ?(proc = Cml_cells.Process.default) ?(multi_emitter = false) ?readout_config
+    ?vtest ~n () =
+  let chain = Cml_cells.Chain.build_dc ~proc ~stages:n ~value:true () in
+  let builder = chain.Cml_cells.Chain.builder in
+  let vtest_value = match vtest with Some v -> v | None -> Detector.vtest_test proc in
+  let vtest_node = Detector.ensure_vtest builder vtest_value in
+  let readout =
+    Readout.attach builder ~name:"ro" ~vtest:vtest_node ?config:readout_config ()
+  in
+  Array.iteri
+    (fun i outputs ->
+      Detector.attach_sensors builder
+        ~name:(Printf.sprintf "det%d" (i + 1))
+        ~outputs ~vtest:vtest_node ~vout:readout.Readout.vout ~multi_emitter)
+    chain.Cml_cells.Chain.stages;
+  { builder; chain; readout }
+
+let build_faulty ?proc ?multi_emitter ?readout_config ?vtest ~n ~defect () =
+  let b = build ?proc ?multi_emitter ?readout_config ?vtest ~n () in
+  let faulty = Cml_defects.Inject.apply b.builder.Cml_cells.Builder.net defect in
+  (b, faulty)
+
+type point = { n : int; vout : float; vfb : float; flag : float }
+
+let measure_dc built ?net () =
+  let net = match net with Some net -> net | None -> built.builder.Cml_cells.Builder.net in
+  let sim = E.compile net in
+  let x = E.dc_operating_point sim in
+  {
+    n = Array.length built.chain.Cml_cells.Chain.stages;
+    vout = E.voltage x built.readout.Readout.vout;
+    vfb = E.voltage x built.readout.Readout.vfb;
+    flag = E.voltage x built.readout.Readout.flag;
+  }
+
+let sweep_n ?proc ?multi_emitter ?readout_config ?vtest ~ns () =
+  let one n =
+    let b = build ?proc ?multi_emitter ?readout_config ?vtest ~n () in
+    measure_dc b ()
+  in
+  List.map one ns
+
+let max_safe_sharing points ~upper_threshold =
+  List.fold_left
+    (fun best p -> if p.vout > upper_threshold && p.n > best then p.n else best)
+    0 points

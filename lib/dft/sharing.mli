@@ -1,0 +1,54 @@
+(** Load sharing (section 6.4, Figure 13): N monitored gates whose
+    detector sensors all drive one shared load circuit + comparator.
+    Reproduces Figure 14 (fault-free vout/vfb versus N, the linear
+    droop from accumulated sensor leakage, and the maximum safe N)
+    and the faulty-case detection check. *)
+
+type built = {
+  builder : Cml_cells.Builder.t;
+  chain : Cml_cells.Chain.t;
+  readout : Readout.t;
+}
+
+val build :
+  ?proc:Cml_cells.Process.t ->
+  ?multi_emitter:bool ->
+  ?readout_config:Readout.config ->
+  ?vtest:float ->
+  n:int ->
+  unit ->
+  built
+(** A chain of [n] buffers with a static input, every stage monitored
+    by variant-2 sensors that share one read-out.  [vtest] defaults
+    to the test-mode value. *)
+
+val build_faulty :
+  ?proc:Cml_cells.Process.t ->
+  ?multi_emitter:bool ->
+  ?readout_config:Readout.config ->
+  ?vtest:float ->
+  n:int ->
+  defect:Cml_defects.Defect.t ->
+  unit ->
+  built * Cml_spice.Netlist.t
+(** Same circuit with a defect injected (the returned netlist is the
+    faulty copy; the builder still describes the golden one). *)
+
+type point = { n : int; vout : float; vfb : float; flag : float }
+
+val measure_dc : built -> ?net:Cml_spice.Netlist.t -> unit -> point
+(** DC operating point of the shared read-out. *)
+
+val sweep_n :
+  ?proc:Cml_cells.Process.t ->
+  ?multi_emitter:bool ->
+  ?readout_config:Readout.config ->
+  ?vtest:float ->
+  ns:int list ->
+  unit ->
+  point list
+(** Fault-free Figure 14 sweep. *)
+
+val max_safe_sharing : point list -> upper_threshold:float -> int
+(** Largest N whose fault-free [vout] stays above the upper
+    hysteresis threshold (the paper's criterion giving N = 45). *)

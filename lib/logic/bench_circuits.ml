@@ -1,0 +1,160 @@
+module C = Circuit
+
+let counter ~bits =
+  let b = C.create () in
+  let enable = C.input b "en" in
+  let ffs = Array.init bits (fun _ -> C.dff b) in
+  (* carry chain: bit k toggles when enable and all lower bits are 1 *)
+  let carry = ref enable in
+  Array.iteri
+    (fun k ff ->
+      let t = C.xor2 b ff !carry in
+      C.connect_dff b ~ff ~d:t;
+      C.output b (Printf.sprintf "q%d" k) ff;
+      carry := C.and2 b !carry ff)
+    ffs;
+  C.finalize b
+
+let shift_register ~bits =
+  let b = C.create () in
+  let din = C.input b "din" in
+  let ffs = Array.init bits (fun _ -> C.dff b) in
+  Array.iteri
+    (fun k ff ->
+      let d = if k = 0 then din else ffs.(k - 1) in
+      C.connect_dff b ~ff ~d;
+      C.output b (Printf.sprintf "q%d" k) ff)
+    ffs;
+  C.finalize b
+
+let lfsr_circuit () =
+  let b = C.create () in
+  let load = C.input b "load" in
+  let seed = C.input b "seed" in
+  let ffs = Array.init 4 (fun _ -> C.dff b) in
+  (* x^4 + x^3 + 1 taps: feedback = q3 xor q2 *)
+  let fb = C.xor2 b ffs.(3) ffs.(2) in
+  Array.iteri
+    (fun k ff ->
+      let shifted = if k = 0 then fb else ffs.(k - 1) in
+      let d = C.mux b ~sel:load ~a:(if k = 0 then seed else ffs.(k - 1)) ~b:shifted in
+      C.connect_dff b ~ff ~d;
+      C.output b (Printf.sprintf "q%d" k) ff)
+    ffs;
+  C.finalize b
+
+let traffic_fsm () =
+  (* states 00 -> 01 -> 10 -> 00 ... with a "sync" input that forces
+     the state to 00 — the synchronizing event that makes random
+     patterns converge the FSM from any power-up state (the premise
+     of reference [13]); the illegal 11 state also falls back to 00 *)
+  let b = C.create () in
+  let sync = C.input b "sync" in
+  let s0 = C.dff b and s1 = C.dff b in
+  let n_s1 = C.and2 b s0 (C.not1 b s1) in
+  let n_s0 = C.nor2 b s0 s1 in
+  let d0 = C.and2 b (C.not1 b sync) n_s0 in
+  let d1 = C.and2 b (C.not1 b sync) n_s1 in
+  C.connect_dff b ~ff:s0 ~d:d0;
+  C.connect_dff b ~ff:s1 ~d:d1;
+  C.output b "green" (C.nor2 b s0 s1);
+  C.output b "yellow" (C.and2 b s0 (C.not1 b s1));
+  C.output b "red" (C.and2 b s1 (C.not1 b s0));
+  C.finalize b
+
+let decoded_counter ~bits =
+  let b = C.create () in
+  let s0 = C.input b "s0" in
+  let s1 = C.input b "s1" in
+  let s2 = C.input b "s2" in
+  let enable = C.and2 b (C.and2 b s0 s1) s2 in
+  let ffs = Array.init bits (fun _ -> C.dff b) in
+  let carry = ref enable in
+  Array.iteri
+    (fun k ff ->
+      let t = C.xor2 b ff !carry in
+      C.connect_dff b ~ff ~d:t;
+      C.output b (Printf.sprintf "q%d" k) ff;
+      carry := C.and2 b !carry ff)
+    ffs;
+  C.finalize b
+
+let multiplier ~bits =
+  let b = C.create () in
+  let a = Array.init bits (fun k -> C.input b (Printf.sprintf "a%d" k)) in
+  let bv = Array.init bits (fun k -> C.input b (Printf.sprintf "b%d" k)) in
+  (* full adder on nets: (sum, carry) *)
+  let full_adder x y cin =
+    let axy = C.xor2 b x y in
+    let sum = C.xor2 b axy cin in
+    let carry = C.or2 b (C.and2 b x y) (C.and2 b axy cin) in
+    (sum, carry)
+  in
+  (* schoolbook accumulation of partial products, column by column *)
+  let columns = Array.make (2 * bits) [] in
+  for i = 0 to bits - 1 do
+    for j = 0 to bits - 1 do
+      columns.(i + j) <- C.and2 b a.(i) bv.(j) :: columns.(i + j)
+    done
+  done;
+  for col = 0 to (2 * bits) - 1 do
+    (* reduce each column with full adders, pushing carries right *)
+    let rec reduce nets =
+      match nets with
+      | [] | [ _ ] -> nets
+      | [ x; y ] ->
+          let zero = C.and2 b x (C.not1 b x) in
+          let sum, carry = full_adder x y zero in
+          if col + 1 < 2 * bits then columns.(col + 1) <- carry :: columns.(col + 1);
+          [ sum ]
+      | x :: y :: z :: rest ->
+          let sum, carry = full_adder x y z in
+          if col + 1 < 2 * bits then columns.(col + 1) <- carry :: columns.(col + 1);
+          reduce (sum :: rest)
+    in
+    let rec fixpoint nets =
+      match reduce nets with [] | [ _ ] as r -> r | r -> fixpoint r
+    in
+    columns.(col) <- fixpoint columns.(col)
+  done;
+  Array.iteri
+    (fun col nets ->
+      match nets with
+      | [ net ] -> C.output b (Printf.sprintf "p%d" col) net
+      | [] ->
+          (* constant-zero high column (can happen for col = 2b-1) *)
+          let zero = C.and2 b a.(0) (C.not1 b a.(0)) in
+          C.output b (Printf.sprintf "p%d" col) zero
+      | _ -> assert false)
+    columns;
+  C.finalize b
+
+let parity_pipeline ~stages =
+  (* stage 0 captures the input directly; each later stage folds the
+     fresh input bit into the running parity *)
+  let b = C.create () in
+  let din = C.input b "din" in
+  let rec build k prev =
+    if k = stages then prev
+    else begin
+      let ff = C.dff b in
+      let d = if k = 0 then din else C.xor2 b prev din in
+      C.connect_dff b ~ff ~d;
+      C.output b (Printf.sprintf "p%d" k) ff;
+      build (k + 1) ff
+    end
+  in
+  let last = build 0 din in
+  C.output b "parity" last;
+  C.finalize b
+
+let all () =
+  [
+    ("counter4", counter ~bits:4);
+    ("shift8", shift_register ~bits:8);
+    ("lfsr4", lfsr_circuit ());
+    ("traffic", traffic_fsm ());
+    ("decoded3", decoded_counter ~bits:3);
+    ("mult3", multiplier ~bits:3);
+    ("parity5", parity_pipeline ~stages:5);
+  ]

@@ -1,0 +1,184 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+type statement =
+  | St_input of string
+  | St_output of string
+  | St_gate of { name : string; op : string; args : string list }
+
+(* "NAME = OP(a, b, ...)" | "INPUT(x)" | "OUTPUT(y)" *)
+let parse_line line s =
+  let s = match String.index_opt s '#' with Some i -> String.sub s 0 i | None -> s in
+  let s = String.trim s in
+  if s = "" then None
+  else begin
+    let call text =
+      match String.index_opt text '(' with
+      | None -> fail line "expected OP(...) in %S" text
+      | Some i ->
+          if String.length text = 0 || text.[String.length text - 1] <> ')' then
+            fail line "missing ')' in %S" text;
+          let op = String.trim (String.sub text 0 i) in
+          let inside = String.sub text (i + 1) (String.length text - i - 2) in
+          let args =
+            List.filter
+              (fun a -> a <> "")
+              (List.map String.trim (String.split_on_char ',' inside))
+          in
+          (String.uppercase_ascii op, args)
+    in
+    match String.index_opt s '=' with
+    | Some i ->
+        let name = String.trim (String.sub s 0 i) in
+        let op, args = call (String.trim (String.sub s (i + 1) (String.length s - i - 1))) in
+        if name = "" then fail line "missing signal name";
+        Some (St_gate { name; op; args })
+    | None -> (
+        match call s with
+        | "INPUT", [ name ] -> Some (St_input name)
+        | "OUTPUT", [ name ] -> Some (St_output name)
+        | op, _ -> fail line "expected INPUT/OUTPUT/assignment, got %S" op)
+  end
+
+let of_string text =
+  let statements =
+    List.concat
+      (List.mapi
+         (fun i s -> match parse_line (i + 1) s with Some st -> [ (i + 1, st) ] | None -> [])
+         (String.split_on_char '\n' text))
+  in
+  let b = Circuit.create () in
+  let ids = Hashtbl.create 64 in
+  let defs = Hashtbl.create 64 in
+  List.iter
+    (fun (line, st) ->
+      match st with
+      | St_input name ->
+          if Hashtbl.mem ids name then fail line "duplicate signal %S" name;
+          Hashtbl.replace ids name (Circuit.input b name)
+      | St_gate { name; op; args } ->
+          if Hashtbl.mem defs name then fail line "duplicate definition of %S" name;
+          Hashtbl.replace defs name (line, op, args)
+      | St_output _ -> ())
+    statements;
+  (* flip-flops first, as placeholders, so feedback resolves *)
+  Hashtbl.iter
+    (fun name (_, op, _) ->
+      if op = "DFF" && not (Hashtbl.mem ids name) then Hashtbl.replace ids name (Circuit.dff b))
+    defs;
+  let visiting = Hashtbl.create 16 in
+  let rec resolve line name =
+    match Hashtbl.find_opt ids name with
+    | Some id -> id
+    | None -> (
+        match Hashtbl.find_opt defs name with
+        | None -> fail line "undefined signal %S" name
+        | Some (def_line, op, args) ->
+            if Hashtbl.mem visiting name then fail def_line "combinational cycle through %S" name;
+            Hashtbl.replace visiting name ();
+            let id = emit def_line op args in
+            Hashtbl.remove visiting name;
+            Hashtbl.replace ids name id;
+            id)
+  and emit line op args =
+    let arg_ids () = List.map (resolve line) args in
+    let reduce2 f = function
+      | [] -> fail line "%s needs arguments" op
+      | [ _ ] -> fail line "%s needs at least 2 arguments" op
+      | x :: rest -> List.fold_left f x rest
+    in
+    match (op, args) with
+    | "AND", _ -> reduce2 (Circuit.and2 b) (arg_ids ())
+    | "NAND", _ -> Circuit.not1 b (reduce2 (Circuit.and2 b) (arg_ids ()))
+    | "OR", _ -> reduce2 (Circuit.or2 b) (arg_ids ())
+    | "NOR", _ -> Circuit.not1 b (reduce2 (Circuit.or2 b) (arg_ids ()))
+    | "XOR", _ -> reduce2 (Circuit.xor2 b) (arg_ids ())
+    | "XNOR", _ -> Circuit.not1 b (reduce2 (Circuit.xor2 b) (arg_ids ()))
+    | ("NOT" | "INV"), [ a ] -> Circuit.not1 b (resolve line a)
+    | ("BUF" | "BUFF"), [ a ] -> Circuit.buf b (resolve line a)
+    | "MUX", [ sel; x; y ] ->
+        Circuit.mux b ~sel:(resolve line sel) ~a:(resolve line x) ~b:(resolve line y)
+    | "DFF", [ _ ] -> fail line "internal: DFF resolved out of order"
+    | ("NOT" | "INV" | "BUF" | "BUFF" | "MUX" | "DFF"), _ ->
+        fail line "wrong arity for %s" op
+    | other, _ -> fail line "unknown gate type %S" other
+  in
+  (* force every definition to be built *)
+  Hashtbl.iter (fun name (line, _, _) -> ignore (resolve line name)) defs;
+  (* connect the flip-flops *)
+  Hashtbl.iter
+    (fun name (line, op, args) ->
+      if op = "DFF" then begin
+        match args with
+        | [ d ] -> Circuit.connect_dff b ~ff:(Hashtbl.find ids name) ~d:(resolve line d)
+        | _ -> fail line "DFF takes exactly one input"
+      end)
+    defs;
+  List.iter
+    (fun (line, st) ->
+      match st with
+      | St_output name -> Circuit.output b name (resolve line name)
+      | St_input _ | St_gate _ -> ())
+    statements;
+  Circuit.finalize b
+
+let read_file ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let to_string (c : Circuit.t) =
+  let buf = Buffer.create 1024 in
+  let name i =
+    match c.Circuit.gates.(i) with
+    | Circuit.Input n -> n
+    | Circuit.And _ | Circuit.Or _ | Circuit.Xor _ | Circuit.Not _ | Circuit.Buf _
+    | Circuit.Mux _ | Circuit.Dff _ -> Printf.sprintf "n%d" i
+  in
+  List.iter (fun (n, _) -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" n)) c.Circuit.inputs;
+  List.iter
+    (fun (n, id) -> Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" (if n = name id then n else name id)))
+    c.Circuit.outputs;
+  Array.iteri
+    (fun i g ->
+      let line =
+        match g with
+        | Circuit.Input _ -> None
+        | Circuit.And (a, b) -> Some (Printf.sprintf "%s = AND(%s, %s)" (name i) (name a) (name b))
+        | Circuit.Or (a, b) -> Some (Printf.sprintf "%s = OR(%s, %s)" (name i) (name a) (name b))
+        | Circuit.Xor (a, b) -> Some (Printf.sprintf "%s = XOR(%s, %s)" (name i) (name a) (name b))
+        | Circuit.Not a -> Some (Printf.sprintf "%s = NOT(%s)" (name i) (name a))
+        | Circuit.Buf a -> Some (Printf.sprintf "%s = BUF(%s)" (name i) (name a))
+        | Circuit.Mux { sel; a; b } ->
+            Some (Printf.sprintf "%s = MUX(%s, %s, %s)" (name i) (name sel) (name a) (name b))
+        | Circuit.Dff { d } -> Some (Printf.sprintf "%s = DFF(%s)" (name i) (name d))
+      in
+      match line with Some l -> Buffer.add_string buf (l ^ "\n") | None -> ())
+    c.Circuit.gates;
+  Buffer.contents buf
+
+let s27_text =
+  {|# ISCAS89 benchmark s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+|}
+
+let s27 () = of_string s27_text

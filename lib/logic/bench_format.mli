@@ -1,0 +1,32 @@
+(** Reader/writer for the ISCAS89 ".bench" netlist format, so the
+    toggle-coverage and fault-simulation experiments can run on
+    standard benchmark circuits.
+
+    {v
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G5 = DFF(G10)
+    G8 = AND(G14, G6)
+    G9 = NAND(G16, G15)
+    v}
+
+    Supported gates: AND, NAND, OR, NOR, XOR, XNOR, NOT, BUF/BUFF,
+    DFF, MUX (3 inputs: sel, a, b).  Multi-input gates are expanded
+    into binary trees.  Signals may be referenced before they are
+    defined; only combinational cycles are rejected. *)
+
+exception Parse_error of { line : int; message : string }
+
+val of_string : string -> Circuit.t
+(** @raise Parse_error on malformed text, undefined signals or a
+    combinational cycle. *)
+
+val read_file : path:string -> Circuit.t
+
+val to_string : Circuit.t -> string
+(** Render a circuit back to .bench text (binary gates only;
+    internal nets get generated names). *)
+
+val s27 : unit -> Circuit.t
+(** The ISCAS89 s27 benchmark (10 gates, 3 flip-flops), embedded. *)

@@ -1,0 +1,118 @@
+type gate =
+  | Input of string
+  | And of int * int
+  | Or of int * int
+  | Xor of int * int
+  | Not of int
+  | Buf of int
+  | Mux of { sel : int; a : int; b : int }
+  | Dff of { d : int }
+
+type t = {
+  gates : gate array;
+  inputs : (string * int) list;
+  outputs : (string * int) list;
+  order : int array;
+  dffs : int array;
+}
+
+type builder = {
+  mutable rev_gates : gate list;
+  mutable count : int;
+  mutable rev_inputs : (string * int) list;
+  mutable rev_outputs : (string * int) list;
+}
+
+let create () = { rev_gates = []; count = 0; rev_inputs = []; rev_outputs = [] }
+
+let push b g =
+  let id = b.count in
+  b.rev_gates <- g :: b.rev_gates;
+  b.count <- id + 1;
+  id
+
+let input b name =
+  let id = push b (Input name) in
+  b.rev_inputs <- (name, id) :: b.rev_inputs;
+  id
+
+let and2 b x y = push b (And (x, y))
+
+let or2 b x y = push b (Or (x, y))
+
+let xor2 b x y = push b (Xor (x, y))
+
+let not1 b x = push b (Not x)
+
+let buf b x = push b (Buf x)
+
+let mux b ~sel ~a ~b:bb = push b (Mux { sel; a; b = bb })
+
+let nand2 b x y = not1 b (and2 b x y)
+
+let nor2 b x y = not1 b (or2 b x y)
+
+let xnor2 b x y = not1 b (xor2 b x y)
+
+let dff b = push b (Dff { d = -1 })
+
+let connect_dff b ~ff ~d =
+  let gates = Array.of_list (List.rev b.rev_gates) in
+  (match gates.(ff) with
+  | Dff { d = -1 } -> ()
+  | Dff _ -> invalid_arg "connect_dff: already connected"
+  | Input _ | And _ | Or _ | Xor _ | Not _ | Buf _ | Mux _ ->
+      invalid_arg "connect_dff: not a flip-flop");
+  gates.(ff) <- Dff { d };
+  b.rev_gates <- List.rev (Array.to_list gates)
+
+let output b name id = b.rev_outputs <- (name, id) :: b.rev_outputs
+
+let fanins = function
+  | Input _ -> []
+  | And (a, b) | Or (a, b) | Xor (a, b) -> [ a; b ]
+  | Not a | Buf a -> [ a ]
+  | Mux { sel; a; b } -> [ sel; a; b ]
+  | Dff _ -> []
+(* DFF outputs act as sources in the combinational graph; their data
+   input is read only at the clock edge. *)
+
+let finalize b =
+  let gates = Array.of_list (List.rev b.rev_gates) in
+  let n = Array.length gates in
+  Array.iteri
+    (fun i g ->
+      (match g with
+      | Dff { d } when d < 0 -> invalid_arg "finalize: unconnected flip-flop"
+      | Dff _ | Input _ | And _ | Or _ | Xor _ | Not _ | Buf _ | Mux _ -> ());
+      List.iter
+        (fun f -> if f < 0 || f >= n then invalid_arg "finalize: dangling fanin")
+        (fanins gates.(i)))
+    gates;
+  (* topological sort of the combinational part (DFS) *)
+  let mark = Array.make n 0 in
+  let order = ref [] in
+  let rec visit i =
+    match mark.(i) with
+    | 2 -> ()
+    | 1 -> invalid_arg "finalize: combinational cycle"
+    | _ ->
+        mark.(i) <- 1;
+        List.iter visit (fanins gates.(i));
+        mark.(i) <- 2;
+        order := i :: !order
+  in
+  for i = 0 to n - 1 do
+    visit i
+  done;
+  let dffs = ref [] in
+  Array.iteri (fun i g -> match g with Dff _ -> dffs := i :: !dffs | _ -> ()) gates;
+  {
+    gates;
+    inputs = List.rev b.rev_inputs;
+    outputs = List.rev b.rev_outputs;
+    order = Array.of_list (List.rev !order);
+    dffs = Array.of_list (List.rev !dffs);
+  }
+
+let num_nets t = Array.length t.gates

@@ -1,0 +1,54 @@
+type tracker = { seen0 : bool array; seen1 : bool array }
+
+let create c =
+  let n = Circuit.num_nets c in
+  { seen0 = Array.make n false; seen1 = Array.make n false }
+
+let observe t values =
+  Array.iteri
+    (fun i v ->
+      match (v : Value.t) with
+      | Value.F -> t.seen0.(i) <- true
+      | Value.T -> t.seen1.(i) <- true
+      | Value.X -> ())
+    values
+
+let net_covered t i = t.seen0.(i) && t.seen1.(i)
+
+let would_add t values =
+  let fresh = ref 0 in
+  Array.iteri
+    (fun i v ->
+      match (v : Value.t) with
+      | Value.F -> if not t.seen0.(i) then incr fresh
+      | Value.T -> if not t.seen1.(i) then incr fresh
+      | Value.X -> ())
+    values;
+  !fresh
+
+let coverage t =
+  let n = Array.length t.seen0 in
+  if n = 0 then 1.0
+  else begin
+    let covered = ref 0 in
+    for i = 0 to n - 1 do
+      if net_covered t i then incr covered
+    done;
+    float_of_int !covered /. float_of_int n
+  end
+
+let curve c ~initial ~patterns =
+  let t = create c in
+  let state = ref initial in
+  List.mapi
+    (fun k p ->
+      let state', values = Sim.step c !state ~inputs:p in
+      state := state';
+      observe t values;
+      (k + 1, coverage t))
+    patterns
+
+let coverage_after c ~initial ~patterns =
+  match List.rev (curve c ~initial ~patterns) with
+  | (_, cov) :: _ -> cov
+  | [] -> 0.0

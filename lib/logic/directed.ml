@@ -1,0 +1,43 @@
+let random_inputs st width = Array.init width (fun _ -> Value.of_bool (Random.State.bool st))
+
+let count_new = Coverage.would_add
+
+let directed_patterns c ~initial ?(candidates = 16) ?(budget = 256) ~seed () =
+  let st = Random.State.make [| seed |] in
+  let width = List.length c.Circuit.inputs in
+  let tracker = Coverage.create c in
+  let state = ref initial in
+  let out = ref [] in
+  let rec step remaining =
+    if remaining = 0 || Coverage.coverage tracker >= 1.0 then ()
+    else begin
+      (* evaluate candidates without committing *)
+      let best = ref None in
+      for _ = 1 to candidates do
+        let inputs = random_inputs st width in
+        let values = Sim.eval c !state ~inputs in
+        let score = count_new tracker values in
+        match !best with
+        | Some (s, _, _) when s >= score -> ()
+        | Some _ | None -> best := Some (score, inputs, values)
+      done;
+      match !best with
+      | None -> ()
+      | Some (_, inputs, _) ->
+          let state', values = Sim.step c !state ~inputs in
+          Coverage.observe tracker values;
+          state := state';
+          out := inputs :: !out;
+          step (remaining - 1)
+    end
+  in
+  step budget;
+  List.rev !out
+
+let patterns_to_full_coverage c ~initial ~patterns =
+  let curve = Coverage.curve c ~initial ~patterns in
+  let rec find = function
+    | [] -> None
+    | (k, cov) :: rest -> if cov >= 1.0 then Some k else find rest
+  in
+  find curve

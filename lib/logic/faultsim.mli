@@ -1,0 +1,18 @@
+(** Serial stuck-at fault simulation — the classical baseline the
+    paper argues is insufficient for CML defects. *)
+
+type fault = { net : int; stuck : bool }
+
+val all_faults : Circuit.t -> fault list
+(** Stuck-at-0 and stuck-at-1 on every net. *)
+
+val detects :
+  Circuit.t -> initial:Sim.state -> patterns:Value.t array list -> fault -> bool
+(** Does the pattern set produce a binary difference at a primary
+    output between the good and faulty machines?  Both machines start
+    from [initial]; an X in either response never counts as a
+    detection. *)
+
+val coverage :
+  Circuit.t -> initial:Sim.state -> patterns:Value.t array list -> float * int * int
+(** [(fraction, detected, total)] over {!all_faults}. *)

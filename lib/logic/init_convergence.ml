@@ -1,0 +1,39 @@
+type result = { converged : bool; convergence_cycle : int option; trials : int }
+
+let state_history c ~initial ~patterns =
+  let rec go state acc = function
+    | [] -> List.rev acc
+    | p :: rest ->
+        let state', _ = Sim.step c state ~inputs:p in
+        go state' (Array.copy state' :: acc) rest
+  in
+  go initial [] patterns
+
+let analyse c ~patterns ~trials ~seed =
+  let histories =
+    List.init trials (fun k ->
+        state_history c ~initial:(Sim.random_state c ~seed:(seed + k)) ~patterns)
+  in
+  match histories with
+  | [] -> { converged = true; convergence_cycle = Some 0; trials }
+  | first :: rest ->
+      let ncycles = List.length first in
+      let agree_at k =
+        let nth h = List.nth h k in
+        let reference = nth first in
+        List.for_all (fun h -> nth h = reference) rest
+      in
+      (* find the first cycle from which every later cycle agrees *)
+      let rec find k =
+        if k >= ncycles then None
+        else begin
+          let rec all_from j = j >= ncycles || (agree_at j && all_from (j + 1)) in
+          if all_from k then Some k else find (k + 1)
+        end
+      in
+      let cycle = find 0 in
+      { converged = cycle <> None; convergence_cycle = cycle; trials }
+
+let self_initialising c ~patterns =
+  let final, _ = Sim.run c (Sim.initial c Value.X) ~patterns in
+  Array.for_all (fun v -> v <> Value.X) final

@@ -1,0 +1,23 @@
+(** Initialization-by-random-patterns analysis (the paper's reference
+    [13], Soufi et al.): sequential circuits driven by a fixed random
+    pattern sequence tend to converge to a deterministic state
+    irrespective of the power-up state, which makes toggle-coverage
+    measurement well defined without a reset. *)
+
+type result = {
+  converged : bool;  (** all trials ended in the same state *)
+  convergence_cycle : int option;
+      (** first cycle index after which every trial's state history
+          agrees, if any *)
+  trials : int;
+}
+
+val analyse :
+  Circuit.t -> patterns:Value.t array list -> trials:int -> seed:int -> result
+(** Simulate the same pattern sequence from [trials] random binary
+    initial states and compare the state trajectories. *)
+
+val self_initialising :
+  Circuit.t -> patterns:Value.t array list -> bool
+(** Stronger X-based check: starting from the all-X state, do all
+    flip-flops reach binary values by the end of the sequence? *)

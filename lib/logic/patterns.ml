@@ -1,0 +1,30 @@
+type lfsr = { mutable state : int }
+
+(* taps for a maximal-length 32-bit Galois LFSR: 32, 22, 2, 1 *)
+let taps = 0x80200003
+
+let lfsr_create ?(seed = 1) () =
+  if seed land 0xFFFFFFFF = 0 then invalid_arg "lfsr seed must be non-zero";
+  { state = seed land 0xFFFFFFFF }
+
+let lfsr_next_bit l =
+  let out = l.state land 1 = 1 in
+  l.state <- l.state lsr 1;
+  if out then l.state <- l.state lxor taps land 0xFFFFFFFF;
+  out
+
+let lfsr_pattern l ~width = Array.init width (fun _ -> Value.of_bool (lfsr_next_bit l))
+
+let lfsr_patterns l ~width ~count = List.init count (fun _ -> lfsr_pattern l ~width)
+
+let random_patterns ~seed ~width ~count =
+  let st = Random.State.make [| seed |] in
+  List.init count (fun _ -> Array.init width (fun _ -> Value.of_bool (Random.State.bool st)))
+
+let walking_ones ~width =
+  List.init width (fun k -> Array.init width (fun i -> Value.of_bool (i = k)))
+
+let exhaustive ~width =
+  if width > 16 then invalid_arg "exhaustive: width too large";
+  List.init (1 lsl width) (fun v ->
+      Array.init width (fun i -> Value.of_bool ((v lsr i) land 1 = 1)))

@@ -1,0 +1,66 @@
+type state = Value.t array
+
+let initial (c : Circuit.t) v = Array.make (Array.length c.Circuit.dffs) v
+
+let random_state (c : Circuit.t) ~seed =
+  let st = Random.State.make [| seed |] in
+  Array.init (Array.length c.Circuit.dffs) (fun _ ->
+      Value.of_bool (Random.State.bool st))
+
+(* position of each dff gate id in the state vector *)
+let dff_slot (c : Circuit.t) =
+  let tbl = Hashtbl.create 16 in
+  Array.iteri (fun slot gid -> Hashtbl.replace tbl gid slot) c.Circuit.dffs;
+  tbl
+
+let eval (c : Circuit.t) state ~inputs =
+  let n = Array.length c.Circuit.gates in
+  let values = Array.make n Value.X in
+  let slots = dff_slot c in
+  let input_values = Hashtbl.create 8 in
+  List.iteri
+    (fun i (name, _) ->
+      if i < Array.length inputs then Hashtbl.replace input_values name inputs.(i))
+    c.Circuit.inputs;
+  Array.iter
+    (fun gid ->
+      let v =
+        match c.Circuit.gates.(gid) with
+        | Circuit.Input name -> (
+            match Hashtbl.find_opt input_values name with Some v -> v | None -> Value.X)
+        | Circuit.And (a, b) -> Value.v_and values.(a) values.(b)
+        | Circuit.Or (a, b) -> Value.v_or values.(a) values.(b)
+        | Circuit.Xor (a, b) -> Value.v_xor values.(a) values.(b)
+        | Circuit.Not a -> Value.v_not values.(a)
+        | Circuit.Buf a -> values.(a)
+        | Circuit.Mux { sel; a; b } -> Value.v_mux ~sel:values.(sel) ~a:values.(a) ~b:values.(b)
+        | Circuit.Dff _ -> state.(Hashtbl.find slots gid)
+      in
+      values.(gid) <- v)
+    c.Circuit.order;
+  values
+
+let step c state ~inputs =
+  let values = eval c state ~inputs in
+  let next =
+    Array.map
+      (fun gid ->
+        match c.Circuit.gates.(gid) with
+        | Circuit.Dff { d } -> values.(d)
+        | Circuit.Input _ | Circuit.And _ | Circuit.Or _ | Circuit.Xor _ | Circuit.Not _
+        | Circuit.Buf _ | Circuit.Mux _ -> assert false)
+      c.Circuit.dffs
+  in
+  (next, values)
+
+let run c state ~patterns =
+  let rec go state acc = function
+    | [] -> (state, List.rev acc)
+    | p :: rest ->
+        let state', values = step c state ~inputs:p in
+        go state' (values :: acc) rest
+  in
+  go state [] patterns
+
+let outputs_of (c : Circuit.t) values =
+  List.map (fun (name, id) -> (name, values.(id))) c.Circuit.outputs

@@ -1,0 +1,26 @@
+(** Cycle-based 3-valued simulation of {!Circuit.t}. *)
+
+type state = Value.t array
+(** One value per flip-flop, indexed like [Circuit.dffs]. *)
+
+val initial : Circuit.t -> Value.t -> state
+(** Uniform initial state (use [Value.X] for a truly unknown
+    power-up). *)
+
+val random_state : Circuit.t -> seed:int -> state
+(** Random binary initial state. *)
+
+val eval : Circuit.t -> state -> inputs:Value.t array -> Value.t array
+(** Values of every net for the given flip-flop state and primary
+    inputs (in declaration order of the inputs). *)
+
+val step : Circuit.t -> state -> inputs:Value.t array -> state * Value.t array
+(** One clock cycle: evaluate, then capture each flip-flop's data
+    input.  Returns the next state and the pre-edge net values. *)
+
+val run : Circuit.t -> state -> patterns:Value.t array list -> state * Value.t array list
+(** Apply the pattern sequence, collecting the net values of every
+    cycle. *)
+
+val outputs_of : Circuit.t -> Value.t array -> (string * Value.t) list
+(** Primary-output values out of a net-value vector. *)

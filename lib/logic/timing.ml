@@ -1,0 +1,39 @@
+let is_zero_cost = function
+  | Circuit.Input _ | Circuit.Dff _ | Circuit.Buf _ -> true
+  | Circuit.And _ | Circuit.Or _ | Circuit.Xor _ | Circuit.Not _ | Circuit.Mux _ -> false
+
+let fanins = function
+  | Circuit.Input _ | Circuit.Dff _ -> []
+  | Circuit.And (a, b) | Circuit.Or (a, b) | Circuit.Xor (a, b) -> [ a; b ]
+  | Circuit.Not a | Circuit.Buf a -> [ a ]
+  | Circuit.Mux { sel; a; b } -> [ sel; a; b ]
+
+let path_depths (c : Circuit.t) =
+  let n = Circuit.num_nets c in
+  let d = Array.make n 0 in
+  Array.iter
+    (fun i ->
+      let g = c.Circuit.gates.(i) in
+      let best = List.fold_left (fun acc f -> max acc d.(f)) 0 (fanins g) in
+      d.(i) <- best + if is_zero_cost g then 0 else 1)
+    c.Circuit.order;
+  d
+
+let depth c = Array.fold_left max 0 (path_depths c)
+
+let critical_path (c : Circuit.t) =
+  let d = path_depths c in
+  (* deepest net, then walk back through the deepest fanin *)
+  let start = ref 0 in
+  Array.iteri (fun i v -> if v > d.(!start) then start := i) d;
+  let rec back i acc =
+    let g = c.Circuit.gates.(i) in
+    match fanins g with
+    | [] -> i :: acc
+    | fs ->
+        let best = List.fold_left (fun a f -> if d.(f) > d.(a) then f else a) (List.hd fs) fs in
+        back best (i :: acc)
+  in
+  back !start []
+
+let min_clock_period c ~gate_delay = float_of_int (depth c) *. gate_delay

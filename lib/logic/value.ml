@@ -1,0 +1,35 @@
+type t = F | T | X
+
+let v_not = function F -> T | T -> F | X -> X
+
+let v_and a b =
+  match (a, b) with
+  | F, _ | _, F -> F
+  | T, T -> T
+  | X, (T | X) | T, X -> X
+
+let v_or a b =
+  match (a, b) with
+  | T, _ | _, T -> T
+  | F, F -> F
+  | X, (F | X) | F, X -> X
+
+let v_xor a b =
+  match (a, b) with
+  | X, _ | _, X -> X
+  | T, T | F, F -> F
+  | T, F | F, T -> T
+
+let v_mux ~sel ~a ~b =
+  match sel with
+  | T -> a
+  | F -> b
+  | X -> if a = b && a <> X then a else X
+
+let of_bool b = if b then T else F
+
+let to_bool = function T -> Some true | F -> Some false | X -> None
+
+let equal (a : t) b = a = b
+
+let to_char = function F -> '0' | T -> '1' | X -> 'x'

@@ -1,0 +1,21 @@
+(** Three-valued logic (0 / 1 / unknown) used by the gate-level
+    simulator; the X value makes initialization analysis honest. *)
+
+type t = F | T | X
+
+val v_not : t -> t
+val v_and : t -> t -> t
+val v_or : t -> t -> t
+val v_xor : t -> t -> t
+
+val v_mux : sel:t -> a:t -> b:t -> t
+(** [a] when [sel] is true, [b] when false; X-pessimistic otherwise
+    (X unless both data agree). *)
+
+val of_bool : bool -> t
+
+val to_bool : t -> bool option
+(** [None] for X. *)
+
+val equal : t -> t -> bool
+val to_char : t -> char

@@ -1,0 +1,54 @@
+(* VCD identifiers: printable ASCII 33..126, shortest-first *)
+let identifier k =
+  let base = 94 in
+  let rec go k acc =
+    let c = Char.chr (33 + (k mod base)) in
+    let acc = String.make 1 c ^ acc in
+    if k < base then acc else go ((k / base) - 1) acc
+  in
+  go k ""
+
+let net_name (c : Circuit.t) i =
+  match c.Circuit.gates.(i) with
+  | Circuit.Input n -> n
+  | Circuit.And _ | Circuit.Or _ | Circuit.Xor _ | Circuit.Not _ | Circuit.Buf _
+  | Circuit.Mux _ | Circuit.Dff _ -> (
+      (* prefer a primary-output name if one points here *)
+      match List.find_opt (fun (_, id) -> id = i) c.Circuit.outputs with
+      | Some (n, _) -> n
+      | None -> Printf.sprintf "n%d" i)
+
+let value_char = function Value.F -> '0' | Value.T -> '1' | Value.X -> 'x'
+
+let to_string (c : Circuit.t) ~frames =
+  let n = Circuit.num_nets c in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "$version cml-dft logic simulator $end\n";
+  Buffer.add_string buf "$timescale 1 ns $end\n";
+  Buffer.add_string buf "$scope module top $end\n";
+  for i = 0 to n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "$var wire 1 %s %s $end\n" (identifier i) (net_name c i))
+  done;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  let last = Array.make n ' ' in
+  List.iteri
+    (fun t frame ->
+      Buffer.add_string buf (Printf.sprintf "#%d\n" t);
+      if t = 0 then Buffer.add_string buf "$dumpvars\n";
+      Array.iteri
+        (fun i v ->
+          let ch = value_char v in
+          if t = 0 || ch <> last.(i) then begin
+            Buffer.add_string buf (Printf.sprintf "%c%s\n" ch (identifier i));
+            last.(i) <- ch
+          end)
+        frame;
+      if t = 0 then Buffer.add_string buf "$end\n")
+    frames;
+  Buffer.add_string buf (Printf.sprintf "#%d\n" (List.length frames));
+  Buffer.contents buf
+
+let write ~path c ~frames =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string c ~frames))

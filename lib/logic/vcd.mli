@@ -1,0 +1,9 @@
+(** VCD (value-change dump) export of logic simulation traces, for
+    inspection in standard waveform viewers. *)
+
+val to_string : Circuit.t -> frames:Value.t array list -> string
+(** One VCD timestep per simulated cycle; every net is dumped (named
+    nets keep their names, internal nets become [n<i>]).  Only
+    changes are emitted after the initial dump. *)
+
+val write : path:string -> Circuit.t -> frames:Value.t array list -> unit

@@ -1,0 +1,103 @@
+type t = { n : int; a : float array }
+
+exception Singular of int
+
+let create n = { n; a = Array.make (n * n) 0.0 }
+
+let dim m = m.n
+
+let get m i j = m.a.((i * m.n) + j)
+
+let set m i j v = m.a.((i * m.n) + j) <- v
+
+let add_entry m i j v = m.a.((i * m.n) + j) <- m.a.((i * m.n) + j) +. v
+
+let clear m = Array.fill m.a 0 (m.n * m.n) 0.0
+
+let copy m = { n = m.n; a = Array.copy m.a }
+
+let of_arrays rows =
+  let n = Array.length rows in
+  let m = create n in
+  Array.iteri
+    (fun i row ->
+      assert (Array.length row = n);
+      Array.iteri (fun j v -> set m i j v) row)
+    rows;
+  m
+
+let to_arrays m = Array.init m.n (fun i -> Array.init m.n (fun j -> get m i j))
+
+let mul_vec m x =
+  assert (Array.length x = m.n);
+  Array.init m.n (fun i ->
+      let s = ref 0.0 in
+      for j = 0 to m.n - 1 do
+        s := !s +. (get m i j *. x.(j))
+      done;
+      !s)
+
+type lu = { lu_mat : t; perm : int array }
+
+let pivot_threshold = 1e-13
+
+(* Classic in-place Doolittle elimination with row partial pivoting.
+   After the loop, the strict lower triangle holds L (unit diagonal
+   implied) and the upper triangle holds U, both in permuted order. *)
+let lu m =
+  let n = m.n in
+  let w = copy m in
+  let perm = Array.init n (fun i -> i) in
+  for k = 0 to n - 1 do
+    let best = ref k and best_abs = ref (Float.abs (get w k k)) in
+    for i = k + 1 to n - 1 do
+      let a = Float.abs (get w i k) in
+      if a > !best_abs then begin
+        best := i;
+        best_abs := a
+      end
+    done;
+    if !best_abs < pivot_threshold then raise (Singular k);
+    if !best <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = get w k j in
+        set w k j (get w !best j);
+        set w !best j tmp
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!best);
+      perm.(!best) <- tmp
+    end;
+    let pivot = get w k k in
+    for i = k + 1 to n - 1 do
+      let factor = get w i k /. pivot in
+      set w i k factor;
+      if factor <> 0.0 then
+        for j = k + 1 to n - 1 do
+          set w i j (get w i j -. (factor *. get w k j))
+        done
+    done
+  done;
+  { lu_mat = w; perm }
+
+let lu_solve { lu_mat = w; perm } b =
+  let n = w.n in
+  assert (Array.length b = n);
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  for i = 1 to n - 1 do
+    let s = ref x.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (get w i j *. x.(j))
+    done;
+    x.(i) <- !s
+  done;
+  for i = n - 1 downto 0 do
+    let s = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (get w i j *. x.(j))
+    done;
+    x.(i) <- !s /. get w i i
+  done;
+  x
+
+let solve m b = lu_solve (lu m) b

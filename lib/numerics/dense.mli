@@ -1,0 +1,51 @@
+(** Dense square matrices stored row-major, with an LU factorisation
+    (partial pivoting) used as the reference linear solver for small
+    MNA systems and as the oracle in tests of the sparse solver. *)
+
+type t
+(** A mutable dense [n] x [n] matrix. *)
+
+exception Singular of int
+(** Raised by {!lu} when no acceptable pivot exists at the given
+    elimination step. *)
+
+val create : int -> t
+(** [create n] is the [n] x [n] zero matrix. *)
+
+val dim : t -> int
+(** Matrix dimension. *)
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val add_entry : t -> int -> int -> float -> unit
+(** [add_entry m i j v] accumulates [v] into [m.(i).(j)]; this is the
+    stamping primitive. *)
+
+val clear : t -> unit
+(** Reset every entry to zero, keeping the storage. *)
+
+val copy : t -> t
+
+val of_arrays : float array array -> t
+(** Build from rows; all rows must have length equal to the number of
+    rows. *)
+
+val to_arrays : t -> float array array
+
+val mul_vec : t -> float array -> float array
+(** Matrix-vector product. *)
+
+type lu
+(** A factorisation [P*A = L*U]. *)
+
+val lu : t -> lu
+(** Factorise (the input matrix is not modified).
+    @raise Singular if a pivot below the absolute threshold [1e-13]
+    is encountered. *)
+
+val lu_solve : lu -> float array -> float array
+(** Solve [A x = b] given the factorisation of [A]. *)
+
+val solve : t -> float array -> float array
+(** One-shot [lu] + [lu_solve]. *)

@@ -1,0 +1,20 @@
+type t = { mutable a : float array; mutable len : int }
+
+let create () = { a = Array.make 256 0.0; len = 0 }
+
+let length b = b.len
+
+let push b v =
+  if b.len = Array.length b.a then begin
+    let bigger = Array.make (2 * b.len) 0.0 in
+    Array.blit b.a 0 bigger 0 b.len;
+    b.a <- bigger
+  end;
+  b.a.(b.len) <- v;
+  b.len <- b.len + 1
+
+let get b i =
+  assert (i >= 0 && i < b.len);
+  b.a.(i)
+
+let to_array b = Array.sub b.a 0 b.len

@@ -1,0 +1,11 @@
+(** Growable float buffer used to record simulation traces. *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val push : t -> float -> unit
+val get : t -> int -> float
+
+val to_array : t -> float array
+(** Snapshot of the current contents. *)

@@ -1,0 +1,66 @@
+(** Sparse matrices for MNA systems.
+
+    The workflow mirrors a circuit simulator: device stamps are
+    accumulated into a {!triplet} buffer once, the structural pattern
+    is then {!compress}ed into a column-compressed ({!csc}) matrix,
+    and on subsequent Newton iterations only the numeric values are
+    refreshed through {!refill} (the pattern of an MNA system never
+    changes between iterations). *)
+
+type triplet
+(** Append-only (row, col, value) buffer.  Duplicate coordinates are
+    legal and are summed at compression time. *)
+
+val triplet_create : int -> triplet
+(** [triplet_create n] is an empty buffer for an [n] x [n] matrix. *)
+
+val triplet_dim : triplet -> int
+
+val triplet_clear : triplet -> unit
+(** Forget all entries (the dimension is kept). *)
+
+val triplet_count : triplet -> int
+(** Number of entries appended so far. *)
+
+val add : triplet -> int -> int -> float -> unit
+(** [add t i j v] appends entry [(i, j, v)].  Indices must lie in
+    [0 .. n-1]. *)
+
+val set_values : triplet -> int -> float -> unit
+(** [set_values t k v] overwrites the value of the [k]-th appended
+    entry, keeping its coordinates.  Used to re-stamp a fixed
+    pattern. *)
+
+type csc = {
+  n : int;
+  colptr : int array;  (** length [n+1] *)
+  rowind : int array;  (** row index of each stored entry *)
+  values : float array;  (** numeric value of each stored entry *)
+}
+(** Compressed sparse column storage with sorted, duplicate-free rows
+    within each column. *)
+
+type pattern
+(** The result of symbolic compression: a [csc] skeleton plus the map
+    from triplet entries to stored positions. *)
+
+val compress : triplet -> pattern
+(** Build the pattern and the initial numeric values from the current
+    triplet contents. *)
+
+val csc_of_pattern : pattern -> csc
+(** The underlying matrix (shared, not copied: [refill] mutates it). *)
+
+val refill : pattern -> triplet -> unit
+(** Refresh the numeric values from the triplet buffer, which must
+    contain exactly the entries (same order, same coordinates) that
+    were present at [compress] time. *)
+
+val mul_vec : csc -> float array -> float array
+(** Matrix-vector product. *)
+
+val to_dense : csc -> Dense.t
+(** Expansion, for tests and debugging. *)
+
+val nnz : csc -> int
+(** Stored entry count. *)

@@ -1,0 +1,193 @@
+exception Singular of int
+
+(* Growable entry buffer for building L and U column by column. *)
+type buf = { mutable idx : int array; mutable v : float array; mutable len : int }
+
+let buf_create () = { idx = Array.make 256 0; v = Array.make 256 0.0; len = 0 }
+
+let buf_push b i x =
+  if b.len = Array.length b.idx then begin
+    let cap = 2 * b.len in
+    let idx = Array.make cap 0 and v = Array.make cap 0.0 in
+    Array.blit b.idx 0 idx 0 b.len;
+    Array.blit b.v 0 v 0 b.len;
+    b.idx <- idx;
+    b.v <- v
+  end;
+  b.idx.(b.len) <- i;
+  b.v.(b.len) <- x;
+  b.len <- b.len + 1
+
+type factor = {
+  n : int;
+  l_colptr : int array;
+  l_rowind : int array;  (* in pivotal (permuted) numbering *)
+  l_values : float array;  (* first entry of each column is the unit diagonal *)
+  u_colptr : int array;
+  u_rowind : int array;  (* pivotal numbering; diagonal stored last *)
+  u_values : float array;
+  pinv : int array;  (* original row -> pivotal position *)
+}
+
+let pivot_abs_threshold = 1e-13
+
+(* Preference for the natural diagonal: accept original row [j] as
+   pivot whenever its magnitude is within this factor of the best
+   candidate.  MNA diagonals are almost always strong, and keeping
+   them avoids fill-in from permutations. *)
+let diag_preference = 1e-3
+
+(* Depth-first search over the pattern of L, as in cs_dfs.  Returns
+   the new [top]; on exit [xi.(top .. n-1)] holds the reach of [r0]
+   in topological order.  [adj_ptr]/[adj_ind] describe L's columns in
+   original row numbering; a row [r] with [pinv.(r) = k >= 0] has the
+   entries of L's column [k] as children. *)
+let dfs r0 ~marked ~pinv ~l_colptr ~l_rowind ~xi ~rstack ~pstack top0 =
+  let top = ref top0 in
+  let head = ref 0 in
+  rstack.(0) <- r0;
+  while !head >= 0 do
+    let r = rstack.(!head) in
+    if not marked.(r) then begin
+      marked.(r) <- true;
+      let k = pinv.(r) in
+      pstack.(!head) <- (if k < 0 then -1 else l_colptr.(k))
+    end;
+    let k = pinv.(r) in
+    let finished = ref true in
+    if k >= 0 then begin
+      let stop = l_colptr.(k + 1) in
+      let p = ref pstack.(!head) in
+      while !finished && !p < stop do
+        let rr = l_rowind.(!p) in
+        if not marked.(rr) then begin
+          pstack.(!head) <- !p + 1;
+          incr head;
+          rstack.(!head) <- rr;
+          finished := false
+        end
+        else incr p
+      done;
+      if !finished then pstack.(!head) <- stop
+    end;
+    if !finished then begin
+      decr top;
+      xi.(!top) <- r;
+      decr head
+    end
+  done;
+  !top
+
+let factorize (a : Sparse.csc) =
+  let n = a.Sparse.n in
+  let lbuf = buf_create () and ubuf = buf_create () in
+  let l_colptr = Array.make (n + 1) 0 in
+  let u_colptr = Array.make (n + 1) 0 in
+  let pinv = Array.make n (-1) in
+  let marked = Array.make n false in
+  let x = Array.make n 0.0 in
+  let xi = Array.make n 0 in
+  let rstack = Array.make n 0 and pstack = Array.make n 0 in
+  (* L's column pointers grow as we emit columns; dfs needs access to
+     the partially built arrays, so we hand it the raw buffers. *)
+  for j = 0 to n - 1 do
+    l_colptr.(j) <- lbuf.len;
+    u_colptr.(j) <- ubuf.len;
+    (* symbolic: reach of A(:,j) *)
+    let top = ref n in
+    for p = a.Sparse.colptr.(j) to a.Sparse.colptr.(j + 1) - 1 do
+      let r = a.Sparse.rowind.(p) in
+      if not marked.(r) then
+        top := dfs r ~marked ~pinv ~l_colptr ~l_rowind:lbuf.idx ~xi ~rstack ~pstack !top
+    done;
+    (* numeric: scatter A(:,j) and run the sparse triangular solve *)
+    for p = a.Sparse.colptr.(j) to a.Sparse.colptr.(j + 1) - 1 do
+      x.(a.Sparse.rowind.(p)) <- x.(a.Sparse.rowind.(p)) +. a.Sparse.values.(p)
+    done;
+    for px = !top to n - 1 do
+      let r = xi.(px) in
+      let k = pinv.(r) in
+      if k >= 0 then begin
+        let xr = x.(r) in
+        (* skip the unit diagonal stored first in column k *)
+        for p = l_colptr.(k) + 1 to l_colptr.(k + 1) - 1 do
+          x.(lbuf.idx.(p)) <- x.(lbuf.idx.(p)) -. (lbuf.v.(p) *. xr)
+        done
+      end
+    done;
+    (* pivot choice among the not-yet-pivotal rows of the reach *)
+    let best = ref (-1) and best_abs = ref 0.0 and diag_abs = ref 0.0 in
+    for px = !top to n - 1 do
+      let r = xi.(px) in
+      if pinv.(r) < 0 then begin
+        let ax = Float.abs x.(r) in
+        if ax > !best_abs then begin
+          best_abs := ax;
+          best := r
+        end;
+        if r = j then diag_abs := ax
+      end
+    done;
+    if !best < 0 || !best_abs < pivot_abs_threshold then raise (Singular j);
+    let piv = if !diag_abs >= diag_preference *. !best_abs then j else !best in
+    let pivot_value = x.(piv) in
+    pinv.(piv) <- j;
+    (* emit column j of L (unit diagonal first) and U (diagonal last) *)
+    buf_push lbuf piv 1.0;
+    for px = !top to n - 1 do
+      let r = xi.(px) in
+      let k = pinv.(r) in
+      if k >= 0 && r <> piv then buf_push ubuf k x.(r)
+      else if r <> piv then buf_push lbuf r (x.(r) /. pivot_value);
+      x.(r) <- 0.0;
+      marked.(r) <- false
+    done;
+    x.(piv) <- 0.0;
+    buf_push ubuf j pivot_value
+  done;
+  l_colptr.(n) <- lbuf.len;
+  u_colptr.(n) <- ubuf.len;
+  (* remap L's rows to pivotal numbering for the triangular solves *)
+  let l_rowind = Array.sub lbuf.idx 0 lbuf.len in
+  for p = 0 to lbuf.len - 1 do
+    l_rowind.(p) <- pinv.(l_rowind.(p))
+  done;
+  {
+    n;
+    l_colptr;
+    l_rowind;
+    l_values = Array.sub lbuf.v 0 lbuf.len;
+    u_colptr;
+    u_rowind = Array.sub ubuf.idx 0 ubuf.len;
+    u_values = Array.sub ubuf.v 0 ubuf.len;
+    pinv;
+  }
+
+let solve f b =
+  let n = f.n in
+  assert (Array.length b = n);
+  let x = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    x.(f.pinv.(i)) <- b.(i)
+  done;
+  (* forward solve with unit lower triangular L *)
+  for j = 0 to n - 1 do
+    let xj = x.(j) in
+    if xj <> 0.0 then
+      for p = f.l_colptr.(j) + 1 to f.l_colptr.(j + 1) - 1 do
+        x.(f.l_rowind.(p)) <- x.(f.l_rowind.(p)) -. (f.l_values.(p) *. xj)
+      done
+  done;
+  (* backward solve with U; the diagonal is the last entry of each column *)
+  for j = n - 1 downto 0 do
+    let dpos = f.u_colptr.(j + 1) - 1 in
+    let xj = x.(j) /. f.u_values.(dpos) in
+    x.(j) <- xj;
+    if xj <> 0.0 then
+      for p = f.u_colptr.(j) to dpos - 1 do
+        x.(f.u_rowind.(p)) <- x.(f.u_rowind.(p)) -. (f.u_values.(p) *. xj)
+      done
+  done;
+  x
+
+let lu_nnz f = (f.l_colptr.(f.n), f.u_colptr.(f.n))

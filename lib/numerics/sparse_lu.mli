@@ -1,0 +1,21 @@
+(** Sparse LU factorisation in the style of Gilbert and Peierls
+    (left-looking, one sparse triangular solve per column) with row
+    partial pivoting and a mild preference for the diagonal to limit
+    fill-in — the standard choice for MNA matrices. *)
+
+exception Singular of int
+(** Raised when no pivot above the absolute threshold exists while
+    eliminating the given column. *)
+
+type factor
+(** A factorisation [P*A = L*U] of a {!Sparse.csc} matrix. *)
+
+val factorize : Sparse.csc -> factor
+(** Factor the matrix.
+    @raise Singular on structural or numeric singularity. *)
+
+val solve : factor -> float array -> float array
+(** [solve f b] returns [x] with [A x = b]. *)
+
+val lu_nnz : factor -> int * int
+(** Stored entries in [(L, U)]; for diagnostics. *)

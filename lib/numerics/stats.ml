@@ -1,0 +1,52 @@
+let require_nonempty xs = if Array.length xs = 0 then invalid_arg "Stats: empty data"
+
+let mean xs =
+  require_nonempty xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let percentile xs p =
+  require_nonempty xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let minimum xs =
+  require_nonempty xs;
+  Array.fold_left Float.min xs.(0) xs
+
+let maximum xs =
+  require_nonempty xs;
+  Array.fold_left Float.max xs.(0) xs
+
+let histogram xs ~bins =
+  require_nonempty xs;
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  let lo = minimum xs and hi = maximum xs in
+  let width = if hi -. lo > 0.0 then (hi -. lo) /. float_of_int bins else 1.0 in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let b = int_of_float ((x -. lo) /. width) in
+      let b = if b >= bins then bins - 1 else b in
+      counts.(b) <- counts.(b) + 1)
+    xs;
+  List.init bins (fun b ->
+      (lo +. (float_of_int b *. width), lo +. (float_of_int (b + 1) *. width), counts.(b)))

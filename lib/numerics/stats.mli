@@ -1,0 +1,19 @@
+(** Descriptive statistics for Monte-Carlo and sweep results. *)
+
+val mean : float array -> float
+(** @raise Invalid_argument on an empty array. *)
+
+val stddev : float array -> float
+(** Sample (n-1) standard deviation; 0 for fewer than 2 points. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for p in [0, 100], linear interpolation between
+    order statistics.  @raise Invalid_argument on an empty array or p
+    outside the range. *)
+
+val minimum : float array -> float
+val maximum : float array -> float
+
+val histogram : float array -> bins:int -> (float * float * int) list
+(** [(lo, hi, count)] per bin over the data range.
+    @raise Invalid_argument on empty data or non-positive bins. *)

@@ -1,0 +1,58 @@
+let create n = Array.make n 0.0
+
+let copy = Array.copy
+
+let fill x v = Array.fill x 0 (Array.length x) v
+
+let axpy a x y =
+  assert (Array.length x = Array.length y);
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (a *. x.(i))
+  done
+
+let dot x y =
+  assert (Array.length x = Array.length y);
+  let s = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    s := !s +. (x.(i) *. y.(i))
+  done;
+  !s
+
+let norm_inf x =
+  let m = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    let a = Float.abs x.(i) in
+    if a > !m then m := a
+  done;
+  !m
+
+let norm2 x = sqrt (dot x x)
+
+let max_abs_diff x y =
+  assert (Array.length x = Array.length y);
+  let m = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    let a = Float.abs (x.(i) -. y.(i)) in
+    if a > !m then m := a
+  done;
+  !m
+
+let scale a x = Array.map (fun v -> a *. v) x
+
+let add x y =
+  assert (Array.length x = Array.length y);
+  Array.init (Array.length x) (fun i -> x.(i) +. y.(i))
+
+let sub x y =
+  assert (Array.length x = Array.length y);
+  Array.init (Array.length x) (fun i -> x.(i) -. y.(i))
+
+let linspace a b n =
+  assert (n >= 2);
+  let step = (b -. a) /. float_of_int (n - 1) in
+  Array.init n (fun i -> a +. (float_of_int i *. step))
+
+let logspace a b n =
+  assert (n >= 2 && a > 0.0 && b > 0.0);
+  let la = log a and lb = log b in
+  Array.map exp (linspace la lb n)

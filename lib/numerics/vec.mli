@@ -1,0 +1,44 @@
+(** Small helpers over [float array] vectors used throughout the
+    simulator.  All operations allocate a fresh result unless the name
+    ends in [_into] or starts with an imperative verb. *)
+
+val create : int -> float array
+(** [create n] is a zero-filled vector of length [n]. *)
+
+val copy : float array -> float array
+(** Fresh copy. *)
+
+val fill : float array -> float -> unit
+(** Set every component. *)
+
+val axpy : float -> float array -> float array -> unit
+(** [axpy a x y] performs [y <- a*x + y] in place. *)
+
+val dot : float array -> float array -> float
+(** Dot product; the vectors must have the same length. *)
+
+val norm_inf : float array -> float
+(** Maximum absolute component (0 for the empty vector). *)
+
+val norm2 : float array -> float
+(** Euclidean norm. *)
+
+val max_abs_diff : float array -> float array -> float
+(** [max_abs_diff x y] is [norm_inf (x - y)] without allocating. *)
+
+val scale : float -> float array -> float array
+(** [scale a x] is the vector [a*x]. *)
+
+val add : float array -> float array -> float array
+(** Component-wise sum. *)
+
+val sub : float array -> float array -> float array
+(** Component-wise difference. *)
+
+val linspace : float -> float -> int -> float array
+(** [linspace a b n] is [n] points evenly spaced from [a] to [b]
+    inclusive.  [n] must be at least 2. *)
+
+val logspace : float -> float -> int -> float array
+(** [logspace a b n] is [n] points geometrically spaced from [a] to
+    [b] inclusive; [a] and [b] must be positive and [n >= 2]. *)

@@ -1,0 +1,481 @@
+type solver_kind = Dense_solver | Sparse_solver | Auto
+
+type options = {
+  reltol : float;
+  vntol : float;
+  abstol : float;
+  gmin : float;
+  max_iter : int;
+  solver : solver_kind;
+}
+
+let default_options =
+  {
+    reltol = 1e-4;
+    vntol = 1e-6;
+    abstol = 1e-12;
+    gmin = 1e-12;
+    max_iter = 100;
+    solver = Auto;
+  }
+
+exception No_convergence of string
+
+type junction = { mutable v_last : float }
+
+type sdev =
+  | SRes of { i : int; j : int; g : float }
+  | SCap of { i : int; j : int; c : float; mutable vprev : float; mutable iprev : float }
+  | SDiode of { a : int; k : int; m : Models.diode; js : junction }
+  | SBjt of {
+      name : string;
+      c : int;
+      b : int;
+      e : int;
+      m : Models.bjt;
+      jbe : junction;
+      jbc : junction;
+    }
+  | SVsrc of { p : int; n : int; br : int; w : Waveform.t }
+  | SIsrc of { p : int; n : int; w : Waveform.t }
+  | SVcvs of { p : int; n : int; cp : int; cn : int; br : int; gain : float }
+  | SVccs of { p : int; n : int; cp : int; cn : int; gm : float }
+
+type backend =
+  | BDense of Cml_numerics.Dense.t
+  | BSparse of {
+      trip : Cml_numerics.Sparse.triplet;
+      mutable pat : Cml_numerics.Sparse.pattern option;
+      mutable count : int;
+    }
+
+type sim = {
+  opts : options;
+  nv : int;  (** node-voltage unknowns *)
+  nunk : int;
+  sdevs : sdev array;
+  branches : (string, int) Hashtbl.t;
+  backend : backend;
+  rhs : float array;
+  mutable junction_error : float;
+      (** largest |v_solution - v_limited| over all junctions during
+          the last load; convergence requires this to vanish, or the
+          slow creep of [pnjlim] could be mistaken for a fixed point *)
+}
+
+type integ = Dcop | Tran of { geq : float; trap : bool }
+
+let node_unknown nd = nd - 1
+
+let voltage x nd = if nd = 0 then 0.0 else x.(nd - 1)
+
+let unknown_count sim = sim.nunk
+
+let options sim = sim.opts
+
+let branch_unknown sim name =
+  match Hashtbl.find_opt sim.branches name with Some i -> i | None -> raise Not_found
+
+let compile ?(options = default_options) net =
+  let nv = Netlist.node_count net - 1 in
+  let sdevs = ref [] in
+  let branches = Hashtbl.create 8 in
+  let nbranch = ref 0 in
+  let u = node_unknown in
+  let emit d = sdevs := d :: !sdevs in
+  let emit_cap i j c = if c > 0.0 then emit (SCap { i; j; c; vprev = 0.0; iprev = 0.0 }) in
+  let compile_device = function
+    | Netlist.Resistor { n1; n2; r; _ } ->
+        if r <= 0.0 then invalid_arg "non-positive resistance";
+        emit (SRes { i = u n1; j = u n2; g = 1.0 /. r })
+    | Netlist.Capacitor { n1; n2; c; _ } -> emit_cap (u n1) (u n2) c
+    | Netlist.Diode { anode; cathode; model; _ } ->
+        emit (SDiode { a = u anode; k = u cathode; m = model; js = { v_last = 0.0 } });
+        emit_cap (u anode) (u cathode) model.Models.d_cj
+    | Netlist.Bjt { name; collector; base; emitters; model } ->
+        Array.iteri
+          (fun k e ->
+            let name = if Array.length emitters = 1 then name else Printf.sprintf "%s#e%d" name k in
+            emit
+              (SBjt
+                 {
+                   name;
+                   c = u collector;
+                   b = u base;
+                   e = u e;
+                   m = model;
+                   jbe = { v_last = 0.0 };
+                   jbc = { v_last = 0.0 };
+                 });
+            emit_cap (u base) (u e) model.Models.q_cje;
+            emit_cap (u base) (u collector) model.Models.q_cjc)
+          emitters
+    | Netlist.Vsource { name; npos; nneg; wave } ->
+        let br = nv + !nbranch in
+        incr nbranch;
+        Hashtbl.replace branches name br;
+        emit (SVsrc { p = u npos; n = u nneg; br; w = wave })
+    | Netlist.Isource { npos; nneg; wave; _ } ->
+        emit (SIsrc { p = u npos; n = u nneg; w = wave })
+    | Netlist.Vcvs { name; npos; nneg; cpos; cneg; gain } ->
+        let br = nv + !nbranch in
+        incr nbranch;
+        Hashtbl.replace branches name br;
+        emit (SVcvs { p = u npos; n = u nneg; cp = u cpos; cn = u cneg; br; gain })
+    | Netlist.Vccs { npos; nneg; cpos; cneg; gm; _ } ->
+        emit (SVccs { p = u npos; n = u nneg; cp = u cpos; cn = u cneg; gm })
+  in
+  Netlist.iter_devices net compile_device;
+  let nunk = nv + !nbranch in
+  let use_sparse =
+    match options.solver with
+    | Dense_solver -> false
+    | Sparse_solver -> true
+    | Auto -> nunk > 60
+  in
+  let backend =
+    if use_sparse then
+      BSparse { trip = Cml_numerics.Sparse.triplet_create nunk; pat = None; count = 0 }
+    else BDense (Cml_numerics.Dense.create nunk)
+  in
+  {
+    opts = options;
+    nv;
+    nunk;
+    sdevs = Array.of_list (List.rev !sdevs);
+    branches;
+    backend;
+    rhs = Array.make nunk 0.0;
+    junction_error = 0.0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Assembly.
+
+   The entry *sequence* produced by [load] is identical on every call
+   (same devices, same order, zero-valued entries included), which is
+   what lets the sparse backend compress the pattern once and then
+   only refresh numeric values. *)
+
+let load sim ~x ~time ~integ ~srcscale ~gshunt =
+  let rhs = sim.rhs in
+  Array.fill rhs 0 sim.nunk 0.0;
+  let stamp =
+    match sim.backend with
+    | BDense d ->
+        Cml_numerics.Dense.clear d;
+        fun i j v -> if i >= 0 && j >= 0 then Cml_numerics.Dense.add_entry d i j v
+    | BSparse sp ->
+        sp.count <- 0;
+        if sp.pat = None then
+          (fun i j v -> if i >= 0 && j >= 0 then Cml_numerics.Sparse.add sp.trip i j v)
+        else
+          fun i j v ->
+            if i >= 0 && j >= 0 then begin
+              Cml_numerics.Sparse.set_values sp.trip sp.count v;
+              sp.count <- sp.count + 1
+            end
+  in
+  let inject i v = if i >= 0 then rhs.(i) <- rhs.(i) +. v in
+  let vof i = if i < 0 then 0.0 else x.(i) in
+  let stamp_conductance i j g =
+    stamp i i g;
+    stamp j j g;
+    stamp i j (-.g);
+    stamp j i (-.g)
+  in
+  let gmin = sim.opts.gmin in
+  let nvt = Models.boltzmann_vt in
+  sim.junction_error <- 0.0;
+  let note_junction vnew vlim =
+    let err = Float.abs (vnew -. vlim) in
+    if err > sim.junction_error then sim.junction_error <- err
+  in
+  (* gshunt diagonal for every node unknown: also guarantees a
+     structurally non-empty diagonal for the sparse pattern *)
+  for i = 0 to sim.nv - 1 do
+    stamp i i gshunt
+  done;
+  let do_device = function
+    | SRes { i; j; g } -> stamp_conductance i j g
+    | SCap { i; j; c; vprev; iprev } ->
+        let g, irhs =
+          match integ with
+          | Dcop -> (0.0, 0.0)
+          | Tran { geq; trap } ->
+              let g = geq *. c in
+              (g, (g *. vprev) +. if trap then iprev else 0.0)
+        in
+        stamp_conductance i j g;
+        inject i irhs;
+        inject j (-.irhs)
+    | SDiode { a; k; m; js } ->
+        let n_nvt = m.Models.d_n *. nvt in
+        let vnew = vof a -. vof k in
+        let vlim =
+          Models.pnjlim ~vnew ~vold:js.v_last ~nvt:n_nvt
+            ~vcrit:(Models.vcrit ~is:m.Models.d_is ~nvt:n_nvt)
+        in
+        js.v_last <- vlim;
+        note_junction vnew vlim;
+        let id, gd = Models.junction_current ~is:m.Models.d_is ~nvt:n_nvt vlim in
+        let g = gd +. gmin and i0 = id +. (gmin *. vlim) in
+        stamp_conductance a k g;
+        let ieq = (g *. vlim) -. i0 in
+        inject a ieq;
+        inject k (-.ieq)
+    | SBjt { c; b; e; m; jbe; jbc; name = _ } ->
+        let vcrit = Models.vcrit ~is:m.Models.q_is ~nvt in
+        let lim vnew j =
+          let v = Models.pnjlim ~vnew ~vold:j.v_last ~nvt ~vcrit in
+          j.v_last <- v;
+          note_junction vnew v;
+          v
+        in
+        let vbe = lim (vof b -. vof e) jbe in
+        let vbc = lim (vof b -. vof c) jbc in
+        let ift, gif = Models.junction_current ~is:m.Models.q_is ~nvt vbe in
+        let irt, gir = Models.junction_current ~is:m.Models.q_is ~nvt vbc in
+        let icc = ift -. irt in
+        let ibe = (ift /. m.Models.q_bf) +. (gmin *. vbe) in
+        let gbe = (gif /. m.Models.q_bf) +. gmin in
+        let ibc = (irt /. m.Models.q_br) +. (gmin *. vbc) in
+        let gbc = (gir /. m.Models.q_br) +. gmin in
+        let ic0 = icc -. ibc in
+        let ib0 = ibe +. ibc in
+        let ie0 = -.icc -. ibe in
+        (* rows: partial derivatives wrt (Vb, Vc, Ve) *)
+        let dic_dvb = gif -. gir -. gbc
+        and dic_dvc = gir +. gbc
+        and dic_dve = -.gif in
+        let dib_dvb = gbe +. gbc and dib_dvc = -.gbc and dib_dve = -.gbe in
+        let die_dvb = -.gif -. gbe +. gir and die_dvc = -.gir and die_dve = gif +. gbe in
+        stamp c b dic_dvb;
+        stamp c c dic_dvc;
+        stamp c e dic_dve;
+        stamp b b dib_dvb;
+        stamp b c dib_dvc;
+        stamp b e dib_dve;
+        stamp e b die_dvb;
+        stamp e c die_dvc;
+        stamp e e die_dve;
+        inject c ((gif *. vbe) +. (((-.gir) -. gbc) *. vbc) -. ic0);
+        inject b ((gbe *. vbe) +. (gbc *. vbc) -. ib0);
+        inject e ((((-.gif) -. gbe) *. vbe) +. (gir *. vbc) -. ie0)
+    | SVsrc { p; n; br; w } ->
+        stamp br p 1.0;
+        stamp br n (-1.0);
+        stamp p br 1.0;
+        stamp n br (-1.0);
+        rhs.(br) <- rhs.(br) +. (srcscale *. Waveform.value w time)
+    | SIsrc { p; n; w } ->
+        let i = srcscale *. Waveform.value w time in
+        inject p (-.i);
+        inject n i
+    | SVcvs { p; n; cp; cn; br; gain } ->
+        stamp br p 1.0;
+        stamp br n (-1.0);
+        stamp br cp (-.gain);
+        stamp br cn gain;
+        stamp p br 1.0;
+        stamp n br (-1.0)
+    | SVccs { p; n; cp; cn; gm } ->
+        stamp p cp gm;
+        stamp p cn (-.gm);
+        stamp n cp (-.gm);
+        stamp n cn gm
+  in
+  Array.iter do_device sim.sdevs;
+  match sim.backend with
+  | BDense _ -> ()
+  | BSparse sp -> begin
+      match sp.pat with
+      | None -> sp.pat <- Some (Cml_numerics.Sparse.compress sp.trip)
+      | Some pat -> Cml_numerics.Sparse.refill pat sp.trip
+    end
+
+let solve_linear sim =
+  match sim.backend with
+  | BDense d -> Cml_numerics.Dense.solve d sim.rhs
+  | BSparse { pat = Some pat; _ } ->
+      let a = Cml_numerics.Sparse.csc_of_pattern pat in
+      Cml_numerics.Sparse_lu.solve (Cml_numerics.Sparse_lu.factorize a) sim.rhs
+  | BSparse { pat = None; _ } -> assert false
+
+let converged sim x x' =
+  let ok = ref true in
+  for i = 0 to sim.nunk - 1 do
+    let tol =
+      if i < sim.nv then sim.opts.vntol +. (sim.opts.reltol *. Float.max (Float.abs x.(i)) (Float.abs x'.(i)))
+      else sim.opts.abstol +. (sim.opts.reltol *. Float.max (Float.abs x.(i)) (Float.abs x'.(i)))
+    in
+    if Float.abs (x'.(i) -. x.(i)) > tol then ok := false
+  done;
+  !ok
+
+let set_junction_states sim x =
+  let vof i = if i < 0 then 0.0 else x.(i) in
+  Array.iter
+    (function
+      | SDiode { a; k; js; _ } -> js.v_last <- vof a -. vof k
+      | SBjt { c; b; e; jbe; jbc; _ } ->
+          jbe.v_last <- vof b -. vof e;
+          jbc.v_last <- vof b -. vof c
+      | SRes _ | SCap _ | SVsrc _ | SIsrc _ | SVcvs _ | SVccs _ -> ())
+    sim.sdevs
+
+let newton sim ~time ~integ ?(srcscale = 1.0) ?(gshunt = 0.0) x0 =
+  set_junction_states sim x0;
+  let rec iterate x iter =
+    if iter > sim.opts.max_iter then None
+    else begin
+      load sim ~x ~time ~integ ~srcscale ~gshunt;
+      match solve_linear sim with
+      | exception (Cml_numerics.Dense.Singular _ | Cml_numerics.Sparse_lu.Singular _) -> None
+      | x' ->
+          let junctions_settled = sim.junction_error <= sim.opts.vntol +. (sim.opts.reltol *. 1.0) in
+          if iter > 0 && junctions_settled && converged sim x x' then Some (x', iter)
+          else iterate x' (iter + 1)
+    end
+  in
+  iterate (Cml_numerics.Vec.copy x0) 0
+
+let zeros sim = Array.make sim.nunk 0.0
+
+let gmin_levels =
+  [
+    1e-2; 3e-3; 1e-3; 3e-4; 1e-4; 3e-5; 1e-5; 3e-6; 1e-6; 1e-7; 1e-8; 1e-9; 1e-10; 1e-11;
+    1e-12; 0.0;
+  ]
+
+
+let dc_homotopy sim ~time x0 =
+  (* plain Newton first *)
+  match newton sim ~time ~integ:Dcop x0 with
+  | Some (x, _) -> Some x
+  | None ->
+      (* gmin stepping; a level that fails is skipped (the next,
+         gentler level often converges from the same start), but the
+         final gshunt = 0 solve must succeed *)
+      let rec gmin_walk x = function
+        | [] -> Some x
+        | g :: rest -> begin
+            match newton sim ~time ~integ:Dcop ~gshunt:g x with
+            | Some (x', _) -> gmin_walk x' rest
+            | None -> if rest = [] then None else gmin_walk x rest
+          end
+      in
+      let gmin_result = gmin_walk (zeros sim) gmin_levels in
+      (match gmin_result with
+      | Some x -> Some x
+      | None ->
+          (* adaptive source stepping: on failure, bisect toward the
+             last converged scale; on success, grow the step *)
+          let rec src_walk x s_done step budget =
+            if s_done >= 1.0 then Some x
+            else if budget = 0 || step < 1e-4 then None
+            else begin
+              let target = Float.min 1.0 (s_done +. step) in
+              match newton sim ~time ~integ:Dcop ~srcscale:target x with
+              | Some (x', _) -> src_walk x' target (step *. 2.0) (budget - 1)
+              | None -> src_walk x s_done (step /. 2.0) (budget - 1)
+            end
+          in
+          src_walk (zeros sim) 0.0 0.1 60)
+
+let dc_operating_point ?(time = 0.0) sim =
+  match dc_homotopy sim ~time (zeros sim) with
+  | Some x -> x
+  | None -> raise (No_convergence "dc operating point")
+
+let dc_from ?(time = 0.0) sim x0 =
+  match newton sim ~time ~integ:Dcop x0 with
+  | Some (x, _) -> x
+  | None -> (
+      match dc_homotopy sim ~time (zeros sim) with
+      | Some x -> x
+      | None -> raise (No_convergence "dc continuation"))
+
+let init_capacitor_states sim x =
+  let vof i = if i < 0 then 0.0 else x.(i) in
+  Array.iter
+    (function
+      | SCap c ->
+          c.vprev <- vof c.i -. vof c.j;
+          c.iprev <- 0.0
+      | SRes _ | SDiode _ | SBjt _ | SVsrc _ | SIsrc _ | SVcvs _ | SVccs _ -> ())
+    sim.sdevs
+
+let update_capacitor_states sim x ~h ~trap =
+  let vof i = if i < 0 then 0.0 else x.(i) in
+  Array.iter
+    (function
+      | SCap c ->
+          let v = vof c.i -. vof c.j in
+          let i_new =
+            if trap then (2.0 *. c.c /. h *. (v -. c.vprev)) -. c.iprev
+            else c.c /. h *. (v -. c.vprev)
+          in
+          c.vprev <- v;
+          c.iprev <- i_new
+      | SRes _ | SDiode _ | SBjt _ | SVsrc _ | SIsrc _ | SVcvs _ | SVccs _ -> ())
+    sim.sdevs
+
+let ac_system sim x =
+  set_junction_states sim x;
+  load sim ~x ~time:0.0 ~integ:Dcop ~srcscale:1.0 ~gshunt:0.0;
+  let g_entries =
+    match sim.backend with
+    | BDense d ->
+        let acc = ref [] in
+        for i = 0 to sim.nunk - 1 do
+          for j = 0 to sim.nunk - 1 do
+            let v = Cml_numerics.Dense.get d i j in
+            if v <> 0.0 then acc := (i, j, v) :: !acc
+          done
+        done;
+        !acc
+    | BSparse { pat = Some pat; _ } ->
+        let a = Cml_numerics.Sparse.csc_of_pattern pat in
+        let acc = ref [] in
+        for j = 0 to a.Cml_numerics.Sparse.n - 1 do
+          for p = a.Cml_numerics.Sparse.colptr.(j) to a.Cml_numerics.Sparse.colptr.(j + 1) - 1 do
+            let v = a.Cml_numerics.Sparse.values.(p) in
+            if v <> 0.0 then acc := (a.Cml_numerics.Sparse.rowind.(p), j, v) :: !acc
+          done
+        done;
+        !acc
+    | BSparse { pat = None; _ } -> assert false
+  in
+  let c_entries =
+    Array.fold_left
+      (fun acc d ->
+        match d with
+        | SCap { i; j; c; _ } ->
+            let add acc a bt v = if a >= 0 && bt >= 0 then (a, bt, v) :: acc else acc in
+            add (add (add (add acc i i c) j j c) i j (-.c)) j i (-.c)
+        | SRes _ | SDiode _ | SBjt _ | SVsrc _ | SIsrc _ | SVcvs _ | SVccs _ -> acc)
+      [] sim.sdevs
+  in
+  (g_entries, c_entries)
+
+
+type bjt_op = { q_name : string; vbe : float; vce : float; ic : float; ib : float }
+
+let bjt_report sim x =
+  let vof i = if i < 0 then 0.0 else x.(i) in
+  let nvt = Models.boltzmann_vt in
+  Array.to_list
+    (Array.of_seq
+       (Seq.filter_map
+          (fun d ->
+            match d with
+            | SBjt { name; c; b; e; m; _ } ->
+                let vbe = vof b -. vof e and vbc = vof b -. vof c in
+                let ift, _ = Models.junction_current ~is:m.Models.q_is ~nvt vbe in
+                let irt, _ = Models.junction_current ~is:m.Models.q_is ~nvt vbc in
+                let ic = ift -. irt -. (irt /. m.Models.q_br) in
+                let ib = (ift /. m.Models.q_bf) +. (irt /. m.Models.q_br) in
+                Some { q_name = name; vbe; vce = vof c -. vof e; ic; ib }
+            | SRes _ | SCap _ | SDiode _ | SVsrc _ | SIsrc _ | SVcvs _ | SVccs _ -> None)
+          (Array.to_seq sim.sdevs)))

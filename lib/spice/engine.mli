@@ -1,0 +1,109 @@
+(** The nonlinear MNA engine: compiles a {!Netlist.t} into a
+    simulation structure, assembles the Newton companion system and
+    solves DC operating points with gmin/source-stepping homotopies.
+    Transient analysis lives in {!Transient}, sweeps in {!Sweep}. *)
+
+type solver_kind =
+  | Dense_solver
+  | Sparse_solver
+  | Auto  (** sparse above 60 unknowns, dense below *)
+
+type options = {
+  reltol : float;  (** relative convergence tolerance (default 1e-4) *)
+  vntol : float;  (** absolute node-voltage tolerance, V (default 1e-6) *)
+  abstol : float;  (** absolute branch-current tolerance, A (default 1e-12) *)
+  gmin : float;  (** conductance added across every pn junction (default 1e-12) *)
+  max_iter : int;  (** Newton iteration limit per solve (default 100) *)
+  solver : solver_kind;
+}
+
+val default_options : options
+
+exception No_convergence of string
+(** Raised when every homotopy fails to converge. *)
+
+type sim
+(** A compiled simulation.  Compilation snapshots the netlist: later
+    netlist mutations are not seen. *)
+
+type integ =
+  | Dcop  (** capacitors open *)
+  | Tran of { geq : float; trap : bool }
+      (** companion-model mode: [geq] is the multiplier [1/h]
+          (backward Euler, [trap = false]) or [2/h] (trapezoidal,
+          [trap = true]) applied to each capacitance *)
+
+val compile : ?options:options -> Netlist.t -> sim
+
+val options : sim -> options
+val unknown_count : sim -> int
+
+val node_unknown : Netlist.node -> int
+(** Index of a node voltage in a solution vector, or [-1] for
+    ground. *)
+
+val voltage : float array -> Netlist.node -> float
+(** Voltage of a node in a solution vector (0 for ground). *)
+
+val branch_unknown : sim -> string -> int
+(** Index of the branch current of the named voltage source or VCVS.
+    @raise Not_found if there is no such branch. *)
+
+val newton :
+  sim ->
+  time:float ->
+  integ:integ ->
+  ?srcscale:float ->
+  ?gshunt:float ->
+  float array ->
+  (float array * int) option
+(** One Newton solve from the given initial vector; [Some (x, iters)]
+    on convergence.  [gshunt] adds a conductance from every node to
+    ground (gmin stepping); [srcscale] scales all independent
+    sources (source stepping). *)
+
+val dc_operating_point : ?time:float -> sim -> float array
+(** DC solution with sources evaluated at [time] (default 0); tries
+    plain Newton, then gmin stepping, then source stepping.
+    @raise No_convergence if all strategies fail. *)
+
+val dc_from : ?time:float -> sim -> float array -> float array
+(** Like {!dc_operating_point} but starting from a previous solution
+    (used by sweeps for continuation; falls back to the homotopies
+    when the warm start fails). *)
+
+val set_junction_states : sim -> float array -> unit
+(** Reset every device's junction-limiting memory to the voltages
+    implied by the given solution; called by the transient loop when
+    restarting from a known state. *)
+
+val update_capacitor_states : sim -> float array -> h:float -> trap:bool -> unit
+(** Commit an accepted time step: recompute and store each
+    capacitor's voltage and current. *)
+
+val init_capacitor_states : sim -> float array -> unit
+(** Initialise capacitor memory from a DC solution (zero current). *)
+
+val ac_system :
+  sim -> float array -> (int * int * float) list * (int * int * float) list
+(** Small-signal system at the given (converged) operating point:
+    [(g_entries, c_entries)] such that the AC response solves
+    [(G + j*omega*C) x = b].  [G] is the Newton Jacobian at the
+    operating point (junctions linearised, independent sources
+    zeroed structurally — their rows stay, their excitation comes
+    from the caller's [b]); [C] collects every capacitor stamp.
+    Ground rows/columns are already dropped; entries may repeat and
+    must be accumulated. *)
+
+type bjt_op = {
+  q_name : string;  (** device name; dual-emitter devices report one
+                        entry per emitter, suffixed [#e<k>] *)
+  vbe : float;
+  vce : float;
+  ic : float;  (** collector current (A) *)
+  ib : float;
+}
+
+val bjt_report : sim -> float array -> bjt_op list
+(** SPICE-style operating-point report: bias point of every
+    transistor at the given solution, in netlist order. *)

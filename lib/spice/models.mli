@@ -1,0 +1,38 @@
+(** Device model parameters and the primitive pn-junction maths shared
+    by the diode and BJT evaluators. *)
+
+val boltzmann_vt : float
+(** Thermal voltage kT/q at 300 K (about 25.85 mV). *)
+
+type diode = {
+  d_is : float;  (** saturation current (A) *)
+  d_n : float;  (** emission coefficient *)
+  d_cj : float;  (** junction capacitance (F), treated as constant *)
+}
+
+val default_diode : diode
+
+type bjt = {
+  q_is : float;  (** transport saturation current (A) *)
+  q_bf : float;  (** forward beta *)
+  q_br : float;  (** reverse beta *)
+  q_cje : float;  (** base-emitter capacitance (F) *)
+  q_cjc : float;  (** base-collector capacitance (F) *)
+}
+
+val default_bjt : bjt
+
+val limexp : float -> float
+(** [limexp x] is [exp x] for [x <= 80] and a linear continuation
+    above, so device evaluation never overflows. *)
+
+val junction_current : is:float -> nvt:float -> float -> float * float
+(** [junction_current ~is ~nvt v] is the pn-junction current and its
+    conductance [(i, g)] at bias [v] (no gmin included). *)
+
+val vcrit : is:float -> nvt:float -> float
+(** Critical voltage for junction limiting (SPICE definition). *)
+
+val pnjlim : vnew:float -> vold:float -> nvt:float -> vcrit:float -> float
+(** SPICE junction-voltage limiting: clamp the Newton update of a
+    junction voltage to avoid overflow-driven divergence. *)

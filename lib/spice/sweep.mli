@@ -1,0 +1,27 @@
+(** DC sweeps with continuation (each point warm-starts from the
+    previous solution), as needed to trace the hysteresis of the
+    variant-3 comparator (paper Fig. 12). *)
+
+val vsource_sweep_full :
+  ?options:Engine.options ->
+  Netlist.t ->
+  source:string ->
+  values:float array ->
+  Engine.sim * float array array
+(** [vsource_sweep_full net ~source ~values] solves the DC operating
+    point for each value of the named voltage source, in order, each
+    point warm-started from the previous one (continuation) —
+    sweeping up then down therefore traces both hysteresis branches.
+    Returns the compiled sim (for index lookups) and the solution
+    vector at every point.  The input netlist is not modified (the
+    sweep runs on a copy).
+    @raise Not_found if [source] is not a voltage source.
+    @raise Engine.No_convergence if a point fails to converge. *)
+
+val vsource_sweep :
+  ?options:Engine.options ->
+  Netlist.t ->
+  source:string ->
+  values:float array ->
+  float array array
+(** {!vsource_sweep_full} without the sim. *)

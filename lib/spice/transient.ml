@@ -1,0 +1,132 @@
+type config = {
+  tstop : float;
+  max_step : float;
+  min_step : float;
+  lte_control : bool;
+  record_every : int;
+}
+
+let config ?max_step ?min_step ?(lte_control = true) ?(record_every = 1) ~tstop () =
+  let max_step = match max_step with Some h -> h | None -> tstop /. 200.0 in
+  let min_step = match min_step with Some h -> h | None -> max_step /. 1e6 in
+  { tstop; max_step; min_step; lte_control; record_every }
+
+type result = {
+  times : float array;
+  data : float array array;
+  sim : Engine.sim;
+}
+
+let collect_breakpoints net ~tstop =
+  let acc = ref [] in
+  Netlist.iter_devices net (fun d ->
+      match d with
+      | Netlist.Vsource { wave; _ } | Netlist.Isource { wave; _ } ->
+          acc := List.rev_append (Waveform.breakpoints wave ~tstop) !acc
+      | Netlist.Resistor _ | Netlist.Capacitor _ | Netlist.Diode _ | Netlist.Bjt _
+      | Netlist.Vcvs _ | Netlist.Vccs _ -> ());
+  Array.of_list (List.sort_uniq compare (tstop :: !acc))
+
+(* Acceptance test for the predictor-based step control: the
+   trapezoidal corrector must stay within a generous band around the
+   linear prediction from the two previous points. *)
+let lte_ok opts xpred x =
+  let band = ref true in
+  let reltol = 30.0 *. opts.Engine.reltol and abstol = 1e-4 in
+  Array.iteri
+    (fun i xp ->
+      let tol = abstol +. (reltol *. Float.max (Float.abs xp) (Float.abs x.(i))) in
+      if Float.abs (x.(i) -. xp) > tol then band := false)
+    xpred;
+  !band
+
+let run ?x0 sim net cfg =
+  let opts = Engine.options sim in
+  let breakpoints = collect_breakpoints net ~tstop:cfg.tstop in
+  let x_start =
+    match x0 with Some x -> x | None -> Engine.dc_operating_point ~time:0.0 sim
+  in
+  Engine.init_capacitor_states sim x_start;
+  let times = Cml_numerics.Fbuf.create () in
+  let snapshots = ref [] in
+  let nsnap = ref 0 in
+  let record t x =
+    if !nsnap mod cfg.record_every = 0 then begin
+      Cml_numerics.Fbuf.push times t;
+      snapshots := Array.copy x :: !snapshots
+    end;
+    incr nsnap
+  in
+  record 0.0 x_start;
+  (* state for the predictor *)
+  let x_n = ref x_start and x_nm1 = ref x_start in
+  let h_prev = ref 0.0 in
+  let t = ref 0.0 in
+  let h = ref (cfg.max_step /. 10.0) in
+  let bp_index = ref 0 in
+  let force_be = ref true in
+  (* skip any breakpoint at or before t = 0 *)
+  while !bp_index < Array.length breakpoints && breakpoints.(!bp_index) <= 0.0 do
+    incr bp_index
+  done;
+  while !t < cfg.tstop -. (1e-12 *. cfg.tstop) do
+    let next_bp =
+      if !bp_index < Array.length breakpoints then breakpoints.(!bp_index) else cfg.tstop
+    in
+    let hitting_bp = !t +. !h >= next_bp -. (0.01 *. !h) in
+    let t_next = if hitting_bp then next_bp else !t +. !h in
+    let h_step = t_next -. !t in
+    let trap = (not !force_be) && !h_prev > 0.0 in
+    let geq = if trap then 2.0 /. h_step else 1.0 /. h_step in
+    let attempt = Engine.newton sim ~time:t_next ~integ:(Engine.Tran { geq; trap }) !x_n in
+    let accepted =
+      match attempt with
+      | None -> None
+      | Some (x, _iters) ->
+          if cfg.lte_control && !h_prev > 0.0 && not !force_be then begin
+            let scale = h_step /. !h_prev in
+            let xpred =
+              Array.mapi (fun i v -> v +. ((v -. !x_nm1.(i)) *. scale)) !x_n
+            in
+            if lte_ok opts xpred x then Some x else None
+          end
+          else Some x
+    in
+    match accepted with
+    | Some x ->
+        Engine.update_capacitor_states sim x ~h:h_step ~trap;
+        x_nm1 := !x_n;
+        x_n := x;
+        h_prev := h_step;
+        t := t_next;
+        record !t x;
+        if hitting_bp then begin
+          incr bp_index;
+          force_be := true;
+          (* restart cautiously after a slope discontinuity *)
+          h := Float.max cfg.min_step (Float.min !h (cfg.max_step /. 10.0))
+        end
+        else begin
+          force_be := false;
+          h := Float.min cfg.max_step (!h *. 1.4)
+        end
+    | None ->
+        let h' = h_step /. 4.0 in
+        if h' < cfg.min_step then
+          raise
+            (Engine.No_convergence
+               (Printf.sprintf "transient step failed at t = %.6g s (h = %.3g)" !t h_step));
+        h := h';
+        force_be := true
+  done;
+  let snaps = Array.of_list (List.rev !snapshots) in
+  { times = Cml_numerics.Fbuf.to_array times; data = snaps; sim }
+
+let node_trace r nd =
+  let idx = Engine.node_unknown nd in
+  Array.map (fun x -> if idx < 0 then 0.0 else x.(idx)) r.data
+
+let diff_trace r a b =
+  let ia = Engine.node_unknown a and ib = Engine.node_unknown b in
+  let v x i = if i < 0 then 0.0 else x.(i) in
+  Array.map (fun x -> v x ia -. v x ib) r.data

@@ -1,0 +1,35 @@
+(** Transient analysis: trapezoidal integration with a backward-Euler
+    start-up step after DC and after every source breakpoint,
+    Newton-failure step halving, and an optional predictor-based
+    local-truncation-error control. *)
+
+type config = {
+  tstop : float;  (** end time (s) *)
+  max_step : float;  (** largest accepted step *)
+  min_step : float;  (** below this a Newton failure is fatal *)
+  lte_control : bool;  (** enable predictor-corrector step control *)
+  record_every : int;  (** keep one sample out of this many (1 = all) *)
+}
+
+val config : ?max_step:float -> ?min_step:float -> ?lte_control:bool -> ?record_every:int ->
+  tstop:float -> unit -> config
+(** Defaults: [max_step = tstop /. 200.], [min_step = max_step /. 1e6],
+    [lte_control = true], [record_every = 1]. *)
+
+type result = {
+  times : float array;
+  data : float array array;  (** [data.(k)] is the solution vector at [times.(k)] *)
+  sim : Engine.sim;
+}
+
+val run : ?x0:float array -> Engine.sim -> Netlist.t -> config -> result
+(** Run a transient from the DC operating point at [t = 0] (or from
+    [x0] when given).  The netlist is only used to collect source
+    breakpoints; it must be the one the [sim] was compiled from.
+    @raise Engine.No_convergence when a step fails at [min_step]. *)
+
+val node_trace : result -> Netlist.node -> float array
+(** Voltage samples of a node, aligned with [times]. *)
+
+val diff_trace : result -> Netlist.node -> Netlist.node -> float array
+(** Differential voltage [v a - v b] over time. *)

@@ -1,0 +1,93 @@
+type t =
+  | Dc of float
+  | Pulse of {
+      v1 : float;
+      v2 : float;
+      delay : float;
+      rise : float;
+      fall : float;
+      width : float;
+      period : float;
+    }
+  | Sine of { offset : float; ampl : float; freq : float; delay : float; phase : float }
+  | Pwl of (float * float) array
+
+let pulse_value p t =
+  match p with
+  | Pulse { v1; v2; delay; rise; fall; width; period } ->
+      if t < delay then v1
+      else begin
+        let trel =
+          let dt = t -. delay in
+          if period > 0.0 then Float.rem dt period else dt
+        in
+        if trel < rise then v1 +. ((v2 -. v1) *. trel /. rise)
+        else if trel < rise +. width then v2
+        else if trel < rise +. width +. fall then
+          v2 +. ((v1 -. v2) *. (trel -. rise -. width) /. fall)
+        else v1
+      end
+  | Dc _ | Sine _ | Pwl _ -> invalid_arg "pulse_value"
+
+let pwl_value knots t =
+  let n = Array.length knots in
+  if n = 0 then 0.0
+  else begin
+    let t0, v0 = knots.(0) and tn, vn = knots.(n - 1) in
+    if t <= t0 then v0
+    else if t >= tn then vn
+    else begin
+      (* binary search for the segment containing t *)
+      let rec find lo hi =
+        if hi - lo <= 1 then lo
+        else begin
+          let mid = (lo + hi) / 2 in
+          if fst knots.(mid) <= t then find mid hi else find lo mid
+        end
+      in
+      let i = find 0 (n - 1) in
+      let ta, va = knots.(i) and tb, vb = knots.(i + 1) in
+      va +. ((vb -. va) *. (t -. ta) /. (tb -. ta))
+    end
+  end
+
+let value w t =
+  match w with
+  | Dc v -> v
+  | Pulse _ -> pulse_value w t
+  | Sine { offset; ampl; freq; delay; phase } ->
+      if t < delay then offset +. (ampl *. sin phase)
+      else offset +. (ampl *. sin ((2.0 *. Float.pi *. freq *. (t -. delay)) +. phase))
+  | Pwl knots -> pwl_value knots t
+
+let breakpoints w ~tstop =
+  let points =
+    match w with
+    | Dc _ -> []
+    | Sine { delay; _ } -> [ delay ]
+    | Pwl knots -> Array.to_list (Array.map fst knots)
+    | Pulse { delay; rise; fall; width; period; _ } ->
+        let edges_of base = [ base; base +. rise; base +. rise +. width; base +. rise +. width +. fall ] in
+        if period > 0.0 then begin
+          let rec cycles base acc =
+            if base > tstop then acc else cycles (base +. period) (List.rev_append (edges_of base) acc)
+          in
+          cycles delay []
+        end
+        else edges_of delay
+  in
+  let inside = List.filter (fun t -> t > 0.0 && t < tstop) points in
+  List.sort_uniq compare inside
+
+let square ?(delay = 0.0) ~v_low ~v_high ~freq ~edge () =
+  let period = 1.0 /. freq in
+  Pulse
+    {
+      v1 = v_low;
+      v2 = v_high;
+      delay;
+      rise = edge;
+      fall = edge;
+      width = (period /. 2.0) -. edge;
+      period;
+    }

@@ -1,0 +1,36 @@
+(** Time-dependent source waveforms, SPICE-style. *)
+
+type t =
+  | Dc of float  (** constant value *)
+  | Pulse of {
+      v1 : float;  (** initial value *)
+      v2 : float;  (** pulsed value *)
+      delay : float;  (** time of the first rising edge start *)
+      rise : float;  (** rise time (> 0) *)
+      fall : float;  (** fall time (> 0) *)
+      width : float;  (** time spent at [v2] *)
+      period : float;  (** repetition period; [<= 0] means a single pulse *)
+    }
+  | Sine of {
+      offset : float;
+      ampl : float;
+      freq : float;  (** in Hz *)
+      delay : float;  (** value is held at the phase-only value before [delay] *)
+      phase : float;  (** in radians *)
+    }
+  | Pwl of (float * float) array
+      (** piecewise-linear [(time, value)] knots, strictly increasing
+          times; the value is held constant outside the knot range *)
+
+val value : t -> float -> float
+(** [value w t] is the source value at time [t]. *)
+
+val breakpoints : t -> tstop:float -> float list
+(** Times in [(0, tstop)] where the waveform has a slope
+    discontinuity; the transient engine aligns time steps to these.
+    The list is sorted and duplicate-free. *)
+
+val square : ?delay:float -> v_low:float -> v_high:float -> freq:float -> edge:float -> unit -> t
+(** [square ~v_low ~v_high ~freq ~edge ()] is a 50%-duty repetitive
+    pulse with the given edge (rise = fall) time, convenient for
+    clock-like stimuli. *)

@@ -1,0 +1,58 @@
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let render_points ?(width = 72) ?(height = 20) ~xlabel series =
+  let all_pts = List.concat_map snd series in
+  match all_pts with
+  | [] -> "(no data)\n"
+  | (x0, y0) :: _ ->
+      let fold f init sel = List.fold_left (fun acc p -> f acc (sel p)) init all_pts in
+      let xmin = fold Float.min x0 fst and xmax = fold Float.max x0 fst in
+      let ymin = fold Float.min y0 snd and ymax = fold Float.max y0 snd in
+      let xspan = if xmax -. xmin > 0.0 then xmax -. xmin else 1.0 in
+      let yspan = if ymax -. ymin > 0.0 then ymax -. ymin else 1.0 in
+      let canvas = Array.make_matrix height width ' ' in
+      List.iteri
+        (fun si (_, pts) ->
+          let glyph = glyphs.(si mod Array.length glyphs) in
+          List.iter
+            (fun (x, y) ->
+              let cx =
+                int_of_float (Float.round ((x -. xmin) /. xspan *. float_of_int (width - 1)))
+              in
+              let cy =
+                int_of_float (Float.round ((y -. ymin) /. yspan *. float_of_int (height - 1)))
+              in
+              if cx >= 0 && cx < width && cy >= 0 && cy < height then
+                canvas.(height - 1 - cy).(cx) <- glyph)
+            pts)
+        series;
+      let b = Buffer.create 4096 in
+      Array.iteri
+        (fun row line ->
+          let label =
+            if row = 0 then Printf.sprintf "%10.4g |" ymax
+            else if row = height - 1 then Printf.sprintf "%10.4g |" ymin
+            else "           |"
+          in
+          Buffer.add_string b label;
+          Buffer.add_string b (String.init width (fun i -> line.(i)));
+          Buffer.add_char b '\n')
+        canvas;
+      Buffer.add_string b ("           +" ^ String.make width '-' ^ "\n");
+      Buffer.add_string b
+        (Printf.sprintf "            %-10.4g%*s%10.4g  (%s)\n" xmin (width - 20) "" xmax xlabel);
+      List.iteri
+        (fun si (name, _) ->
+          Buffer.add_string b
+            (Printf.sprintf "            %c = %s\n" glyphs.(si mod Array.length glyphs) name))
+        series;
+      Buffer.contents b
+
+let render ?width ?height series =
+  let to_points (name, w) =
+    ( name,
+      Array.to_list (Array.mapi (fun i t -> (t, w.Wave.values.(i))) w.Wave.times) )
+  in
+  render_points ?width ?height ~xlabel:"time (s)" (List.map to_points series)
+
+let render_xy ?width ?height ~xlabel series = render_points ?width ?height ~xlabel series

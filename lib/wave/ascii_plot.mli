@@ -1,0 +1,10 @@
+(** Terminal rendering of waveforms so the examples can show the
+    reproduced figures without a plotting stack. *)
+
+val render : ?width:int -> ?height:int -> (string * Wave.t) list -> string
+(** Plot the waveforms on one shared canvas (each series gets a
+    distinct glyph); includes a legend and axis annotations. *)
+
+val render_xy :
+  ?width:int -> ?height:int -> xlabel:string -> (string * (float * float) list) list -> string
+(** Scatter/series plot of [(x, y)] point lists. *)

@@ -1,0 +1,36 @@
+let write ~path waves =
+  match waves with
+  | [] -> invalid_arg "Csv.write: no waveforms"
+  | (_, first) :: _ ->
+      let n = Wave.length first in
+      List.iter
+        (fun (name, w) ->
+          if Wave.length w <> n then invalid_arg ("Csv.write: length mismatch for " ^ name))
+        waves;
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc "time";
+          List.iter (fun (name, _) -> output_string oc ("," ^ name)) waves;
+          output_string oc "\n";
+          for i = 0 to n - 1 do
+            output_string oc (Printf.sprintf "%.9e" first.Wave.times.(i));
+            List.iter
+              (fun (_, w) -> output_string oc (Printf.sprintf ",%.9e" w.Wave.values.(i)))
+              waves;
+            output_string oc "\n"
+          done)
+
+let write_table ~path ~header rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (String.concat "," header);
+      output_string oc "\n";
+      List.iter
+        (fun row ->
+          output_string oc (String.concat "," (List.map (Printf.sprintf "%.9e") row));
+          output_string oc "\n")
+        rows)

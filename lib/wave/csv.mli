@@ -1,0 +1,11 @@
+(** CSV export of waveforms (one time column plus one column per
+    named waveform), for offline plotting of the reproduced
+    figures. *)
+
+val write : path:string -> (string * Wave.t) list -> unit
+(** All waveforms must share one time axis (same length); the first
+    waveform's axis is written.
+    @raise Invalid_argument on an empty list or mismatched lengths. *)
+
+val write_table : path:string -> header:string list -> float list list -> unit
+(** Generic numeric table writer for swept results. *)

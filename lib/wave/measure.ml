@@ -1,0 +1,115 @@
+type direction = Rising | Falling | Either
+
+let segment_crossing t0 v0 t1 v1 level =
+  if v0 = v1 then None
+  else begin
+    let frac = (level -. v0) /. (v1 -. v0) in
+    if frac >= 0.0 && frac < 1.0 then Some (t0 +. (frac *. (t1 -. t0))) else None
+  end
+
+let matches direction v0 v1 =
+  match direction with
+  | Either -> true
+  | Rising -> v1 > v0
+  | Falling -> v1 < v0
+
+let crossings ?(direction = Either) (w : Wave.t) ~level =
+  let acc = ref [] in
+  let n = Array.length w.Wave.times in
+  for i = 0 to n - 2 do
+    let v0 = w.Wave.values.(i) and v1 = w.Wave.values.(i + 1) in
+    if matches direction v0 v1 then begin
+      match segment_crossing w.Wave.times.(i) v0 w.Wave.times.(i + 1) v1 level with
+      | Some t -> acc := t :: !acc
+      | None -> ()
+    end
+  done;
+  List.rev !acc
+
+let first_crossing ?(direction = Either) ?after w ~level =
+  let after = match after with Some t -> t | None -> Wave.t_start w in
+  List.find_opt (fun t -> t >= after) (crossings ~direction w ~level)
+
+let delay_at_reference ?(direction = Either) ~reference ~from_wave ~to_wave ~after () =
+  match first_crossing ~direction ~after from_wave ~level:reference with
+  | None -> None
+  | Some t0 -> (
+      match first_crossing ~direction ~after:t0 to_wave ~level:reference with
+      | None -> None
+      | Some t1 -> Some (t1 -. t0))
+
+let differential_crossings a b =
+  let d = Wave.combine (fun x y -> x -. y) a b in
+  crossings d ~level:0.0
+
+let extremes w ~t_from =
+  let ww = Wave.sub_range w ~t_from ~t_to:(Wave.t_end w) in
+  (Wave.vmin ww, Wave.vmax ww)
+
+let levels w ~t_from =
+  let ww = Wave.sub_range w ~t_from ~t_to:(Wave.t_end w) in
+  let lo = Wave.vmin ww and hi = Wave.vmax ww in
+  if hi -. lo < 1e-12 then (lo, hi)
+  else begin
+    let band = 0.25 *. (hi -. lo) in
+    let mean_of keep =
+      let s = ref 0.0 and tw = ref 0.0 in
+      let n = Wave.length ww in
+      for i = 0 to n - 2 do
+        let v = 0.5 *. (ww.Wave.values.(i) +. ww.Wave.values.(i + 1)) in
+        if keep v then begin
+          let dt = ww.Wave.times.(i + 1) -. ww.Wave.times.(i) in
+          s := !s +. (v *. dt);
+          tw := !tw +. dt
+        end
+      done;
+      if !tw > 0.0 then Some (!s /. !tw) else None
+    in
+    let low = match mean_of (fun v -> v <= lo +. band) with Some v -> v | None -> lo in
+    let high = match mean_of (fun v -> v >= hi -. band) with Some v -> v | None -> hi in
+    (low, high)
+  end
+
+let swing w ~t_from =
+  let lo, hi = extremes w ~t_from in
+  hi -. lo
+
+let time_to_stability ?(noise = 1e-3) (w : Wave.t) =
+  (* walk the samples tracking the running minimum; the first minimum
+     is confirmed once the signal has rebounded by more than [noise] *)
+  let n = Array.length w.Wave.times in
+  let rec walk i best_v best_t =
+    if i >= n then None
+    else begin
+      let v = w.Wave.values.(i) in
+      if v < best_v then walk (i + 1) v w.Wave.times.(i)
+      else if v > best_v +. noise then Some best_t
+      else walk (i + 1) best_v best_t
+    end
+  in
+  walk 1 w.Wave.values.(0) w.Wave.times.(0)
+
+let vmax_after w ~t_from = snd (extremes w ~t_from)
+
+let period_average w ~freq ~t_from =
+  let period = 1.0 /. freq in
+  let t_end = Wave.t_end w in
+  let span = t_end -. t_from in
+  let periods = Float.of_int (int_of_float (span /. period)) in
+  if periods < 1.0 then Wave.mean (Wave.sub_range w ~t_from ~t_to:t_end)
+  else
+    Wave.mean (Wave.sub_range w ~t_from:(t_end -. (periods *. period)) ~t_to:t_end)
+
+let settling_time ?(fraction = 0.95) (w : Wave.t) =
+  let v0 = w.Wave.values.(0) in
+  (* robust final value: time-weighted mean of the last tenth *)
+  let t_end = Wave.t_end w and t_start = Wave.t_start w in
+  let tail_from = t_end -. (0.1 *. (t_end -. t_start)) in
+  let v_end = Wave.mean (Wave.sub_range w ~t_from:tail_from ~t_to:t_end) in
+  let excursion = v_end -. v0 in
+  if Float.abs excursion < 1e-9 then Some t_start
+  else begin
+    let target = v0 +. (fraction *. excursion) in
+    let direction = if excursion > 0.0 then Rising else Falling in
+    first_crossing ~direction w ~level:target
+  end

@@ -1,0 +1,61 @@
+(** Waveform measurements used by the paper's experiments: threshold
+    crossings, the two delay-measurement methods of Tables 1 and 2,
+    high/low levels and swing (Fig. 4, Fig. 5), and the detector
+    response metrics t{_stability} and V{_max} (Figs. 7, 8, 10). *)
+
+type direction = Rising | Falling | Either
+
+val crossings : ?direction:direction -> Wave.t -> level:float -> float list
+(** Interpolated times at which the waveform crosses [level], in
+    order.  A sample exactly on the level counts as a crossing of the
+    segment that leaves it. *)
+
+val first_crossing : ?direction:direction -> ?after:float -> Wave.t -> level:float -> float option
+(** First crossing at or after [after] (default: start of the wave). *)
+
+val delay_at_reference :
+  ?direction:direction -> reference:float -> from_wave:Wave.t -> to_wave:Wave.t ->
+  after:float -> unit -> float option
+(** Table 1 method: the delay between the first crossing of the fixed
+    [reference] voltage by [from_wave] at or after [after] and the
+    next crossing of the same reference by [to_wave].  [None] when
+    either crossing is missing. *)
+
+val differential_crossings : Wave.t -> Wave.t -> float list
+(** Table 2 method: times where a signal and its complement actually
+    cross each other (zero crossings of their difference), whatever
+    the crossing voltage happens to be. *)
+
+val extremes : Wave.t -> t_from:float -> float * float
+(** [(vlow, vhigh)]: minimum and maximum over [t >= t_from]. *)
+
+val levels : Wave.t -> t_from:float -> float * float
+(** Robust plateau levels [(vlow, vhigh)] over [t >= t_from]: the
+    time-weighted means of the samples in the lowest and highest
+    quarter of the observed range.  Less sensitive to overshoot than
+    {!extremes}. *)
+
+val swing : Wave.t -> t_from:float -> float
+(** [vhigh - vlow] from {!extremes}. *)
+
+val time_to_stability : ?noise:float -> Wave.t -> float option
+(** Paper definition (section 6.1): the time at which the detector
+    output reaches its first local minimum, i.e. the end of the
+    initial transient.  A minimum only counts once the signal has
+    risen again by more than [noise] (default 1 mV).  [None] if the
+    signal never turns around. *)
+
+val vmax_after : Wave.t -> t_from:float -> float
+(** Maximum of the rippling signal after [t_from] (paper's V{_max}). *)
+
+val period_average : Wave.t -> freq:float -> t_from:float -> float
+(** Average over the last whole number of periods of [freq] after
+    [t_from]; useful for duty-cycled quantities. *)
+
+val settling_time : ?fraction:float -> Wave.t -> float option
+(** Robust companion to {!time_to_stability}: the first time the
+    signal covers [fraction] (default 0.95) of the excursion from its
+    initial value toward its final (tail-averaged) value, in either
+    direction.  Returns the start time when the signal never moves,
+    [None] when the target level is never crossed in the right
+    direction. *)

@@ -1,0 +1,47 @@
+let identifier k =
+  let base = 94 in
+  let rec go k acc =
+    let c = Char.chr (33 + (k mod base)) in
+    let acc = String.make 1 c ^ acc in
+    if k < base then acc else go ((k / base) - 1) acc
+  in
+  go k ""
+
+let to_string ?(timescale_fs = 1) waves =
+  (match waves with
+  | [] -> invalid_arg "Vcd_analog.to_string: no waveforms"
+  | (_, first) :: rest ->
+      List.iter
+        (fun (name, w) ->
+          if Wave.length w <> Wave.length first then
+            invalid_arg ("Vcd_analog: axis mismatch for " ^ name))
+        rest);
+  let _, first = List.hd waves in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "$version cml-dft analog dump $end\n";
+  Buffer.add_string buf (Printf.sprintf "$timescale %d fs $end\n" timescale_fs);
+  Buffer.add_string buf "$scope module analog $end\n";
+  List.iteri
+    (fun k (name, _) ->
+      Buffer.add_string buf (Printf.sprintf "$var real 64 %s %s $end\n" (identifier k) name))
+    waves;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  let n = Wave.length first in
+  let scale = 1e-15 *. float_of_int timescale_fs in
+  for i = 0 to n - 1 do
+    let t = int_of_float (Float.round (first.Wave.times.(i) /. scale)) in
+    Buffer.add_string buf (Printf.sprintf "#%d\n" t);
+    if i = 0 then Buffer.add_string buf "$dumpvars\n";
+    List.iteri
+      (fun k (_, w) ->
+        Buffer.add_string buf (Printf.sprintf "r%.9g %s\n" w.Wave.values.(i) (identifier k)))
+      waves;
+    if i = 0 then Buffer.add_string buf "$end\n"
+  done;
+  Buffer.contents buf
+
+let write ?timescale_fs ~path waves =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?timescale_fs waves))

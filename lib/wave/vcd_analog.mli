@@ -1,0 +1,11 @@
+(** VCD export of analog waveforms as real-valued variables, so the
+    simulator's transient results open in standard waveform viewers
+    next to the digital traces. *)
+
+val to_string : ?timescale_fs:int -> (string * Wave.t) list -> string
+(** All waveforms must share one time axis.  [timescale_fs] is the
+    VCD timescale in femtoseconds (default 1); times are rounded to
+    it.
+    @raise Invalid_argument on an empty list or mismatched axes. *)
+
+val write : ?timescale_fs:int -> path:string -> (string * Wave.t) list -> unit

@@ -1,0 +1,79 @@
+type t = { times : float array; values : float array }
+
+let create times values =
+  let n = Array.length times in
+  if n = 0 || Array.length values <> n then invalid_arg "Wave.create: bad lengths";
+  for i = 1 to n - 1 do
+    if times.(i) <= times.(i - 1) then invalid_arg "Wave.create: times must increase"
+  done;
+  { times; values }
+
+let length w = Array.length w.times
+
+let t_start w = w.times.(0)
+
+let t_end w = w.times.(Array.length w.times - 1)
+
+(* index of the last sample with time <= t (or 0) *)
+let locate w t =
+  let n = Array.length w.times in
+  if t <= w.times.(0) then 0
+  else if t >= w.times.(n - 1) then n - 1
+  else begin
+    let rec find lo hi =
+      if hi - lo <= 1 then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if w.times.(mid) <= t then find mid hi else find lo mid
+      end
+    in
+    find 0 (n - 1)
+  end
+
+let value_at w t =
+  let n = Array.length w.times in
+  if t <= w.times.(0) then w.values.(0)
+  else if t >= w.times.(n - 1) then w.values.(n - 1)
+  else begin
+    let i = locate w t in
+    let ta = w.times.(i) and tb = w.times.(i + 1) in
+    let va = w.values.(i) and vb = w.values.(i + 1) in
+    va +. ((vb -. va) *. (t -. ta) /. (tb -. ta))
+  end
+
+let map f w = { w with values = Array.map f w.values }
+
+let combine f a b =
+  if Array.length a.times <> Array.length b.times then
+    invalid_arg "Wave.combine: time axes differ";
+  { a with values = Array.map2 f a.values b.values }
+
+let sub_range w ~t_from ~t_to =
+  let keep = ref [] and kept_t = ref [] in
+  for i = Array.length w.times - 1 downto 0 do
+    let t = w.times.(i) in
+    if t >= t_from && t <= t_to then begin
+      keep := w.values.(i) :: !keep;
+      kept_t := t :: !kept_t
+    end
+  done;
+  if !kept_t = [] then invalid_arg "Wave.sub_range: empty window";
+  { times = Array.of_list !kept_t; values = Array.of_list !keep }
+
+let vmin w = Array.fold_left Float.min w.values.(0) w.values
+
+let vmax w = Array.fold_left Float.max w.values.(0) w.values
+
+let mean w =
+  let n = Array.length w.times in
+  if n = 1 then w.values.(0)
+  else begin
+    let area = ref 0.0 in
+    for i = 0 to n - 2 do
+      let dt = w.times.(i + 1) -. w.times.(i) in
+      area := !area +. (0.5 *. (w.values.(i) +. w.values.(i + 1)) *. dt)
+    done;
+    !area /. (w.times.(n - 1) -. w.times.(0))
+  end
+
+let shift w dt = { w with times = Array.map (fun t -> t +. dt) w.times }

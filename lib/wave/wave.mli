@@ -1,0 +1,35 @@
+(** Sampled waveforms: a strictly increasing time axis and one value
+    per sample, with linear interpolation between samples. *)
+
+type t = { times : float array; values : float array }
+
+val create : float array -> float array -> t
+(** Arrays must have equal nonzero length and strictly increasing
+    times. *)
+
+val length : t -> int
+val t_start : t -> float
+val t_end : t -> float
+
+val value_at : t -> float -> float
+(** Linear interpolation; clamped to the end values outside the
+    range. *)
+
+val map : (float -> float) -> t -> t
+(** Pointwise transform of the values. *)
+
+val combine : (float -> float -> float) -> t -> t -> t
+(** Pointwise combination of two waveforms sharing a time axis.
+    @raise Invalid_argument if the time axes differ in length. *)
+
+val sub_range : t -> t_from:float -> t_to:float -> t
+(** Samples with [t_from <= t <= t_to].
+    @raise Invalid_argument if the window contains no sample. *)
+
+val vmin : t -> float
+val vmax : t -> float
+val mean : t -> float
+(** Time-weighted (trapezoidal) average. *)
+
+val shift : t -> float -> t
+(** Shift the time axis by the given offset. *)

@@ -1,0 +1,196 @@
+(* Tests for defect modelling: injection mechanics, site enumeration
+   and the fault classification of the campaign runner, including the
+   paper's two canonical cases — the C-E short of Figure 2 (stuck-at)
+   and the Q3 pipe of Figure 4 (excessive excursion that heals). *)
+
+module N = Cml_spice.Netlist
+module E = Cml_spice.Engine
+module D = Cml_defects.Defect
+module B = Cml_cells.Builder
+
+let buffer_net () =
+  let b = B.create () in
+  let input = B.diff_dc_input b ~name:"in" ~value:true in
+  let out = Cml_cells.Buffer_cell.add b ~name:"x1" ~input in
+  (b, out)
+
+(* ------------------------------------------------------------------ *)
+(* Injection mechanics *)
+
+let test_pipe_adds_resistor () =
+  let b, _ = buffer_net () in
+  let faulty = Cml_defects.Inject.apply b.B.net (D.Pipe { device = "x1.q3"; r = 4e3 }) in
+  Alcotest.(check bool) "pipe resistor added" true (N.mem_device faulty "defect.pipe");
+  Alcotest.(check bool) "original untouched" true (not (N.mem_device b.B.net "defect.pipe"))
+
+let test_pipe_on_resistor_rejected () =
+  let b, _ = buffer_net () in
+  match Cml_defects.Inject.apply b.B.net (D.Pipe { device = "x1.r1"; r = 4e3 }) with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_short_between_terminals () =
+  let b, _ = buffer_net () in
+  let faulty =
+    Cml_defects.Inject.apply b.B.net (D.Terminal_short { device = "x1.q2"; t1 = "c"; t2 = "e" })
+  in
+  match N.get_device faulty "defect.short" with
+  | N.Resistor { r; _ } -> Alcotest.(check (float 1e-9)) "1 ohm" D.short_resistance r
+  | _ -> Alcotest.fail "expected resistor"
+
+let test_unknown_device () =
+  let b, _ = buffer_net () in
+  match Cml_defects.Inject.apply b.B.net (D.Pipe { device = "nope.q3"; r = 1e3 }) with
+  | _ -> Alcotest.fail "expected Not_found"
+  | exception Not_found -> ()
+
+let test_open_splits_node () =
+  let b, _ = buffer_net () in
+  let before = N.node_count b.B.net in
+  let faulty =
+    Cml_defects.Inject.apply b.B.net (D.Open_terminal { device = "x1.q1"; terminal = "b" })
+  in
+  Alcotest.(check int) "one new node" (before + 1) (N.node_count faulty);
+  Alcotest.(check bool) "bridge resistor" true (N.mem_device faulty "defect.open_r");
+  Alcotest.(check bool) "bridge capacitor" true (N.mem_device faulty "defect.open_c")
+
+let test_resistor_short_and_open () =
+  let b, _ = buffer_net () in
+  let shorted = Cml_defects.Inject.apply b.B.net (D.Resistor_short { device = "x1.r1" }) in
+  (match N.get_device shorted "x1.r1" with
+  | N.Resistor { r; _ } -> Alcotest.(check (float 1e-9)) "short" 1.0 r
+  | _ -> Alcotest.fail "resistor");
+  let opened = Cml_defects.Inject.apply b.B.net (D.Resistor_open { device = "x1.r1" }) in
+  match N.get_device opened "x1.r1" with
+  | N.Resistor { r; _ } -> Alcotest.(check (float 1.0)) "open" 100e6 r
+  | _ -> Alcotest.fail "resistor"
+
+let test_bridge_between_outputs () =
+  let b, _ = buffer_net () in
+  let faulty =
+    Cml_defects.Inject.apply b.B.net (D.Bridge { node1 = "x1.op"; node2 = "x1.on"; r = 1.0 })
+  in
+  Alcotest.(check bool) "bridge added" true (N.mem_device faulty "defect.bridge")
+
+let test_describe () =
+  Alcotest.(check string) "pipe text" "C-E pipe (4 kohm) on x1.q3"
+    (D.describe (D.Pipe { device = "x1.q3"; r = 4e3 }))
+
+(* ------------------------------------------------------------------ *)
+(* Site enumeration *)
+
+let test_enumerate_buffer_sites () =
+  let b, _ = buffer_net () in
+  let sites = Cml_defects.Sites.enumerate b.B.net ~prefix:"x1" in
+  (* 3 BJTs x (1 pipe + 3 shorts + 3 opens) + 2 resistors x 2 + 1 bridge *)
+  Alcotest.(check int) "site count" ((3 * 7) + 4 + 1) (List.length sites);
+  let pipes =
+    List.filter (function D.Pipe _ -> true | _ -> false) sites [@warning "-8"]
+  in
+  Alcotest.(check int) "3 pipes" 3 (List.length pipes)
+
+let test_enumerate_respects_prefix () =
+  let b = B.create () in
+  let input = B.diff_dc_input b ~name:"in" ~value:true in
+  let out1 = Cml_cells.Buffer_cell.add b ~name:"x1" ~input in
+  ignore (Cml_cells.Buffer_cell.add b ~name:"x2" ~input:out1);
+  let s1 = Cml_defects.Sites.enumerate b.B.net ~prefix:"x1" in
+  let s2 = Cml_defects.Sites.enumerate b.B.net ~prefix:"x2" in
+  Alcotest.(check int) "same shape" (List.length s1) (List.length s2)
+
+let test_enumerate_pipe_values () =
+  let b, _ = buffer_net () in
+  let sites = Cml_defects.Sites.enumerate ~pipe_values:[ 1e3; 5e3 ] b.B.net ~prefix:"x1" in
+  let pipes = List.filter (function D.Pipe _ -> true | _ -> false) sites in
+  Alcotest.(check int) "2 per transistor" 6 (List.length pipes)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign classification on the paper's canonical defects *)
+
+let run_single defect =
+  let c =
+    Cml_defects.Campaign.run ~defects:[ defect ] ()
+  in
+  match c.Cml_defects.Campaign.entries with
+  | [ { outcome = Cml_defects.Campaign.Measured (m, f); _ } ] -> (c.reference, m, f)
+  | [ { outcome = Cml_defects.Campaign.Failed msg; _ } ] -> Alcotest.failf "sim failed: %s" msg
+  | _ -> Alcotest.fail "expected one entry"
+
+let test_campaign_q2_short_is_stuck () =
+  (* Figure 2: C-E short on Q2 gives a stuck output *)
+  let _, _, f = run_single (D.Terminal_short { device = "x3.q2"; t1 = "c"; t2 = "e" }) in
+  Alcotest.(check bool) "stuck" true f.Cml_defects.Campaign.stuck
+
+let test_campaign_q3_pipe_is_excursion_not_stuck () =
+  (* Figure 4: 4 kohm pipe on Q3 nearly doubles the swing and heals *)
+  let reference, m, f = run_single (D.Pipe { device = "x3.q3"; r = 4e3 }) in
+  Alcotest.(check bool) "excessive excursion" true f.Cml_defects.Campaign.excessive_excursion;
+  Alcotest.(check bool) "not stuck" true (not f.Cml_defects.Campaign.stuck);
+  Alcotest.(check bool) "heals downstream" true f.Cml_defects.Campaign.healed;
+  let ratio = m.Cml_defects.Campaign.dut_swing /. reference.Cml_defects.Campaign.dut_swing in
+  Alcotest.(check bool)
+    (Printf.sprintf "swing nearly doubled (x%.2f)" ratio)
+    true
+    (ratio > 1.7 && ratio < 2.6)
+
+let test_campaign_benign_defect () =
+  (* a pipe so weak it changes nothing measurable *)
+  let _, _, f = run_single (D.Pipe { device = "x3.q3"; r = 10e6 }) in
+  Alcotest.(check bool) "no excursion" true (not f.Cml_defects.Campaign.excessive_excursion);
+  Alcotest.(check bool) "not stuck" true (not f.Cml_defects.Campaign.stuck)
+
+let test_campaign_reference_sane () =
+  let reference, _, _ = run_single (D.Pipe { device = "x3.q3"; r = 10e6 }) in
+  Alcotest.(check bool) "reference swing nominal" true
+    (reference.Cml_defects.Campaign.dut_swing > 0.2
+    && reference.Cml_defects.Campaign.dut_swing < 0.3);
+  Alcotest.(check bool) "reference delay measured" true
+    (reference.Cml_defects.Campaign.final_delay <> None)
+
+let test_campaign_summary_counts () =
+  let c =
+    Cml_defects.Campaign.run
+      ~defects:
+        [
+          D.Pipe { device = "x3.q3"; r = 4e3 };
+          D.Terminal_short { device = "x3.q2"; t1 = "c"; t2 = "e" };
+          D.Pipe { device = "does.not.exist"; r = 4e3 };
+        ]
+      ()
+  in
+  let s = Cml_defects.Campaign.summary c in
+  Alcotest.(check (option int)) "total" (Some 3) (List.assoc_opt "defects" s);
+  Alcotest.(check (option int)) "failed" (Some 1) (List.assoc_opt "failed" s);
+  Alcotest.(check bool) "one stuck at least" true
+    (match List.assoc_opt "stuck-at" s with Some n -> n >= 1 | None -> false)
+
+let () =
+  Alcotest.run "defects"
+    [
+      ( "inject",
+        [
+          Alcotest.test_case "pipe" `Quick test_pipe_adds_resistor;
+          Alcotest.test_case "pipe kind check" `Quick test_pipe_on_resistor_rejected;
+          Alcotest.test_case "terminal short" `Quick test_short_between_terminals;
+          Alcotest.test_case "unknown device" `Quick test_unknown_device;
+          Alcotest.test_case "open splits node" `Quick test_open_splits_node;
+          Alcotest.test_case "resistor short/open" `Quick test_resistor_short_and_open;
+          Alcotest.test_case "bridge" `Quick test_bridge_between_outputs;
+          Alcotest.test_case "describe" `Quick test_describe;
+        ] );
+      ( "sites",
+        [
+          Alcotest.test_case "buffer sites" `Quick test_enumerate_buffer_sites;
+          Alcotest.test_case "prefix scoping" `Quick test_enumerate_respects_prefix;
+          Alcotest.test_case "pipe values" `Quick test_enumerate_pipe_values;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "q2 short is stuck (fig 2)" `Slow test_campaign_q2_short_is_stuck;
+          Alcotest.test_case "q3 pipe is healed excursion (fig 4)" `Slow
+            test_campaign_q3_pipe_is_excursion_not_stuck;
+          Alcotest.test_case "benign defect" `Slow test_campaign_benign_defect;
+          Alcotest.test_case "reference sanity" `Slow test_campaign_reference_sane;
+          Alcotest.test_case "summary counts" `Slow test_campaign_summary_counts;
+        ] );
+    ]

@@ -1,0 +1,379 @@
+(* Tests for the core DFT library: detector variants, the variant-3
+   read-out with hysteresis, load sharing, the area model and the
+   prior-art baselines. *)
+
+module N = Cml_spice.Netlist
+module E = Cml_spice.Engine
+module W = Cml_spice.Waveform
+module B = Cml_cells.Builder
+module Dft = Cml_dft
+
+let proc = Cml_cells.Process.default
+
+(* ------------------------------------------------------------------ *)
+(* Detector construction *)
+
+let test_vtest_created_once () =
+  let b = B.create () in
+  let n1 = Dft.Detector.ensure_vtest b 3.7 in
+  let n2 = Dft.Detector.ensure_vtest b 3.7 in
+  Alcotest.(check int) "same node" n1 n2;
+  Alcotest.(check bool) "source exists" true (N.mem_device b.B.net "vtest")
+
+let test_set_vtest () =
+  let b = B.create () in
+  ignore (Dft.Detector.ensure_vtest b 3.3);
+  Dft.Detector.set_vtest b 3.7;
+  match N.get_device b.B.net "vtest" with
+  | N.Vsource { wave = W.Dc v; _ } -> Alcotest.(check (float 1e-12)) "updated" 3.7 v
+  | _ -> Alcotest.fail "expected DC vsource"
+
+let test_vtest_modes () =
+  Alcotest.(check (float 1e-9)) "normal = rail" 3.3 (Dft.Detector.vtest_normal proc);
+  Alcotest.(check bool) "test above rail" true (Dft.Detector.vtest_test proc > 3.3)
+
+let test_v1_devices () =
+  let b = B.create () in
+  let input = B.diff_dc_input b ~name:"in" ~value:true in
+  let out = Cml_cells.Buffer_cell.add b ~name:"x1" ~input in
+  ignore (Dft.Detector.attach_v1 b ~name:"d" ~outputs:out Dft.Detector.v1_default);
+  List.iter
+    (fun dev -> Alcotest.(check bool) (dev ^ " exists") true (N.mem_device b.B.net dev))
+    [ "d.q4"; "d.q5"; "d.c7" ]
+
+let test_v1_resistor_load () =
+  let b = B.create () in
+  let input = B.diff_dc_input b ~name:"in" ~value:true in
+  let out = Cml_cells.Buffer_cell.add b ~name:"x1" ~input in
+  ignore
+    (Dft.Detector.attach_v1 b ~name:"d" ~outputs:out
+       { Dft.Detector.v1_default with Dft.Detector.load = Dft.Detector.Resistor_load 160e3 });
+  Alcotest.(check bool) "resistor load" true (N.mem_device b.B.net "d.rload")
+
+let test_v2_multi_emitter_devices () =
+  let b = B.create () in
+  let input = B.diff_dc_input b ~name:"in" ~value:true in
+  let out = Cml_cells.Buffer_cell.add b ~name:"x1" ~input in
+  let vtest = Dft.Detector.ensure_vtest b 3.7 in
+  ignore
+    (Dft.Detector.attach_v2 b ~name:"d" ~outputs:out ~vtest
+       { Dft.Detector.v2_default with Dft.Detector.multi_emitter = true });
+  Alcotest.(check bool) "dual-emitter device" true (N.mem_device b.B.net "d.q45");
+  match N.get_device b.B.net "d.q45" with
+  | N.Bjt { emitters; _ } -> Alcotest.(check int) "two emitters" 2 (Array.length emitters)
+  | _ -> Alcotest.fail "expected bjt"
+
+(* ------------------------------------------------------------------ *)
+(* Detector behaviour (transient) *)
+
+let v1_response pipe =
+  Dft.Experiment.detector_response ~variant:(Dft.Experiment.V1 Dft.Detector.v1_default)
+    ~freq:100e6 ~pipe ~tstop:80e-9 ()
+
+let test_v1_silent_when_fault_free () =
+  let r = v1_response None in
+  Alcotest.(check bool)
+    (Printf.sprintf "small drop, got %.3f" r.Dft.Experiment.vout_drop)
+    true
+    (r.Dft.Experiment.vout_drop < 0.2)
+
+let test_v1_fires_on_strong_pipe () =
+  let r = v1_response (Some 1e3) in
+  Alcotest.(check bool)
+    (Printf.sprintf "large drop, got %.3f" r.Dft.Experiment.vout_drop)
+    true
+    (r.Dft.Experiment.vout_drop > 0.5);
+  Alcotest.(check bool) "excursion present" true (r.Dft.Experiment.excursion > 0.5)
+
+let test_v1_drop_monotone_in_severity () =
+  let d1 = (v1_response (Some 1e3)).Dft.Experiment.vout_drop in
+  let d3 = (v1_response (Some 3e3)).Dft.Experiment.vout_drop in
+  let d5 = (v1_response (Some 5e3)).Dft.Experiment.vout_drop in
+  Alcotest.(check bool)
+    (Printf.sprintf "monotone: %.3f > %.3f > %.3f" d1 d3 d5)
+    true
+    (d1 > d3 && d3 > d5)
+
+let v2_response pipe =
+  Dft.Experiment.detector_response
+    ~variant:(Dft.Experiment.V2 { cfg = Dft.Detector.v2_default; vtest = Dft.Detector.vtest_test proc })
+    ~freq:100e6 ~pipe ~tstop:80e-9 ()
+
+let test_v2_more_sensitive_than_v1 () =
+  (* at a weak 5 kohm pipe the variant-2 detector must produce a
+     clearly larger response than variant 1 relative to fault-free *)
+  let v1_sig =
+    (v1_response (Some 5e3)).Dft.Experiment.vout_drop -. (v1_response None).Dft.Experiment.vout_drop
+  in
+  let v2_sig =
+    (v2_response (Some 5e3)).Dft.Experiment.vout_drop -. (v2_response None).Dft.Experiment.vout_drop
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "v2 margin %.3f > v1 margin %.3f" v2_sig v1_sig)
+    true
+    (v2_sig > v1_sig)
+
+let test_multi_emitter_detector_equivalent () =
+  let resp me =
+    Dft.Experiment.detector_response
+      ~variant:
+        (Dft.Experiment.V2
+           {
+             cfg = { Dft.Detector.v2_default with Dft.Detector.multi_emitter = me };
+             vtest = Dft.Detector.vtest_test proc;
+           })
+      ~freq:100e6 ~pipe:(Some 3e3) ~tstop:40e-9 ()
+  in
+  let a = (resp false).Dft.Experiment.vout_drop and b = (resp true).Dft.Experiment.vout_drop in
+  Alcotest.(check bool)
+    (Printf.sprintf "same response (%.3f vs %.3f)" a b)
+    true
+    (Float.abs (a -. b) < 0.02)
+
+let test_amplitude_thresholds_v1 () =
+  let rows, min_amp =
+    Dft.Experiment.amplitude_thresholds ~detect_drop:0.35
+      ~variant:(Dft.Experiment.V1 Dft.Detector.v1_default) ~freq:100e6
+      ~pipe_values:[ 1e3; 2e3; 4e3 ] ~tstop:80e-9 ()
+  in
+  Alcotest.(check int) "3 rows" 3 (List.length rows);
+  match min_amp with
+  | Some a ->
+      Alcotest.(check bool)
+        (Printf.sprintf "v1 minimal amplitude near 0.5-0.65 V, got %.3f" a)
+        true
+        (a > 0.4 && a < 0.7)
+  | None -> Alcotest.fail "v1 detected nothing"
+
+(* ------------------------------------------------------------------ *)
+(* Read-out (variant 3) *)
+
+let test_readout_thresholds_design () =
+  let lo, hi = Dft.Readout.thresholds Dft.Readout.default_config ~vtest:3.7 in
+  Alcotest.(check (float 1e-6)) "upper" 3.531 hi;
+  Alcotest.(check (float 1e-6)) "lower" 3.281 lo
+
+let standalone_readout () =
+  let b = B.create () in
+  let vtest = Dft.Detector.ensure_vtest b 3.7 in
+  let ro = Dft.Readout.attach b ~name:"ro" ~vtest () in
+  (b, ro)
+
+let test_readout_states () =
+  (* drive vout directly: well above the window -> pass (flag high),
+     well below -> fail (flag low) *)
+  let state vdrive =
+    let b, ro = standalone_readout () in
+    N.vsource b.B.net ~name:"vdrive" ~pos:ro.Dft.Readout.vout ~neg:N.gnd (W.Dc vdrive);
+    let x = E.dc_operating_point (E.compile b.B.net) in
+    (E.voltage x ro.Dft.Readout.flag, E.voltage x ro.Dft.Readout.vfb)
+  in
+  let flag_good, vfb_good = state 3.68 in
+  let flag_bad, vfb_bad = state 3.25 in
+  Alcotest.(check bool)
+    (Printf.sprintf "flag separates (%.3f vs %.3f)" flag_good flag_bad)
+    true
+    (flag_good -. flag_bad > 0.1);
+  Alcotest.(check bool)
+    (Printf.sprintf "vfb switches (%.3f vs %.3f)" vfb_good vfb_bad)
+    true
+    (vfb_bad -. vfb_good > 0.02)
+
+let test_readout_hysteresis_exists () =
+  (* continuation sweep up vs down must disagree inside the window *)
+  let b, ro = standalone_readout () in
+  N.vsource b.B.net ~name:"vdrive" ~pos:ro.Dft.Readout.vout ~neg:N.gnd (W.Dc 3.7);
+  let up = Cml_numerics.Vec.linspace 3.20 3.70 101 in
+  let down = Cml_numerics.Vec.linspace 3.70 3.20 101 in
+  let values = Array.append down up in
+  let sim, sols = Cml_spice.Sweep.vsource_sweep_full b.B.net ~source:"vdrive" ~values in
+  ignore sim;
+  let vfb_at target dirn =
+    (* find vfb when the drive passes target in the given half *)
+    let n = Array.length values in
+    let range = if dirn = `Down then (0, (n / 2) - 1) else (n / 2, n - 1) in
+    let lo, hi = range in
+    let rec find k best =
+      if k > hi then best
+      else begin
+        let d = Float.abs (values.(k) -. target) in
+        match best with
+        | Some (dbest, _) when dbest <= d -> find (k + 1) best
+        | _ -> find (k + 1) (Some (d, E.voltage sols.(k) ro.Dft.Readout.vfb))
+      end
+    in
+    match find lo None with Some (_, v) -> v | None -> Alcotest.fail "empty range"
+  in
+  let mid = 3.40 in
+  let vfb_down = vfb_at mid `Down and vfb_up = vfb_at mid `Up in
+  Alcotest.(check bool)
+    (Printf.sprintf "hysteresis at %.3f: down %.4f vs up %.4f" mid vfb_down vfb_up)
+    true
+    (Float.abs (vfb_down -. vfb_up) > 0.005)
+
+(* ------------------------------------------------------------------ *)
+(* Sharing *)
+
+let test_sharing_vout_decreases_with_n () =
+  let pts = Dft.Sharing.sweep_n ~ns:[ 1; 10; 30 ] () in
+  match pts with
+  | [ p1; p10; p30 ] ->
+      Alcotest.(check bool) "monotone decreasing" true
+        (p1.Dft.Sharing.vout > p10.Dft.Sharing.vout
+        && p10.Dft.Sharing.vout > p30.Dft.Sharing.vout)
+  | _ -> Alcotest.fail "expected 3 points"
+
+let test_sharing_roughly_linear () =
+  let pts = Dft.Sharing.sweep_n ~ns:[ 1; 16; 31 ] () in
+  match List.map (fun p -> p.Dft.Sharing.vout) pts with
+  | [ a; b; c ] ->
+      let d1 = a -. b and d2 = b -. c in
+      Alcotest.(check bool)
+        (Printf.sprintf "equal-N steps give similar drops (%.2g vs %.2g)" d1 d2)
+        true
+        (d1 > 0.0 && d2 > 0.0 && d2 /. d1 < 2.5 && d1 /. d2 < 2.5)
+  | _ -> Alcotest.fail "expected 3 points"
+
+let test_sharing_detects_fault () =
+  let b, faulty =
+    Dft.Sharing.build_faulty ~n:10
+      ~defect:(Cml_defects.Defect.Pipe { device = "x5.q3"; r = 4e3 })
+      ()
+  in
+  let good = Dft.Sharing.measure_dc b () in
+  let bad = Dft.Sharing.measure_dc b ~net:faulty () in
+  Alcotest.(check bool)
+    (Printf.sprintf "vout collapses (%.3f -> %.3f)" good.Dft.Sharing.vout bad.Dft.Sharing.vout)
+    true
+    (good.Dft.Sharing.vout -. bad.Dft.Sharing.vout > 0.3);
+  Alcotest.(check bool) "flag drops" true
+    (good.Dft.Sharing.flag -. bad.Dft.Sharing.flag > 0.05)
+
+let test_max_safe_sharing () =
+  let mk n vout = { Dft.Sharing.n; vout; vfb = 0.0; flag = 0.0 } in
+  let pts = [ mk 1 3.60; mk 10 3.58; mk 45 3.571; mk 60 3.55 ] in
+  Alcotest.(check int) "threshold rule" 45
+    (Dft.Sharing.max_safe_sharing pts ~upper_threshold:3.57)
+
+(* ------------------------------------------------------------------ *)
+(* Area model and baselines *)
+
+let test_area_buffer_counts () =
+  let c = Dft.Area.buffer_gate () in
+  Alcotest.(check int) "3 transistors" 3 c.Dft.Area.bjts;
+  Alcotest.(check int) "2 resistors" 2 c.Dft.Area.resistors
+
+let test_area_v1_counts () =
+  let c = Dft.Area.detector_v1 Dft.Detector.v1_default in
+  Alcotest.(check int) "2 transistors (sensor + diode)" 2 c.Dft.Area.bjts;
+  Alcotest.(check int) "1 capacitor" 1 c.Dft.Area.capacitors
+
+let test_area_multi_emitter_saves_a_transistor () =
+  let two = Dft.Area.v3_sensors ~multi_emitter:false in
+  let one = Dft.Area.v3_sensors ~multi_emitter:true in
+  Alcotest.(check int) "2 vs 1" (two.Dft.Area.bjts - 1) one.Dft.Area.bjts
+
+let test_area_menon_much_larger () =
+  let xor = Dft.Area.xor_checker () in
+  let v3 = Dft.Area.v3_sensors ~multi_emitter:true in
+  Alcotest.(check bool)
+    (Printf.sprintf "xor %d bjts >> sensor %d" xor.Dft.Area.bjts v3.Dft.Area.bjts)
+    true
+    (xor.Dft.Area.bjts > 3 * v3.Dft.Area.bjts)
+
+let test_area_sharing_amortises () =
+  let at n = Dft.Area.per_gate_counts (Dft.Area.Variant3 { multi_emitter = true; sharing = n }) in
+  let b1, _, _ = at 1 and b45, _, _ = at 45 in
+  Alcotest.(check bool) (Printf.sprintf "amortised %.2f < %.2f" b45 b1) true (b45 < b1 /. 2.0)
+
+let test_overhead_ordering () =
+  let ov s = Dft.Area.overhead_fraction s in
+  let menon = ov Dft.Area.Menon_xor in
+  let v1 = ov (Dft.Area.Variant1 Dft.Detector.v1_default) in
+  let v3 = ov (Dft.Area.Variant3 { multi_emitter = true; sharing = 45 }) in
+  Alcotest.(check bool)
+    (Printf.sprintf "menon %.2f > v1 %.2f > v3 %.2f" menon v1 v3)
+    true
+    (menon > v1 && v1 > v3)
+
+let flags ~stuck ~exc ~reduced ~delay ~healed =
+  {
+    Cml_defects.Campaign.stuck;
+    excessive_excursion = exc;
+    reduced_swing = reduced;
+    delay_detectable = delay;
+    iddq_detectable = false;
+    healed;
+  }
+
+let test_baseline_detection_models () =
+  let excursion_only = flags ~stuck:false ~exc:true ~reduced:false ~delay:false ~healed:true in
+  Alcotest.(check bool) "stuck-at misses it" false (Dft.Baselines.stuck_at_detects excursion_only);
+  Alcotest.(check bool) "menon misses it" false (Dft.Baselines.menon_xor_detects excursion_only);
+  Alcotest.(check bool) "delay test misses it" false
+    (Dft.Baselines.delay_test_detects excursion_only);
+  Alcotest.(check bool) "amplitude detector catches it" true
+    (Dft.Baselines.amplitude_detector_detects excursion_only);
+  let stuck = flags ~stuck:true ~exc:false ~reduced:false ~delay:false ~healed:false in
+  Alcotest.(check bool) "everyone catches stuck" true
+    (Dft.Baselines.stuck_at_detects stuck && Dft.Baselines.menon_xor_detects stuck
+   && Dft.Baselines.amplitude_detector_detects stuck)
+
+let test_delay_escape_paper_example () =
+  (* the intro's example: 10-gate chain, 10% per-gate tolerance, one
+     gate going 2x slower (one extra gate delay) escapes *)
+  Alcotest.(check bool) "escapes" true
+    (Dft.Baselines.delay_test_escape ~gate_delay:53e-12 ~stages:10 ~tolerance:0.1
+       ~extra_delay:53e-12);
+  Alcotest.(check bool) "caught when gross" false
+    (Dft.Baselines.delay_test_escape ~gate_delay:53e-12 ~stages:10 ~tolerance:0.1
+       ~extra_delay:500e-12)
+
+let () =
+  Alcotest.run "dft"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "vtest created once" `Quick test_vtest_created_once;
+          Alcotest.test_case "set_vtest" `Quick test_set_vtest;
+          Alcotest.test_case "vtest modes" `Quick test_vtest_modes;
+          Alcotest.test_case "v1 devices" `Quick test_v1_devices;
+          Alcotest.test_case "v1 resistor load" `Quick test_v1_resistor_load;
+          Alcotest.test_case "v2 multi-emitter" `Quick test_v2_multi_emitter_devices;
+        ] );
+      ( "behaviour",
+        [
+          Alcotest.test_case "v1 silent fault-free" `Slow test_v1_silent_when_fault_free;
+          Alcotest.test_case "v1 fires on 1k pipe" `Slow test_v1_fires_on_strong_pipe;
+          Alcotest.test_case "v1 monotone in severity" `Slow test_v1_drop_monotone_in_severity;
+          Alcotest.test_case "v2 more sensitive" `Slow test_v2_more_sensitive_than_v1;
+          Alcotest.test_case "multi-emitter equivalent" `Slow
+            test_multi_emitter_detector_equivalent;
+          Alcotest.test_case "v1 threshold near 0.57" `Slow test_amplitude_thresholds_v1;
+        ] );
+      ( "readout",
+        [
+          Alcotest.test_case "designed thresholds" `Quick test_readout_thresholds_design;
+          Alcotest.test_case "pass/fail states" `Quick test_readout_states;
+          Alcotest.test_case "hysteresis exists" `Slow test_readout_hysteresis_exists;
+        ] );
+      ( "sharing",
+        [
+          Alcotest.test_case "vout decreases with N" `Slow test_sharing_vout_decreases_with_n;
+          Alcotest.test_case "roughly linear" `Slow test_sharing_roughly_linear;
+          Alcotest.test_case "fault detected under sharing" `Slow test_sharing_detects_fault;
+          Alcotest.test_case "max safe rule" `Quick test_max_safe_sharing;
+        ] );
+      ( "area+baselines",
+        [
+          Alcotest.test_case "buffer counts" `Quick test_area_buffer_counts;
+          Alcotest.test_case "v1 counts" `Quick test_area_v1_counts;
+          Alcotest.test_case "multi-emitter saves" `Quick
+            test_area_multi_emitter_saves_a_transistor;
+          Alcotest.test_case "menon larger" `Quick test_area_menon_much_larger;
+          Alcotest.test_case "sharing amortises" `Quick test_area_sharing_amortises;
+          Alcotest.test_case "overhead ordering" `Quick test_overhead_ordering;
+          Alcotest.test_case "baseline detection models" `Quick test_baseline_detection_models;
+          Alcotest.test_case "delay escape example" `Quick test_delay_escape_paper_example;
+        ] );
+    ]

@@ -1,0 +1,310 @@
+(* Tests for the cml_wave library: waveform container, interpolation,
+   crossing/delay/level/stability measurements, CSV export and ASCII
+   plotting. *)
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.9g, got %.9g" msg expected actual
+
+let ramp = Cml_wave.Wave.create [| 0.0; 1.0; 2.0; 3.0 |] [| 0.0; 1.0; 2.0; 3.0 |]
+
+let square_ish =
+  (* 0 -> 1 -> 0 pulse with finite edges *)
+  Cml_wave.Wave.create
+    [| 0.0; 1.0; 2.0; 3.0; 4.0; 5.0 |]
+    [| 0.0; 0.0; 1.0; 1.0; 0.0; 0.0 |]
+
+(* ------------------------------------------------------------------ *)
+(* Wave *)
+
+let test_create_rejects_bad () =
+  Alcotest.check_raises "length mismatch" (Invalid_argument "Wave.create: bad lengths")
+    (fun () -> ignore (Cml_wave.Wave.create [| 0.0 |] [| 1.0; 2.0 |]));
+  Alcotest.check_raises "non-increasing" (Invalid_argument "Wave.create: times must increase")
+    (fun () -> ignore (Cml_wave.Wave.create [| 0.0; 0.0 |] [| 1.0; 2.0 |]))
+
+let test_value_at_interpolates () =
+  check_close "mid" 1.5 (Cml_wave.Wave.value_at ramp 1.5);
+  check_close "clamp left" 0.0 (Cml_wave.Wave.value_at ramp (-1.0));
+  check_close "clamp right" 3.0 (Cml_wave.Wave.value_at ramp 10.0)
+
+let test_map_combine () =
+  let doubled = Cml_wave.Wave.map (fun v -> 2.0 *. v) ramp in
+  check_close "map" 3.0 (Cml_wave.Wave.value_at doubled 1.5);
+  let diff = Cml_wave.Wave.combine (fun a b -> a -. b) doubled ramp in
+  check_close "combine" 1.5 (Cml_wave.Wave.value_at diff 1.5)
+
+let test_sub_range () =
+  let mid = Cml_wave.Wave.sub_range ramp ~t_from:0.5 ~t_to:2.5 in
+  Alcotest.(check int) "two samples" 2 (Cml_wave.Wave.length mid);
+  check_close "starts at 1" 1.0 (Cml_wave.Wave.t_start mid)
+
+let test_sub_range_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Wave.sub_range: empty window") (fun () ->
+      ignore (Cml_wave.Wave.sub_range ramp ~t_from:1.1 ~t_to:1.2))
+
+let test_min_max_mean () =
+  check_close "min" 0.0 (Cml_wave.Wave.vmin square_ish);
+  check_close "max" 1.0 (Cml_wave.Wave.vmax square_ish);
+  (* trapezoidal area: 0 + 0.5 + 1 + 0.5 + 0 = 2 over a span of 5 *)
+  check_close "mean" 0.4 (Cml_wave.Wave.mean square_ish)
+
+let test_shift () =
+  let s = Cml_wave.Wave.shift ramp 10.0 in
+  check_close "shifted start" 10.0 (Cml_wave.Wave.t_start s);
+  check_close "same value" 1.5 (Cml_wave.Wave.value_at s 11.5)
+
+(* ------------------------------------------------------------------ *)
+(* Measure *)
+
+let test_crossings_both_edges () =
+  let xs = Cml_wave.Measure.crossings square_ish ~level:0.5 in
+  Alcotest.(check int) "two crossings" 2 (List.length xs);
+  (match xs with
+  | [ a; b ] ->
+      check_close "rising at 1.5" 1.5 a;
+      check_close "falling at 3.5" 3.5 b
+  | _ -> Alcotest.fail "expected 2")
+
+let test_crossings_directional () =
+  let rising = Cml_wave.Measure.crossings ~direction:Cml_wave.Measure.Rising square_ish ~level:0.5 in
+  let falling =
+    Cml_wave.Measure.crossings ~direction:Cml_wave.Measure.Falling square_ish ~level:0.5
+  in
+  Alcotest.(check int) "one rising" 1 (List.length rising);
+  Alcotest.(check int) "one falling" 1 (List.length falling)
+
+let test_first_crossing_after () =
+  match Cml_wave.Measure.first_crossing ~after:2.0 square_ish ~level:0.5 with
+  | Some t -> check_close "falling edge" 3.5 t
+  | None -> Alcotest.fail "expected crossing"
+
+let test_delay_at_reference () =
+  let late = Cml_wave.Wave.shift square_ish 0.25 in
+  match
+    Cml_wave.Measure.delay_at_reference ~reference:0.5 ~from_wave:square_ish ~to_wave:late
+      ~after:0.0 ()
+  with
+  | Some d -> check_close "delay" 0.25 d
+  | None -> Alcotest.fail "expected delay"
+
+let test_differential_crossings () =
+  let a = Cml_wave.Wave.create [| 0.0; 1.0; 2.0 |] [| 0.0; 1.0; 0.0 |] in
+  let b = Cml_wave.Wave.create [| 0.0; 1.0; 2.0 |] [| 1.0; 0.0; 1.0 |] in
+  let xs = Cml_wave.Measure.differential_crossings a b in
+  Alcotest.(check int) "two crossings" 2 (List.length xs);
+  check_close "first" 0.5 (List.nth xs 0);
+  check_close "second" 1.5 (List.nth xs 1)
+
+let test_extremes_and_swing () =
+  let lo, hi = Cml_wave.Measure.extremes square_ish ~t_from:0.0 in
+  check_close "lo" 0.0 lo;
+  check_close "hi" 1.0 hi;
+  check_close "swing" 1.0 (Cml_wave.Measure.swing square_ish ~t_from:0.0)
+
+let test_levels_robust_to_overshoot () =
+  (* a plateau at 1.0 with a brief overshoot to 1.3 *)
+  let w =
+    Cml_wave.Wave.create
+      [| 0.0; 0.1; 0.2; 1.0; 2.0; 3.0 |]
+      [| 0.0; 1.3; 1.0; 1.0; 1.0; 1.0 |]
+  in
+  let _, hi = Cml_wave.Measure.levels w ~t_from:0.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "high level near 1.0, got %g" hi)
+    true
+    (hi > 0.95 && hi < 1.1)
+
+let test_time_to_stability () =
+  (* decays to a minimum at t = 3 then rebounds and ripples *)
+  let w =
+    Cml_wave.Wave.create
+      [| 0.0; 1.0; 2.0; 3.0; 4.0; 5.0; 6.0 |]
+      [| 3.0; 2.0; 1.0; 0.5; 0.8; 0.6; 0.8 |]
+  in
+  (match Cml_wave.Measure.time_to_stability ~noise:0.05 w with
+  | Some t -> check_close "first minimum" 3.0 t
+  | None -> Alcotest.fail "expected stability");
+  check_close "vmax after" 0.8 (Cml_wave.Measure.vmax_after w ~t_from:3.0)
+
+let test_time_to_stability_monotone_none () =
+  let w = Cml_wave.Wave.create [| 0.0; 1.0; 2.0 |] [| 3.0; 2.0; 1.0 |] in
+  Alcotest.(check bool) "no minimum" true (Cml_wave.Measure.time_to_stability w = None)
+
+let test_period_average () =
+  (* sawtooth with period 1: average 0.5 *)
+  let times = Array.init 101 (fun i -> float_of_int i /. 10.0) in
+  let values = Array.map (fun t -> Float.rem t 1.0) times in
+  let w = Cml_wave.Wave.create times values in
+  let avg = Cml_wave.Measure.period_average w ~freq:1.0 ~t_from:2.0 in
+  Alcotest.(check bool) (Printf.sprintf "avg near 0.45-0.55, got %g" avg) true
+    (avg > 0.4 && avg < 0.6)
+
+(* ------------------------------------------------------------------ *)
+(* Csv / Ascii_plot *)
+
+let test_csv_roundtrip_format () =
+  let path = Filename.temp_file "cmlwave" ".csv" in
+  Cml_wave.Csv.write ~path [ ("a", ramp); ("b", Cml_wave.Wave.map (fun v -> -.v) ramp) ];
+  let ic = open_in path in
+  let header = input_line ic in
+  let first = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "header" "time,a,b" header;
+  Alcotest.(check bool) "first row has 3 fields" true
+    (List.length (String.split_on_char ',' first) = 3)
+
+let test_csv_rejects_mismatch () =
+  let short = Cml_wave.Wave.create [| 0.0; 1.0 |] [| 0.0; 1.0 |] in
+  let path = Filename.temp_file "cmlwave" ".csv" in
+  (try
+     Alcotest.check_raises "mismatch" (Invalid_argument "Csv.write: length mismatch for b")
+       (fun () -> Cml_wave.Csv.write ~path [ ("a", ramp); ("b", short) ])
+   with e ->
+     Sys.remove path;
+     raise e);
+  Sys.remove path
+
+let test_csv_table () =
+  let path = Filename.temp_file "cmlwave" ".csv" in
+  Cml_wave.Csv.write_table ~path ~header:[ "x"; "y" ] [ [ 1.0; 2.0 ]; [ 3.0; 4.0 ] ];
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check int) "3 lines" 3 (List.length !lines)
+
+let test_vcd_analog () =
+  let vcd = Cml_wave.Vcd_analog.to_string ~timescale_fs:1000 [ ("ramp", ramp) ] in
+  Alcotest.(check bool) "has real var" true
+    (let needle = "$var real 64" in
+     let ln = String.length needle and lv = String.length vcd in
+     let rec scan i = i + ln <= lv && (String.sub vcd i ln = needle || scan (i + 1)) in
+     scan 0)
+
+let test_vcd_analog_mismatch () =
+  let short = Cml_wave.Wave.create [| 0.0; 1.0 |] [| 0.0; 1.0 |] in
+  match Cml_wave.Vcd_analog.to_string [ ("a", ramp); ("b", short) ] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_ascii_plot_renders () =
+  let s = Cml_wave.Ascii_plot.render [ ("ramp", ramp) ] in
+  Alcotest.(check bool) "mentions series" true
+    (String.length s > 0
+    &&
+    let re_found = ref false in
+    String.iter (fun c -> if c = '*' then re_found := true) s;
+    !re_found)
+
+let test_ascii_plot_xy () =
+  let s =
+    Cml_wave.Ascii_plot.render_xy ~xlabel:"n"
+      [ ("a", [ (1.0, 1.0); (2.0, 4.0) ]); ("b", [ (1.0, 2.0) ]) ]
+  in
+  Alcotest.(check bool) "non-empty" true (String.length s > 100)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let wave_gen =
+  QCheck2.Gen.(
+    int_range 2 60 >>= fun n ->
+    array_size (return n) (float_range (-5.0) 5.0) >>= fun values ->
+    float_range 0.1 2.0 >>= fun dt ->
+    let times = Array.init n (fun i -> dt *. float_of_int i) in
+    return (Cml_wave.Wave.create times values))
+
+let prop_value_at_within_bounds =
+  QCheck2.Test.make ~name:"interpolation stays within min/max" ~count:200
+    QCheck2.Gen.(pair wave_gen (float_range 0.0 120.0))
+    (fun (w, t) ->
+      let v = Cml_wave.Wave.value_at w t in
+      v >= Cml_wave.Wave.vmin w -. 1e-9 && v <= Cml_wave.Wave.vmax w +. 1e-9)
+
+let prop_value_at_hits_samples =
+  QCheck2.Test.make ~name:"interpolation is exact at sample points" ~count:200 wave_gen
+    (fun w ->
+      let ok = ref true in
+      Array.iteri
+        (fun i t ->
+          if Float.abs (Cml_wave.Wave.value_at w t -. w.Cml_wave.Wave.values.(i)) > 1e-9 then
+            ok := false)
+        w.Cml_wave.Wave.times;
+      !ok)
+
+let prop_crossings_bracket_level =
+  QCheck2.Test.make ~name:"every reported crossing really brackets the level" ~count:200
+    QCheck2.Gen.(pair wave_gen (float_range (-4.0) 4.0))
+    (fun (w, level) ->
+      List.for_all
+        (fun t ->
+          Float.abs (Cml_wave.Wave.value_at w t -. level) < 1e-6
+          && t >= Cml_wave.Wave.t_start w
+          && t <= Cml_wave.Wave.t_end w)
+        (Cml_wave.Measure.crossings w ~level))
+
+let prop_mean_within_bounds =
+  QCheck2.Test.make ~name:"trapezoidal mean lies within extremes" ~count:200 wave_gen
+    (fun w ->
+      let m = Cml_wave.Wave.mean w in
+      m >= Cml_wave.Wave.vmin w -. 1e-9 && m <= Cml_wave.Wave.vmax w +. 1e-9)
+
+let prop_swing_nonnegative =
+  QCheck2.Test.make ~name:"swing is non-negative" ~count:200 wave_gen (fun w ->
+      Cml_wave.Measure.swing w ~t_from:(Cml_wave.Wave.t_start w) >= 0.0)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "wave"
+    [
+      ( "wave",
+        [
+          Alcotest.test_case "create validation" `Quick test_create_rejects_bad;
+          Alcotest.test_case "interpolation" `Quick test_value_at_interpolates;
+          Alcotest.test_case "map/combine" `Quick test_map_combine;
+          Alcotest.test_case "sub_range" `Quick test_sub_range;
+          Alcotest.test_case "sub_range empty" `Quick test_sub_range_empty;
+          Alcotest.test_case "min/max/mean" `Quick test_min_max_mean;
+          Alcotest.test_case "shift" `Quick test_shift;
+        ] );
+      ( "measure",
+        [
+          Alcotest.test_case "crossings both edges" `Quick test_crossings_both_edges;
+          Alcotest.test_case "crossings directional" `Quick test_crossings_directional;
+          Alcotest.test_case "first crossing after" `Quick test_first_crossing_after;
+          Alcotest.test_case "delay at reference" `Quick test_delay_at_reference;
+          Alcotest.test_case "differential crossings" `Quick test_differential_crossings;
+          Alcotest.test_case "extremes and swing" `Quick test_extremes_and_swing;
+          Alcotest.test_case "robust levels" `Quick test_levels_robust_to_overshoot;
+          Alcotest.test_case "time to stability" `Quick test_time_to_stability;
+          Alcotest.test_case "stability none when monotone" `Quick
+            test_time_to_stability_monotone_none;
+          Alcotest.test_case "period average" `Quick test_period_average;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "csv format" `Quick test_csv_roundtrip_format;
+          Alcotest.test_case "csv mismatch" `Quick test_csv_rejects_mismatch;
+          Alcotest.test_case "csv table" `Quick test_csv_table;
+          Alcotest.test_case "vcd analog" `Quick test_vcd_analog;
+          Alcotest.test_case "vcd analog mismatch" `Quick test_vcd_analog_mismatch;
+          Alcotest.test_case "ascii plot" `Quick test_ascii_plot_renders;
+          Alcotest.test_case "ascii xy" `Quick test_ascii_plot_xy;
+        ] );
+      ( "properties",
+        qc
+          [
+            prop_value_at_within_bounds;
+            prop_value_at_hits_samples;
+            prop_crossings_bracket_level;
+            prop_mean_within_bounds;
+            prop_swing_nonnegative;
+          ] );
+    ]
