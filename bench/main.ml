@@ -3,10 +3,12 @@
    result.
 
    Usage:
-     dune exec bench/main.exe            # all experiments
-     dune exec bench/main.exe -- fig4    # one experiment
-     dune exec bench/main.exe -- list    # available names
-     dune exec bench/main.exe -- perf    # bechamel kernel benchmarks *)
+     dune exec bench/main.exe                # all experiments
+     dune exec bench/main.exe -- fig4        # one experiment
+     dune exec bench/main.exe -- list        # available names
+     dune exec bench/main.exe -- perf        # bechamel kernel benchmarks
+     dune exec bench/main.exe -- --jobs 4 campaign
+     dune exec bench/main.exe -- perf --json BENCH_spice.json *)
 
 let experiments =
   [
@@ -42,20 +44,44 @@ let run_all () =
     experiments;
   Printf.printf "\nall experiments done in %.1f s\n" (Unix.gettimeofday () -. t0)
 
+(* Options may appear anywhere on the command line:
+     --jobs N / -j N   worker domains for parallel sections
+     --json FILE       machine-readable dump (perf only) *)
+let rec parse_options json names = function
+  | [] -> (json, List.rev names)
+  | ("--jobs" | "-j") :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 ->
+          Cml_runtime.Pool.set_default_jobs n;
+          parse_options json names rest
+      | Some _ | None ->
+          Printf.eprintf "--jobs expects a positive integer, got %S\n" v;
+          exit 2)
+  | [ ("--jobs" | "-j") ] ->
+      Printf.eprintf "--jobs expects a value\n";
+      exit 2
+  | "--json" :: file :: rest -> parse_options (Some file) names rest
+  | [ "--json" ] ->
+      Printf.eprintf "--json expects a file name\n";
+      exit 2
+  | name :: rest -> parse_options json (name :: names) rest
+
 let () =
-  match Array.to_list Sys.argv with
-  | [ _ ] -> run_all ()
-  | [ _; "list" ] ->
+  let json, names = parse_options None [] (List.tl (Array.to_list Sys.argv)) in
+  match names with
+  | [] -> run_all ()
+  | [ "list" ] ->
       List.iter (fun (name, _) -> print_endline name) experiments;
       print_endline "perf"
-  | [ _; "perf" ] -> Perf.run ()
-  | _ :: names ->
+  | names ->
       List.iter
         (fun name ->
-          match List.assoc_opt name experiments with
-          | Some f -> f ()
-          | None ->
-              Printf.eprintf "unknown experiment %S (try 'list')\n" name;
-              exit 1)
+          match name with
+          | "perf" -> Perf.run ?json ()
+          | _ -> (
+              match List.assoc_opt name experiments with
+              | Some f -> f ()
+              | None ->
+                  Printf.eprintf "unknown experiment %S (try 'list')\n" name;
+                  exit 1))
         names
-  | [] -> run_all ()

@@ -1,6 +1,17 @@
-(* Bechamel micro-benchmarks of the simulator kernels: sparse and
-   dense LU, the full Newton DC solve, one transient step of the
-   paper's 8-buffer chain, and the waveform measurements. *)
+(* Bechamel micro-benchmarks of the simulator kernels (sparse/dense
+   LU, the numeric-only refactorization, Newton DC, one transient of
+   the paper's 8-buffer chain, waveform measurements) plus two
+   system-level probes of the execution runtime:
+
+   - solver reuse: how many full symbolic factorizations vs cheap
+     numeric refactorizations a chain transient performs (the sparse
+     engine must pay the symbolic cost at most once per Jacobian
+     pattern, plus pivot-degradation fallbacks);
+   - campaign scaling: wall-clock of the same defect campaign at
+     jobs = 1 and jobs = default, with a byte-identical summary check.
+
+   [run ~json:"BENCH_spice.json" ()] additionally dumps every number
+   as JSON so the timing trajectory is machine-readable across PRs. *)
 
 module E = Cml_spice.Engine
 module T = Cml_spice.Transient
@@ -30,6 +41,7 @@ let tests () =
   let d100 = dense_system 100 in
   let rhs200 = Array.init 200 (fun i -> sin (float_of_int i)) in
   let rhs100 = Array.init 100 (fun i -> cos (float_of_int i)) in
+  let refactor200 = Cml_numerics.Sparse_lu.factorize a200 in
   let chain = Cml_cells.Chain.build ~stages:8 ~freq:100e6 () in
   let chain_net = chain.Cml_cells.Chain.builder.Cml_cells.Builder.net in
   let wave =
@@ -40,6 +52,9 @@ let tests () =
   [
     Test.make ~name:"sparse LU factor+solve (n=200)" (Staged.stage (fun () ->
         ignore (Cml_numerics.Sparse_lu.solve (Cml_numerics.Sparse_lu.factorize a200) rhs200)));
+    Test.make ~name:"sparse LU refactorize+solve (n=200)" (Staged.stage (fun () ->
+        assert (Cml_numerics.Sparse_lu.refactorize refactor200 a200);
+        ignore (Cml_numerics.Sparse_lu.solve refactor200 rhs200)));
     Test.make ~name:"dense LU factor+solve (n=100)" (Staged.stage (fun () ->
         ignore (Cml_numerics.Dense.solve d100 rhs100)));
     Test.make ~name:"chain DC operating point" (Staged.stage (fun () ->
@@ -52,8 +67,7 @@ let tests () =
         ignore (Cml_wave.Measure.crossings wave ~level:3.0)));
   ]
 
-let run () =
-  Util.section "perf" "Bechamel micro-benchmarks of the simulation kernels";
+let kernel_estimates () =
   let open Bechamel in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:1500 ~quota:(Time.second 1.0) ~kde:(Some 500) () in
@@ -69,12 +83,113 @@ let run () =
   in
   let merged = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:false
       ~predictors:[| Measure.run |]) instances results in
+  let acc = ref [] in
   Hashtbl.iter
     (fun _ tbl ->
       Hashtbl.iter
         (fun name result ->
           match Bechamel.Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "  %-42s %12.1f ns/run\n" name est
-          | Some _ | None -> Printf.printf "  %-42s (no estimate)\n" name)
+          | Some [ est ] -> acc := (name, est) :: !acc
+          | Some _ | None -> ())
         tbl)
-    merged
+    merged;
+  List.sort compare !acc
+
+(* one transient of the 8-buffer chain on the sparse backend (forced:
+   at 32 unknowns Auto would pick dense); the engine should do its
+   symbolic analysis once and refactorize everywhere else *)
+let solver_reuse () =
+  let chain = Cml_cells.Chain.build ~stages:8 ~freq:100e6 () in
+  let net = chain.Cml_cells.Chain.builder.Cml_cells.Builder.net in
+  let sim = E.compile ~options:{ E.default_options with E.solver = E.Sparse_solver } net in
+  ignore (T.run sim net (T.config ~tstop:2e-9 ~max_step:10e-12 ()));
+  (E.unknown_count sim, E.solver_stats sim)
+
+let campaign_defects () =
+  let golden = Cml_cells.Chain.build ~stages:8 ~freq:100e6 () in
+  let all =
+    Cml_defects.Sites.enumerate golden.Cml_cells.Chain.builder.Cml_cells.Builder.net
+      ~prefix:"x3" ~pipe_values:[ 1e3; 4e3 ]
+  in
+  List.filteri (fun i _ -> i < 4) all
+
+let time_campaign ~jobs defects =
+  let t0 = Unix.gettimeofday () in
+  let c = Cml_defects.Campaign.run ~jobs ~tstop:10e-9 ~defects () in
+  (Unix.gettimeofday () -. t0, Cml_defects.Campaign.summary c)
+
+(* ------------------------------------------------------------------ *)
+(* minimal JSON emission (no dependency): every key is a known ASCII
+   literal, so escaping only has to cover the benchmark names *)
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let write_json path ~jobs ~kernels ~nunk ~(stats : E.solver_stats) ~campaign =
+  let t1, tn, ndefects, summaries_match = campaign in
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"cml-dft-perf/1\",\n";
+  p "  \"jobs\": %d,\n" jobs;
+  p "  \"kernels\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      p "    {\"name\": %s, \"ns_per_run\": %.1f}%s\n" (json_string name) ns
+        (if i = List.length kernels - 1 then "" else ","))
+    kernels;
+  p "  ],\n";
+  p "  \"solver\": {\n";
+  p "    \"chain_unknowns\": %d,\n" nunk;
+  p "    \"symbolic_factorizations\": %d,\n" stats.E.symbolic_factorizations;
+  p "    \"numeric_refactorizations\": %d\n" stats.E.numeric_refactorizations;
+  p "  },\n";
+  p "  \"campaign\": {\n";
+  p "    \"defects\": %d,\n" ndefects;
+  p "    \"jobs1_s\": %.3f,\n" t1;
+  p "    \"jobsN_s\": %.3f,\n" tn;
+  p "    \"speedup\": %.2f,\n" (if tn > 0.0 then t1 /. tn else 0.0);
+  p "    \"summaries_match\": %b\n" summaries_match;
+  p "  }\n";
+  p "}\n";
+  close_out oc
+
+let run ?json () =
+  Util.section "perf" "Bechamel micro-benchmarks of the simulation kernels";
+  let kernels = kernel_estimates () in
+  List.iter (fun (name, est) -> Printf.printf "  %-42s %12.1f ns/run\n" name est) kernels;
+  let nunk, stats = solver_reuse () in
+  Printf.printf "\nsolver reuse over a chain transient (%d unknowns):\n" nunk;
+  Printf.printf "  symbolic factorizations   %6d\n" stats.E.symbolic_factorizations;
+  Printf.printf "  numeric refactorizations  %6d\n" stats.E.numeric_refactorizations;
+  Util.verdict
+    (stats.E.numeric_refactorizations > 10 * max 1 stats.E.symbolic_factorizations)
+    "symbolic analysis is amortised across Newton iterations";
+  let jobs = Cml_runtime.Pool.default_jobs () in
+  let defects = campaign_defects () in
+  Printf.printf "\ncampaign scaling (%d defects, jobs = 1 vs %d):\n%!"
+    (List.length defects) jobs;
+  let t1, s1 = time_campaign ~jobs:1 defects in
+  let tn, sn = time_campaign ~jobs defects in
+  Printf.printf "  jobs = 1   %8.2f s\n" t1;
+  Printf.printf "  jobs = %-3d %8.2f s  (%.2fx)\n" jobs tn (if tn > 0.0 then t1 /. tn else 0.0);
+  let summaries_match = s1 = sn in
+  Util.verdict summaries_match "parallel summary is byte-identical to sequential";
+  match json with
+  | None -> ()
+  | Some path ->
+      write_json path ~jobs ~kernels ~nunk ~stats
+        ~campaign:(t1, tn, List.length defects, summaries_match);
+      Printf.printf "wrote %s\n" path

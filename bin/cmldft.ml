@@ -25,6 +25,20 @@ let csv_arg =
   let doc = "Write waveforms/series to this CSV file." in
   Arg.(value & opt (some string) None & info [ "o"; "csv" ] ~docv:"FILE" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel simulation batches (default: $(b,CML_DFT_JOBS), then \
+     available cores - 1)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let apply_jobs = function
+  | None -> ()
+  | Some n when n >= 1 -> Cml_runtime.Pool.set_default_jobs n
+  | Some n ->
+      Printf.eprintf "cmldft: --jobs must be a positive integer (got %d)\n" n;
+      exit 2
+
 let pipe_option pipe = if pipe > 0.0 then Some pipe else None
 
 (* ------------------------------------------------------------------ *)
@@ -159,13 +173,15 @@ let campaign_cmd =
   let dut_arg =
     Arg.(value & opt string "x3" & info [ "dut" ] ~docv:"INST" ~doc:"Instance to attack.")
   in
-  let run freq dut =
+  let run freq dut jobs =
+    apply_jobs jobs;
     let golden = Cml_cells.Chain.build ~stages:8 ~freq () in
     let defects =
       Cml_defects.Sites.enumerate golden.Cml_cells.Chain.builder.B.net ~prefix:dut
         ~pipe_values:[ 1e3; 4e3 ]
     in
-    Printf.printf "running %d defects on %s...\n%!" (List.length defects) dut;
+    Printf.printf "running %d defects on %s (%d jobs)...\n%!" (List.length defects) dut
+      (Cml_runtime.Pool.default_jobs ());
     let c = Cml_defects.Campaign.run ~freq ~defects () in
     List.iter
       (fun e ->
@@ -184,7 +200,7 @@ let campaign_cmd =
     List.iter (fun (k, v) -> Printf.printf "%-24s %d\n" k v) (Cml_defects.Campaign.summary c)
   in
   let info = Cmd.info "campaign" ~doc:"Defect-injection campaign (paper section 5)." in
-  Cmd.v info Term.(const run $ freq_arg $ dut_arg)
+  Cmd.v info Term.(const run $ freq_arg $ dut_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* area *)
@@ -221,7 +237,8 @@ let mc_cmd =
   let gates_arg =
     Arg.(value & opt int 10 & info [ "g"; "gates" ] ~docv:"N" ~doc:"Monitored gates per block.")
   in
-  let run samples seed gates =
+  let run samples seed gates jobs =
+    apply_jobs jobs;
     let r = Dft.Montecarlo.run ~n:gates ~samples ~seed () in
     Printf.printf "samples       : %d good + %d faulty\n" samples samples;
     Printf.printf "false alarms  : %d\n" r.Dft.Montecarlo.false_alarms;
@@ -233,7 +250,7 @@ let mc_cmd =
     Printf.printf "margin        : %.3f V\n" r.Dft.Montecarlo.separation
   in
   let info = Cmd.info "mc" ~doc:"Monte-Carlo robustness of the DFT under process spread." in
-  Cmd.v info Term.(const run $ samples_arg $ seed_arg $ gates_arg)
+  Cmd.v info Term.(const run $ samples_arg $ seed_arg $ gates_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* logic: run a .bench circuit through the digital test flow *)
@@ -249,7 +266,8 @@ let logic_cmd =
   let vcd_arg =
     Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE" ~doc:"Dump a VCD trace.")
   in
-  let run file patterns vcd =
+  let run file patterns vcd jobs =
+    apply_jobs jobs;
     let c =
       match file with
       | Some path -> Cml_logic.Bench_format.read_file ~path
@@ -283,7 +301,7 @@ let logic_cmd =
         Printf.printf "wrote %s\n" path
   in
   let info = Cmd.info "logic" ~doc:"Digital test flow on a .bench circuit." in
-  Cmd.v info Term.(const run $ file_arg $ patterns_arg $ vcd_arg)
+  Cmd.v info Term.(const run $ file_arg $ patterns_arg $ vcd_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* export: write a circuit as a SPICE-flavoured deck *)

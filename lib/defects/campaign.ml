@@ -108,7 +108,8 @@ let classify ~proc ~reference m =
     healed = degraded_at_dut && final_nominal;
   }
 
-let run ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?(stages = 8) ?dut ?tstop ~defects () =
+let run ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?(stages = 8) ?dut ?tstop ?jobs
+    ~defects () =
   let dut = match dut with Some d -> d | None -> Cml_cells.Chain.dut_stage in
   let tstop = match tstop with Some t -> t | None -> 2.0 /. freq in
   let chain = Cml_cells.Chain.build ~proc ~stages ~freq () in
@@ -123,7 +124,10 @@ let run ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?(stages = 8) ?dut ?
         | m -> { defect; outcome = Measured (m, classify ~proc ~reference m) }
         | exception E.No_convergence msg -> { defect; outcome = Failed msg })
   in
-  { reference; entries = List.map run_one defects }
+  (* one compiled sim per defect ([Inject.apply] copies the netlist,
+     [measure_chain] compiles its own engine), so tasks share only
+     read-only state and can run on worker domains *)
+  { reference; entries = Cml_runtime.Pool.parallel_list_map ?jobs run_one defects }
 
 let summary t =
   let count p = List.length (List.filter p t.entries) in

@@ -51,13 +51,17 @@ val run :
   ?stages:int ->
   ?dut:int ->
   ?tstop:float ->
+  ?jobs:int ->
   defects:Defect.t list ->
   unit ->
   t
 (** Full campaign at [freq] (default 100 MHz) on a chain of [stages]
     (default 8) with the defect in stage [dut] (default 3).  The
     defect list normally comes from {!Sites.enumerate} on the DUT
-    instance. *)
+    instance.  Defects are simulated in parallel over [jobs] domains
+    (default: [CML_DFT_JOBS] or cores - 1; see
+    {!Cml_runtime.Pool.default_jobs}); results are deterministic and
+    identical to a [jobs = 1] run. *)
 
 val classify :
   proc:Cml_cells.Process.t -> reference:measurement -> measurement -> flags

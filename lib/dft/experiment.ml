@@ -101,8 +101,8 @@ type threshold_row = {
   detected : bool;
 }
 
-let amplitude_thresholds ?(proc = Cml_cells.Process.default) ?(detect_drop = 0.15) ~variant
-    ~freq ~pipe_values ~tstop () =
+let amplitude_thresholds ?(proc = Cml_cells.Process.default) ?(detect_drop = 0.15) ?jobs
+    ~variant ~freq ~pipe_values ~tstop () =
   let row pipe_r =
     let resp = detector_response ~proc ~variant ~freq ~pipe:(Some pipe_r) ~tstop () in
     {
@@ -112,7 +112,8 @@ let amplitude_thresholds ?(proc = Cml_cells.Process.default) ?(detect_drop = 0.1
       detected = resp.vout_drop > detect_drop;
     }
   in
-  let rows = List.map row pipe_values in
+  (* every row builds and simulates its own monitored chain *)
+  let rows = Cml_runtime.Pool.parallel_list_map ?jobs row pipe_values in
   let min_detected =
     List.fold_left
       (fun acc r ->
@@ -122,7 +123,7 @@ let amplitude_thresholds ?(proc = Cml_cells.Process.default) ?(detect_drop = 0.1
   in
   (rows, min_detected)
 
-let swing_vs_frequency ?(proc = Cml_cells.Process.default) ~pipe ~freqs () =
+let swing_vs_frequency ?(proc = Cml_cells.Process.default) ?jobs ~pipe ~freqs () =
   let one freq =
     let chain = Cml_cells.Chain.build ~proc ~stages:3 ~freq () in
     let builder = chain.Cml_cells.Chain.builder in
@@ -144,7 +145,7 @@ let swing_vs_frequency ?(proc = Cml_cells.Process.default) ~pipe ~freqs () =
     let lo, hi = Cml_wave.Measure.extremes w_p ~t_from:(tstop /. 2.0) in
     (freq, lo, hi)
   in
-  List.map one freqs
+  Cml_runtime.Pool.parallel_list_map ?jobs one freqs
 
 type hysteresis = {
   sweep : (float * float * float) list;

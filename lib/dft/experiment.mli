@@ -45,6 +45,7 @@ type threshold_row = {
 val amplitude_thresholds :
   ?proc:Cml_cells.Process.t ->
   ?detect_drop:float ->
+  ?jobs:int ->
   variant:variant ->
   freq:float ->
   pipe_values:float list ->
@@ -55,16 +56,19 @@ val amplitude_thresholds :
     is the smallest excursion amplitude that was detected (the
     paper's 0.57 V for variant 1, 0.35 V for variant 2).
     [detect_drop] is the vout drop counted as a detection (default
-    0.15 V, comparable to the variant-3 comparator threshold). *)
+    0.15 V, comparable to the variant-3 comparator threshold).
+    Rows run in parallel over [jobs] domains. *)
 
 val swing_vs_frequency :
   ?proc:Cml_cells.Process.t ->
+  ?jobs:int ->
   pipe:float option ->
   freqs:float list ->
   unit ->
   (float * float * float) list
 (** Figure 5: [(freq, vlow, vhigh)] of the monitored gate output for
-    one pipe value across stimulus frequencies. *)
+    one pipe value across stimulus frequencies; one parallel task per
+    frequency. *)
 
 type hysteresis = {
   sweep : (float * float * float) list;

@@ -13,7 +13,7 @@ type result = {
 }
 
 let run ?(proc = Cml_cells.Process.default) ?(spec = Cml_defects.Variation.default_spec)
-    ?(n = 10) ?defect ?(multi_emitter = true) ~samples ~seed () =
+    ?(n = 10) ?defect ?(multi_emitter = true) ?jobs ~samples ~seed () =
   let defect =
     match defect with
     | Some d -> d
@@ -35,16 +35,22 @@ let run ?(proc = Cml_cells.Process.default) ?(spec = Cml_defects.Variation.defau
     let vout = E.voltage x built.Sharing.readout.Readout.vout in
     (vfb > decision, vout)
   in
+  (* each sample derives its own perturbed netlist from (seed + k)
+     and compiles a fresh sim, so samples are independent tasks *)
+  let outcomes =
+    Cml_runtime.Pool.parallel_map ?jobs
+      (fun k -> (measure golden k, measure faulty k))
+      (Array.init samples Fun.id)
+  in
   let false_alarms = ref 0 and missed = ref 0 in
   let good_vouts = Array.make samples 0.0 and bad_vouts = Array.make samples 0.0 in
-  for k = 0 to samples - 1 do
-    let flagged_good, vout_good = measure golden k in
-    if flagged_good then incr false_alarms;
-    good_vouts.(k) <- vout_good;
-    let flagged_bad, vout_bad = measure faulty k in
-    if not flagged_bad then incr missed;
-    bad_vouts.(k) <- vout_bad
-  done;
+  Array.iteri
+    (fun k ((flagged_good, vout_good), (flagged_bad, vout_bad)) ->
+      if flagged_good then incr false_alarms;
+      good_vouts.(k) <- vout_good;
+      if not flagged_bad then incr missed;
+      bad_vouts.(k) <- vout_bad)
+    outcomes;
   let gmin = Cml_numerics.Stats.minimum good_vouts in
   {
     samples;

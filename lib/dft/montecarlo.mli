@@ -22,6 +22,7 @@ val run :
   ?n:int ->
   ?defect:Cml_defects.Defect.t ->
   ?multi_emitter:bool ->
+  ?jobs:int ->
   samples:int ->
   seed:int ->
   unit ->
@@ -30,4 +31,6 @@ val run :
     shared-read-out block, fault-free and with [defect] (default a
     4 kohm pipe on the middle gate's Q3), at the DC operating point in
     test mode.  A sample is flagged when its comparator feedback node
-    latches to the fault state. *)
+    latches to the fault state.  Samples run in parallel over [jobs]
+    domains (deterministic: each sample's perturbation derives from
+    [seed + k]). *)

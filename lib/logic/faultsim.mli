@@ -14,5 +14,12 @@ val detects :
     detection. *)
 
 val coverage :
-  Circuit.t -> initial:Sim.state -> patterns:Value.t array list -> float * int * int
-(** [(fraction, detected, total)] over {!all_faults}. *)
+  ?jobs:int ->
+  Circuit.t ->
+  initial:Sim.state ->
+  patterns:Value.t array list ->
+  float * int * int
+(** [(fraction, detected, total)] over {!all_faults}, simulating
+    faults in parallel over [jobs] domains (default
+    {!Cml_runtime.Pool.default_jobs}; the result does not depend on
+    [jobs]). *)

@@ -27,6 +27,9 @@ type factor = {
   u_rowind : int array;  (* pivotal numbering; diagonal stored last *)
   u_values : float array;
   pinv : int array;  (* original row -> pivotal position *)
+  a_colptr : int array;  (* the A pattern the symbolic analysis is valid for, *)
+  a_rowind : int array;  (* identified physically: refill keeps these arrays *)
+  work : float array;  (* dense scratch for refactorize; zero between calls *)
 }
 
 let pivot_abs_threshold = 1e-13
@@ -161,7 +164,81 @@ let factorize (a : Sparse.csc) =
     u_rowind = Array.sub ubuf.idx 0 ubuf.len;
     u_values = Array.sub ubuf.v 0 ubuf.len;
     pinv;
+    a_colptr = a.Sparse.colptr;
+    a_rowind = a.Sparse.rowind;
+    (* x ends the column loop all-zero; adopt it as the refactorize
+       scratch so the numeric phase allocates nothing *)
+    work = x;
   }
+
+let reusable f (a : Sparse.csc) =
+  f.n = a.Sparse.n && f.a_colptr == a.Sparse.colptr && f.a_rowind == a.Sparse.rowind
+
+(* A pivot chosen on the old values is kept across refactorization
+   only while it stays within this factor of its column's magnitude;
+   below that the element growth of the triangular solves could eat
+   half the mantissa, so we fall back to a fresh pivot search. *)
+let refactor_stability = 1e-8
+
+let refactorize f (a : Sparse.csc) =
+  reusable f a
+  && begin
+       let n = f.n in
+       let x = f.work in
+       let pinv = f.pinv in
+       let ok = ref true in
+       let j = ref 0 in
+       while !ok && !j < n do
+         let jj = !j in
+         (* scatter A(:,j) into pivotal numbering *)
+         for p = a.Sparse.colptr.(jj) to a.Sparse.colptr.(jj + 1) - 1 do
+           let r = pinv.(a.Sparse.rowind.(p)) in
+           x.(r) <- x.(r) +. a.Sparse.values.(p)
+         done;
+         (* sparse triangular solve along the recorded pattern: the
+            stored U rows of column j are in the topological order the
+            symbolic DFS produced, so every x.(k) is final when read *)
+         let dpos = f.u_colptr.(jj + 1) - 1 in
+         for p = f.u_colptr.(jj) to dpos - 1 do
+           let k = f.u_rowind.(p) in
+           let xk = x.(k) in
+           f.u_values.(p) <- xk;
+           x.(k) <- 0.0;
+           if xk <> 0.0 then
+             for q = f.l_colptr.(k) + 1 to f.l_colptr.(k + 1) - 1 do
+               let r = f.l_rowind.(q) in
+               x.(r) <- x.(r) -. (f.l_values.(q) *. xk)
+             done
+         done;
+         let pivot = x.(jj) in
+         x.(jj) <- 0.0;
+         let colmax = ref (Float.abs pivot) in
+         for p = f.l_colptr.(jj) + 1 to f.l_colptr.(jj + 1) - 1 do
+           let ax = Float.abs x.(f.l_rowind.(p)) in
+           if ax > !colmax then colmax := ax
+         done;
+         if
+           Float.abs pivot < pivot_abs_threshold
+           || Float.abs pivot < refactor_stability *. !colmax
+         then begin
+           ok := false;
+           (* leave the scratch clean for the next attempt *)
+           for p = f.l_colptr.(jj) + 1 to f.l_colptr.(jj + 1) - 1 do
+             x.(f.l_rowind.(p)) <- 0.0
+           done
+         end
+         else begin
+           f.u_values.(dpos) <- pivot;
+           for p = f.l_colptr.(jj) + 1 to f.l_colptr.(jj + 1) - 1 do
+             let r = f.l_rowind.(p) in
+             f.l_values.(p) <- x.(r) /. pivot;
+             x.(r) <- 0.0
+           done
+         end;
+         incr j
+       done;
+       !ok
+     end
 
 let solve f b =
   let n = f.n in

@@ -11,8 +11,25 @@ type factor
 (** A factorisation [P*A = L*U] of a {!Sparse.csc} matrix. *)
 
 val factorize : Sparse.csc -> factor
-(** Factor the matrix.
+(** Factor the matrix: symbolic analysis (reach sets, pivot order,
+    L/U patterns, buffer sizing) plus the numeric elimination.
     @raise Singular on structural or numeric singularity. *)
+
+val reusable : factor -> Sparse.csc -> bool
+(** Whether the factor's symbolic analysis applies to this matrix:
+    same dimension and the {e same} pattern arrays (physical
+    identity — {!Sparse.refill} refreshes values in place, so a
+    matrix obtained from the same {!Sparse.pattern} stays
+    reusable). *)
+
+val refactorize : factor -> Sparse.csc -> bool
+(** [refactorize f a] redoes only the numeric elimination of
+    {!factorize}, in place, reusing the pivot order and the L/U
+    patterns computed symbolically for a matrix with [a]'s pattern —
+    no DFS, no pivot search, no allocation.  Returns [false], leaving
+    [f] unusable, when the pattern does not match ({!reusable}) or a
+    recycled pivot has degraded below the stability threshold; the
+    caller must then {!factorize} afresh. *)
 
 val solve : factor -> float array -> float array
 (** [solve f b] returns [x] with [A x = b]. *)

@@ -1,0 +1,213 @@
+(* Fixed-size Domain worker pool for embarrassingly parallel
+   simulation batches (defect campaigns, Monte-Carlo sampling, fault
+   simulation, characterisation sweeps).
+
+   Design constraints, in order:
+   - deterministic results: task [i] always produces slot [i] of the
+     output, whatever domain ran it, so parallel and sequential runs
+     are byte-identical;
+   - a sequential fallback at [jobs = 1] that is exactly [Array.map];
+   - exceptions raised by a task are captured and re-raised in the
+     caller (the lowest-index failure wins deterministically);
+   - the pool is created once and reused: domains are expensive
+     relative to small tasks and the number of live domains in an
+     OCaml 5 process is bounded. *)
+
+let env_var = "CML_DFT_JOBS"
+
+(* 0 = no override; set from the command line (--jobs). *)
+let override = Atomic.make 0
+
+let set_default_jobs n =
+  if n < 1 then invalid_arg "Pool.set_default_jobs: jobs must be >= 1";
+  Atomic.set override n
+
+let env_jobs () =
+  match Sys.getenv_opt env_var with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None -> None)
+
+let default_jobs () =
+  let o = Atomic.get override in
+  if o >= 1 then o
+  else
+    match env_jobs () with
+    | Some n -> n
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+
+(* ------------------------------------------------------------------ *)
+(* The pool proper.
+
+   Workers block on [work_ready] until the generation counter moves,
+   then race the submitting domain over a shared atomic task index.
+   A job carries its own cursor and completion count, so a worker
+   that wakes up late simply finds the cursor exhausted.  The
+   submitter participates as worker #0, which makes [workers = 0] a
+   valid (fully sequential) pool. *)
+
+type job = {
+  run : int -> unit;  (* must not raise; see [map] *)
+  total : int;
+  next : int Atomic.t;
+  active : int;  (* domains allowed to pull tasks, including the caller *)
+  mutable unfinished : int;  (* workers yet to acknowledge; under [mutex] *)
+}
+
+type t = {
+  workers : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable generation : int;
+  mutable job : job option;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let drain job =
+  let rec go () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < job.total then begin
+      job.run i;
+      go ()
+    end
+  in
+  go ()
+
+let worker t id =
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while (not t.stopping) && t.generation = !seen do
+      Condition.wait t.work_ready t.mutex
+    done;
+    if t.stopping then Mutex.unlock t.mutex
+    else begin
+      seen := t.generation;
+      let job = match t.job with Some j -> j | None -> assert false in
+      Mutex.unlock t.mutex;
+      (* workers beyond the job's parallelism cap only acknowledge *)
+      if id + 1 < job.active then drain job;
+      Mutex.lock t.mutex;
+      job.unfinished <- job.unfinished - 1;
+      if job.unfinished = 0 then Condition.broadcast t.work_done;
+      Mutex.unlock t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~workers =
+  if workers < 0 then invalid_arg "Pool.create: negative worker count";
+  let t =
+    {
+      workers;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      generation = 0;
+      job = None;
+      stopping = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init workers (fun id -> Domain.spawn (fun () -> worker t id));
+  t
+
+let size t = t.workers
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+(* Run [run 0 .. run (total-1)] across the pool; not re-entrant (one
+   job at a time per pool, submitted from a single domain). *)
+let run_tasks t ~active ~total run =
+  if total > 0 then
+    if active <= 1 || t.workers = 0 then
+      for i = 0 to total - 1 do
+        run i
+      done
+    else begin
+      let job = { run; total; next = Atomic.make 0; active; unfinished = t.workers } in
+      Mutex.lock t.mutex;
+      t.generation <- t.generation + 1;
+      t.job <- Some job;
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.mutex;
+      drain job;
+      Mutex.lock t.mutex;
+      while job.unfinished > 0 do
+        Condition.wait t.work_done t.mutex
+      done;
+      t.job <- None;
+      Mutex.unlock t.mutex
+    end
+
+type 'b cell = Pending | Done of 'b | Raised of exn * Printexc.raw_backtrace
+
+let map t ?jobs f arr =
+  let n = Array.length arr in
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let active = min (min jobs n) (t.workers + 1) in
+  if active <= 1 then Array.map f arr
+  else begin
+    let cells = Array.make n Pending in
+    let failed = Atomic.make false in
+    let run i =
+      (* after a failure, finish nothing new: the batch is doomed *)
+      if not (Atomic.get failed) then
+        match f arr.(i) with
+        | v -> cells.(i) <- Done v
+        | exception e ->
+            cells.(i) <- Raised (e, Printexc.get_raw_backtrace ());
+            Atomic.set failed true
+    in
+    run_tasks t ~active ~total:n run;
+    if Atomic.get failed then
+      Array.iter
+        (function Raised (e, bt) -> Printexc.raise_with_backtrace e bt | Pending | Done _ -> ())
+        cells;
+    Array.map (function Done v -> v | Pending | Raised _ -> assert false) cells
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The shared global pool.
+
+   Sized once, on first parallel use, to the larger of the default
+   job count and the first explicit request; later requests for more
+   parallelism than the pool holds are capped at its size. *)
+
+let global : t option ref = ref None
+
+let global_mutex = Mutex.create ()
+
+let global_pool ~at_least =
+  Mutex.lock global_mutex;
+  let p =
+    match !global with
+    | Some p -> p
+    | None ->
+        let workers = max (at_least - 1) (max 0 (default_jobs () - 1)) in
+        let p = create ~workers in
+        global := Some p;
+        p
+  in
+  Mutex.unlock global_mutex;
+  p
+
+let parallel_map ?jobs f arr =
+  let n = Array.length arr in
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  if min jobs n <= 1 then Array.map f arr
+  else map (global_pool ~at_least:jobs) ~jobs f arr
+
+let parallel_list_map ?jobs f l =
+  Array.to_list (parallel_map ?jobs f (Array.of_list l))

@@ -1,0 +1,58 @@
+(** Fixed-size Domain worker pool for the simulation hot paths.
+
+    Defect campaigns, Monte-Carlo sampling, logic fault simulation and
+    detector characterisation sweeps all run many independent
+    simulations; {!parallel_map} distributes them over OCaml 5 domains
+    while keeping results deterministic: slot [i] of the output is
+    always [f arr.(i)], so a parallel run is byte-identical to a
+    sequential one.
+
+    Job-count resolution, everywhere a [?jobs] argument is optional:
+    explicit argument, then {!set_default_jobs} (the [--jobs] command
+    line flag), then the [CML_DFT_JOBS] environment variable, then
+    [Domain.recommended_domain_count () - 1] (at least 1).  [jobs = 1]
+    is an exact sequential fallback. *)
+
+val env_var : string
+(** ["CML_DFT_JOBS"]. *)
+
+val default_jobs : unit -> int
+(** The job count used when no [?jobs] argument is given. *)
+
+val set_default_jobs : int -> unit
+(** Override {!default_jobs} for the whole process (wins over the
+    environment).  @raise Invalid_argument below 1. *)
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map ~jobs f arr] is [Array.map f arr] computed by up to
+    [jobs] domains (the caller plus workers from a shared global pool
+    created on first use).  Tasks must be independent: [f] must not
+    mutate state shared between elements.  If any [f arr.(i)] raises,
+    the exception of the lowest failed index is re-raised in the
+    caller after the batch stops scheduling new tasks.  The global
+    pool is sized at first parallel call; larger later requests are
+    capped at its size. *)
+
+val parallel_list_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** List counterpart of {!parallel_map} (order preserved). *)
+
+(** {1 Explicit pools}
+
+    For callers that want their own worker domains rather than the
+    shared global pool (tests, long-lived servers). *)
+
+type t
+
+val create : workers:int -> t
+(** Spawn [workers] domains ([0] is valid and fully sequential; the
+    submitting domain always participates as an extra worker). *)
+
+val size : t -> int
+(** Worker-domain count (excluding the submitter). *)
+
+val map : t -> ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Like {!parallel_map} on this pool.  Not re-entrant: one batch at
+    a time, submitted from a single domain. *)
+
+val shutdown : t -> unit
+(** Join all worker domains.  The pool must be idle. *)

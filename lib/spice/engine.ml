@@ -47,6 +47,12 @@ type backend =
       trip : Cml_numerics.Sparse.triplet;
       mutable pat : Cml_numerics.Sparse.pattern option;
       mutable count : int;
+      mutable lu : Cml_numerics.Sparse_lu.factor option;
+          (** factor of the previous solve, kept for numeric-only
+              refactorization while the Jacobian pattern and pivot
+              stability allow it *)
+      mutable symbolic : int;  (** full factorizations performed *)
+      mutable numeric : int;  (** numeric-only refactorizations *)
     }
 
 type sim = {
@@ -135,7 +141,15 @@ let compile ?(options = default_options) net =
   in
   let backend =
     if use_sparse then
-      BSparse { trip = Cml_numerics.Sparse.triplet_create nunk; pat = None; count = 0 }
+      BSparse
+        {
+          trip = Cml_numerics.Sparse.triplet_create nunk;
+          pat = None;
+          count = 0;
+          lu = None;
+          symbolic = 0;
+          numeric = 0;
+        }
     else BDense (Cml_numerics.Dense.create nunk)
   in
   {
@@ -157,25 +171,13 @@ let compile ?(options = default_options) net =
    what lets the sparse backend compress the pattern once and then
    only refresh numeric values. *)
 
-let load sim ~x ~time ~integ ~srcscale ~gshunt =
+(* Assembly core, parameterised on the matrix stamp: [load] targets
+   the compiled backend, [ac_system] a triplet collector.  [stamp]
+   receives raw unknown indices and must ignore negative (ground)
+   ones itself. *)
+let assemble sim ~x ~time ~integ ~srcscale ~gshunt ~stamp =
   let rhs = sim.rhs in
   Array.fill rhs 0 sim.nunk 0.0;
-  let stamp =
-    match sim.backend with
-    | BDense d ->
-        Cml_numerics.Dense.clear d;
-        fun i j v -> if i >= 0 && j >= 0 then Cml_numerics.Dense.add_entry d i j v
-    | BSparse sp ->
-        sp.count <- 0;
-        if sp.pat = None then
-          (fun i j v -> if i >= 0 && j >= 0 then Cml_numerics.Sparse.add sp.trip i j v)
-        else
-          fun i j v ->
-            if i >= 0 && j >= 0 then begin
-              Cml_numerics.Sparse.set_values sp.trip sp.count v;
-              sp.count <- sp.count + 1
-            end
-  in
   let inject i v = if i >= 0 then rhs.(i) <- rhs.(i) +. v in
   let vof i = if i < 0 then 0.0 else x.(i) in
   let stamp_conductance i j g =
@@ -285,7 +287,26 @@ let load sim ~x ~time ~integ ~srcscale ~gshunt =
         stamp n cp (-.gm);
         stamp n cn gm
   in
-  Array.iter do_device sim.sdevs;
+  Array.iter do_device sim.sdevs
+
+let load sim ~x ~time ~integ ~srcscale ~gshunt =
+  let stamp =
+    match sim.backend with
+    | BDense d ->
+        Cml_numerics.Dense.clear d;
+        fun i j v -> if i >= 0 && j >= 0 then Cml_numerics.Dense.add_entry d i j v
+    | BSparse sp ->
+        sp.count <- 0;
+        if sp.pat = None then
+          (fun i j v -> if i >= 0 && j >= 0 then Cml_numerics.Sparse.add sp.trip i j v)
+        else
+          fun i j v ->
+            if i >= 0 && j >= 0 then begin
+              Cml_numerics.Sparse.set_values sp.trip sp.count v;
+              sp.count <- sp.count + 1
+            end
+  in
+  assemble sim ~x ~time ~integ ~srcscale ~gshunt ~stamp;
   match sim.backend with
   | BDense _ -> ()
   | BSparse sp -> begin
@@ -297,10 +318,34 @@ let load sim ~x ~time ~integ ~srcscale ~gshunt =
 let solve_linear sim =
   match sim.backend with
   | BDense d -> Cml_numerics.Dense.solve d sim.rhs
-  | BSparse { pat = Some pat; _ } ->
+  | BSparse ({ pat = Some pat; _ } as sp) ->
       let a = Cml_numerics.Sparse.csc_of_pattern pat in
-      Cml_numerics.Sparse_lu.solve (Cml_numerics.Sparse_lu.factorize a) sim.rhs
+      (* the pattern of an MNA Jacobian is fixed across Newton
+         iterations and timesteps, so the symbolic work (DFS reach,
+         pivot order, fill pattern, buffer allocation) is done once
+         and only the numeric elimination repeats; a degraded pivot
+         falls back to a full factorization with a fresh pivot order *)
+      let f =
+        match sp.lu with
+        | Some f when Cml_numerics.Sparse_lu.refactorize f a ->
+            sp.numeric <- sp.numeric + 1;
+            f
+        | Some _ | None ->
+            let f = Cml_numerics.Sparse_lu.factorize a in
+            sp.lu <- Some f;
+            sp.symbolic <- sp.symbolic + 1;
+            f
+      in
+      Cml_numerics.Sparse_lu.solve f sim.rhs
   | BSparse { pat = None; _ } -> assert false
+
+type solver_stats = { symbolic_factorizations : int; numeric_refactorizations : int }
+
+let solver_stats sim =
+  match sim.backend with
+  | BDense _ -> { symbolic_factorizations = 0; numeric_refactorizations = 0 }
+  | BSparse { symbolic; numeric; _ } ->
+      { symbolic_factorizations = symbolic; numeric_refactorizations = numeric }
 
 let converged sim x x' =
   let ok = ref true in
@@ -423,29 +468,23 @@ let update_capacitor_states sim x ~h ~trap =
 
 let ac_system sim x =
   set_junction_states sim x;
-  load sim ~x ~time:0.0 ~integ:Dcop ~srcscale:1.0 ~gshunt:0.0;
+  (* collect the conductance stamps straight off the device sweep
+     into a triplet (compression sums duplicates), instead of probing
+     every cell of the assembled backend matrix — the dense backend
+     made that an O(n^2) scan with a cons per probe *)
+  let trip = Cml_numerics.Sparse.triplet_create sim.nunk in
+  let stamp i j v = if i >= 0 && j >= 0 then Cml_numerics.Sparse.add trip i j v in
+  assemble sim ~x ~time:0.0 ~integ:Dcop ~srcscale:1.0 ~gshunt:0.0 ~stamp;
+  let a = Cml_numerics.Sparse.csc_of_pattern (Cml_numerics.Sparse.compress trip) in
   let g_entries =
-    match sim.backend with
-    | BDense d ->
-        let acc = ref [] in
-        for i = 0 to sim.nunk - 1 do
-          for j = 0 to sim.nunk - 1 do
-            let v = Cml_numerics.Dense.get d i j in
-            if v <> 0.0 then acc := (i, j, v) :: !acc
-          done
-        done;
-        !acc
-    | BSparse { pat = Some pat; _ } ->
-        let a = Cml_numerics.Sparse.csc_of_pattern pat in
-        let acc = ref [] in
-        for j = 0 to a.Cml_numerics.Sparse.n - 1 do
-          for p = a.Cml_numerics.Sparse.colptr.(j) to a.Cml_numerics.Sparse.colptr.(j + 1) - 1 do
-            let v = a.Cml_numerics.Sparse.values.(p) in
-            if v <> 0.0 then acc := (a.Cml_numerics.Sparse.rowind.(p), j, v) :: !acc
-          done
-        done;
-        !acc
-    | BSparse { pat = None; _ } -> assert false
+    let acc = ref [] in
+    for j = 0 to a.Cml_numerics.Sparse.n - 1 do
+      for p = a.Cml_numerics.Sparse.colptr.(j) to a.Cml_numerics.Sparse.colptr.(j + 1) - 1 do
+        let v = a.Cml_numerics.Sparse.values.(p) in
+        if v <> 0.0 then acc := (a.Cml_numerics.Sparse.rowind.(p), j, v) :: !acc
+      done
+    done;
+    !acc
   in
   let c_entries =
     Array.fold_left
@@ -465,17 +504,18 @@ type bjt_op = { q_name : string; vbe : float; vce : float; ic : float; ib : floa
 let bjt_report sim x =
   let vof i = if i < 0 then 0.0 else x.(i) in
   let nvt = Models.boltzmann_vt in
-  Array.to_list
-    (Array.of_seq
-       (Seq.filter_map
-          (fun d ->
-            match d with
-            | SBjt { name; c; b; e; m; _ } ->
-                let vbe = vof b -. vof e and vbc = vof b -. vof c in
-                let ift, _ = Models.junction_current ~is:m.Models.q_is ~nvt vbe in
-                let irt, _ = Models.junction_current ~is:m.Models.q_is ~nvt vbc in
-                let ic = ift -. irt -. (irt /. m.Models.q_br) in
-                let ib = (ift /. m.Models.q_bf) +. (irt /. m.Models.q_br) in
-                Some { q_name = name; vbe; vce = vof c -. vof e; ic; ib }
-            | SRes _ | SCap _ | SDiode _ | SVsrc _ | SIsrc _ | SVcvs _ | SVccs _ -> None)
-          (Array.to_seq sim.sdevs)))
+  let rev =
+    Array.fold_left
+      (fun acc d ->
+        match d with
+        | SBjt { name; c; b; e; m; _ } ->
+            let vbe = vof b -. vof e and vbc = vof b -. vof c in
+            let ift, _ = Models.junction_current ~is:m.Models.q_is ~nvt vbe in
+            let irt, _ = Models.junction_current ~is:m.Models.q_is ~nvt vbc in
+            let ic = ift -. irt -. (irt /. m.Models.q_br) in
+            let ib = (ift /. m.Models.q_bf) +. (irt /. m.Models.q_br) in
+            { q_name = name; vbe; vce = vof c -. vof e; ic; ib } :: acc
+        | SRes _ | SCap _ | SDiode _ | SVsrc _ | SIsrc _ | SVcvs _ | SVccs _ -> acc)
+      [] sim.sdevs
+  in
+  List.rev rev

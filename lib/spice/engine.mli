@@ -84,6 +84,20 @@ val update_capacitor_states : sim -> float array -> h:float -> trap:bool -> unit
 val init_capacitor_states : sim -> float array -> unit
 (** Initialise capacitor memory from a DC solution (zero current). *)
 
+type solver_stats = {
+  symbolic_factorizations : int;
+      (** full sparse LU factorizations (symbolic analysis + numeric),
+          performed once per Jacobian pattern or after a pivot
+          degraded *)
+  numeric_refactorizations : int;
+      (** numeric-only refactorizations reusing the cached symbolic
+          analysis — the cheap per-Newton-iteration path *)
+}
+
+val solver_stats : sim -> solver_stats
+(** Cumulative linear-solver counters since {!compile}; all zero for
+    the dense backend. *)
+
 val ac_system :
   sim -> float array -> (int * int * float) list * (int * int * float) list
 (** Small-signal system at the given (converged) operating point:
