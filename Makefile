@@ -1,0 +1,39 @@
+# Developer entry points.  `make check` is the full pre-commit gate:
+# strict-warning build, test suite, formatting (when ocamlformat is
+# installed) and a lint pass over every committed example netlist.
+
+DUNE ?= dune
+LINT := $(DUNE) exec --no-build bin/cmldft.exe -- lint
+
+.PHONY: all build test fmt lint-examples fixtures check clean
+
+all: build
+
+build:
+	$(DUNE) build
+
+test:
+	$(DUNE) runtest
+
+# `dune build @fmt` needs ocamlformat; skip with a notice when the
+# tool is missing so `make check` works on a bare switch.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  $(DUNE) build @fmt; \
+	else \
+	  echo "fmt: ocamlformat not installed, skipping"; \
+	fi
+
+lint-examples: build
+	$(LINT) --fail-on error examples/netlists/*.cir examples/netlists/*.bench
+
+# Regenerate the committed decks in examples/netlists/ from the cell
+# library (they are kept in git so `lint-examples` needs no codegen).
+fixtures: build
+	$(DUNE) exec examples/write_lint_fixtures.exe
+
+check: build test fmt lint-examples
+	@echo "check: OK"
+
+clean:
+	$(DUNE) clean

@@ -351,6 +351,126 @@ let op_cmd =
   Cmd.v info Term.(const run $ pipe_arg $ stages_arg)
 
 (* ------------------------------------------------------------------ *)
+(* lint: the unified static-analysis pass *)
+
+let lint_cmd =
+  let module A = Cml_analysis in
+  let files_arg =
+    let doc =
+      "Files to lint: SPICE-flavoured netlist decks (ERC + CML rules) or $(b,.bench) \
+       circuits (SCOAP testability rules).  With no files, a built-in self-check runs over \
+       the paper's chain, an instrumented chain with its insertion plan, and the embedded \
+       s27 benchmark."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"FILE" ~doc)
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON on stdout.")
+  in
+  let fail_on_arg =
+    let doc = "Exit non-zero when a finding of at least this severity exists: $(docv) is \
+               $(b,error), $(b,warning) or $(b,info)." in
+    let level =
+      Arg.enum
+        [ ("error", A.Diagnostic.Error); ("warning", A.Diagnostic.Warning);
+          ("info", A.Diagnostic.Info) ]
+    in
+    Arg.(value & opt level A.Diagnostic.Error & info [ "fail-on" ] ~docv:"LEVEL" ~doc)
+  in
+  let rules_arg =
+    Arg.(value & flag & info [ "rules" ] ~doc:"Print the rule catalog and exit.")
+  in
+  let max_share_arg =
+    let doc = "Safe sharing limit for the DFT-coverage audit (paper section 6.4)." in
+    Arg.(value & opt int 45 & info [ "max-share" ] ~docv:"N" ~doc)
+  in
+  let print_rules () =
+    Printf.printf "%-10s %-7s %-8s %s\n" "rule" "family" "severity" "description";
+    List.iter
+      (fun (r : A.Rules.info) ->
+        Printf.printf "%-10s %-7s %-8s %s\n" r.A.Rules.id r.A.Rules.family
+          (A.Diagnostic.severity_name r.A.Rules.severity)
+          r.A.Rules.title)
+      A.Rules.all
+  in
+  let builtin_targets max_share =
+    let chain = Cml_cells.Chain.build ~stages:8 ~freq:100e6 () in
+    let instrumented = Cml_cells.Chain.build ~stages:8 ~freq:100e6 () in
+    let plan = Dft.Insertion.instrument instrumented.Cml_cells.Chain.builder in
+    [
+      ("builtin:chain8", A.Lint.netlist chain.Cml_cells.Chain.builder.B.net);
+      ( "builtin:instrumented-chain8",
+        A.Lint.netlist instrumented.Cml_cells.Chain.builder.B.net );
+      ( "builtin:insertion-plan",
+        Dft.Audit.check ~max_safe_share:max_share plan instrumented.Cml_cells.Chain.builder );
+      ("builtin:s27.bench", A.Lint.circuit (Cml_logic.Bench_format.s27 ()));
+    ]
+  in
+  let lint_file path =
+    if Filename.check_suffix path ".bench" then
+      A.Lint.circuit (Cml_logic.Bench_format.read_file ~path)
+    else A.Lint.netlist (Cml_spice.Netlist_io.read_file ~path)
+  in
+  let json_escape s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let lint_code files json fail_on rules max_share =
+    if rules then (print_rules (); 0)
+    else
+      match
+        if files = [] then builtin_targets max_share
+        else List.map (fun f -> (f, lint_file f)) files
+      with
+      | exception Cml_spice.Netlist_io.Parse_error { line; message } ->
+          Printf.eprintf "cmldft lint: netlist parse error at line %d: %s\n" line message;
+          2
+      | exception Cml_logic.Bench_format.Parse_error { line; message } ->
+          Printf.eprintf "cmldft lint: bench parse error at line %d: %s\n" line message;
+          2
+      | exception Sys_error msg ->
+          Printf.eprintf "cmldft lint: %s\n" msg;
+          2
+      | targets ->
+          if json then begin
+            let buf = Buffer.create 1024 in
+            Buffer.add_string buf "{\"targets\":[";
+            List.iteri
+              (fun i (name, ds) ->
+                if i > 0 then Buffer.add_char buf ',';
+                Buffer.add_string buf
+                  (Printf.sprintf {|{"target":"%s","report":%s}|} (json_escape name)
+                     (String.trim (A.Diagnostic.render_json ds))))
+              targets;
+            Buffer.add_string buf "]}\n";
+            print_string (Buffer.contents buf)
+          end
+          else
+            List.iter
+              (fun (name, ds) ->
+                Printf.printf "== %s ==\n%s" name (A.Diagnostic.render_text ds))
+              targets;
+          let all = List.concat_map snd targets in
+          if A.Lint.fails ~fail_on all then 1 else 0
+  in
+  let run files json fail_on rules max_share =
+    let code = lint_code files json fail_on rules max_share in
+    if code <> 0 then exit code
+  in
+  let doc = "Static analysis: electrical rules, DFT-coverage audit and SCOAP testability." in
+  let info = Cmd.info "lint" ~doc in
+  Cmd.v info
+    Term.(const run $ files_arg $ json_arg $ fail_on_arg $ rules_arg $ max_share_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc = "reproduction of 'DFT Method for CML Digital Circuits' (DATE 1999)" in
@@ -358,7 +478,7 @@ let main_cmd =
   Cmd.group info
     [
       chain_cmd; detector_cmd; sharing_cmd; campaign_cmd; area_cmd; mc_cmd; logic_cmd;
-      export_cmd; op_cmd;
+      export_cmd; op_cmd; lint_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -7,7 +7,6 @@
    Run with:  dune exec examples/detect_pipe_defect.exe *)
 
 module B = Cml_cells.Builder
-module N = Cml_spice.Netlist
 module E = Cml_spice.Engine
 module T = Cml_spice.Transient
 

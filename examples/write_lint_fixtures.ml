@@ -1,0 +1,33 @@
+(* Regenerate the committed lint fixtures in examples/netlists/.
+   Run from the repo root:
+
+     dune exec examples/write_lint_fixtures.exe
+
+   Every deck written here must pass `cmldft lint` with zero errors;
+   `make check` relies on that. *)
+
+module B = Cml_cells.Builder
+
+let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "examples/netlists"
+
+let write_deck name net =
+  let path = Filename.concat dir name in
+  Cml_spice.Netlist_io.write_file ~path net;
+  Printf.printf "wrote %s (%d devices)\n" path (Cml_spice.Netlist.device_count net)
+
+let () =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let chain3 = Cml_cells.Chain.build ~stages:3 ~freq:100e6 () in
+  write_deck "chain3.cir" chain3.Cml_cells.Chain.builder.B.net;
+  let chain8 = Cml_cells.Chain.build ~stages:8 ~freq:100e6 () in
+  write_deck "chain8.cir" chain8.Cml_cells.Chain.builder.B.net;
+  let instrumented = Cml_cells.Chain.build ~stages:8 ~freq:100e6 () in
+  let (_ : Cml_dft.Insertion.plan) =
+    Cml_dft.Insertion.instrument instrumented.Cml_cells.Chain.builder
+  in
+  write_deck "instrumented_chain8.cir" instrumented.Cml_cells.Chain.builder.B.net;
+  let path = Filename.concat dir "s27.bench" in
+  let oc = open_out path in
+  output_string oc (Cml_logic.Bench_format.to_string (Cml_logic.Bench_format.s27 ()));
+  close_out oc;
+  Printf.printf "wrote %s\n" path

@@ -1,0 +1,63 @@
+module D = Diagnostic
+
+type member = { cell : string; monitors_p : bool; monitors_n : bool }
+
+type group = { index : int; members : member list; readout_devices : int }
+
+type view = { groups : group list; all_cells : string list; max_safe_share : int }
+
+let check view =
+  let covered = Hashtbl.create 64 in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun m -> if m.monitors_p || m.monitors_n then Hashtbl.replace covered m.cell ())
+        g.members)
+    view.groups;
+  let uninstrumented =
+    List.filter_map
+      (fun cell ->
+        if Hashtbl.mem covered cell then None
+        else
+          Some
+            (D.make ~rule:Rules.dft_uninstrumented_cell D.Error (D.Cell cell)
+               "cell has no sensor in any read-out group; defects here are invisible to the \
+                test-mode screen"))
+      view.all_cells
+  in
+  let per_group g =
+    let size = List.length g.members in
+    let oversized =
+      if size > view.max_safe_share then
+        [
+          D.make ~rule:Rules.dft_oversized_group D.Error (D.Group g.index)
+            "%d cells share one read-out, above the safe sharing limit of %d (the fault-free \
+             load drop crosses the comparator threshold)"
+            size view.max_safe_share;
+        ]
+      else []
+    in
+    let missing_readout =
+      if g.readout_devices = 0 then
+        [
+          D.make ~rule:Rules.dft_missing_readout D.Error (D.Group g.index)
+            "no read-out devices (ro%d.*) exist in the netlist for this group" g.index;
+        ]
+      else []
+    in
+    let polarity =
+      List.filter_map
+        (fun m ->
+          match (m.monitors_p, m.monitors_n) with
+          | true, true | false, false -> None
+          | true, false | false, true ->
+              Some
+                (D.make ~rule:Rules.dft_single_polarity D.Warning (D.Cell m.cell)
+                   "output monitored only on the %s polarity; faults asserting the other rail \
+                    are missed for static inputs (paper section 6.6)"
+                   (if m.monitors_p then "true" else "complement")))
+        g.members
+    in
+    List.concat [ oversized; missing_readout; polarity ]
+  in
+  uninstrumented @ List.concat_map per_group view.groups

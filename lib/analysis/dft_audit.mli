@@ -1,0 +1,34 @@
+(** DFT-coverage audit: given an abstract view of an insertion plan
+    (which cells exist, how they are grouped onto shared read-outs,
+    and which output polarities each sensor actually monitors),
+    report coverage holes before any simulation is run.
+
+    The view is deliberately decoupled from {!Cml_dft.Insertion.plan}
+    so this library does not depend on [cml_dft];
+    [Cml_dft.Audit.check] builds the view from a real plan and
+    netlist. *)
+
+type member = {
+  cell : string;  (** instrumented cell instance name *)
+  monitors_p : bool;  (** a sensor emitter sits on the true output *)
+  monitors_n : bool;  (** ... and on the complement output *)
+}
+
+type group = {
+  index : int;
+  members : member list;
+  readout_devices : int;
+      (** read-out circuit devices found in the netlist for this
+          group; 0 means the plan references a read-out that was
+          never built *)
+}
+
+type view = {
+  groups : group list;
+  all_cells : string list;  (** every cell that should be instrumented *)
+  max_safe_share : int;  (** the paper's safe sharing limit (section 6.4) *)
+}
+
+val check : view -> Diagnostic.t list
+(** Uninstrumented cells (error), oversized groups (error), missing
+    read-outs (error), single-polarity monitoring (warning). *)

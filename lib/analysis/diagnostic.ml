@@ -1,0 +1,118 @@
+type severity = Info | Warning | Error
+
+type location =
+  | Device of string
+  | Node of string
+  | Cell of string
+  | Group of int
+  | Gate of int
+  | Output of string
+  | Toplevel
+
+type t = {
+  rule : string;
+  severity : severity;
+  location : location;
+  message : string;
+}
+
+let make ~rule severity location fmt =
+  Printf.ksprintf (fun message -> { rule; severity; location; message }) fmt
+
+let severity_name = function Info -> "info" | Warning -> "warning" | Error -> "error"
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+let severity_ge a b = severity_rank a >= severity_rank b
+
+let location_string = function
+  | Device d -> "device " ^ d
+  | Node n -> "node " ^ n
+  | Cell c -> "cell " ^ c
+  | Group i -> Printf.sprintf "group %d" i
+  | Gate i -> Printf.sprintf "net %d" i
+  | Output o -> "output " ^ o
+  | Toplevel -> "design"
+
+let compare a b =
+  let c = Stdlib.compare (severity_rank b.severity) (severity_rank a.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.rule b.rule in
+    if c <> 0 then c
+    else
+      let c = String.compare (location_string a.location) (location_string b.location) in
+      if c <> 0 then c else String.compare a.message b.message
+
+let sort ds = List.stable_sort compare ds
+
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+
+let worst ds =
+  List.fold_left
+    (fun acc d ->
+      match acc with
+      | None -> Some d.severity
+      | Some s -> Some (if severity_ge d.severity s then d.severity else s))
+    None ds
+
+let to_string d =
+  Printf.sprintf "%s[%s] %s: %s" (severity_name d.severity) d.rule
+    (location_string d.location) d.message
+
+let render_text ds =
+  let ds = sort ds in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun d ->
+      Buffer.add_string buf (to_string d);
+      Buffer.add_char buf '\n')
+    ds;
+  Buffer.add_string buf
+    (Printf.sprintf "%d error(s), %d warning(s), %d info\n" (count Error ds)
+       (count Warning ds) (count Info ds));
+  Buffer.contents buf
+
+(* RFC 8259 string escaping: the two mandatory escapes plus control
+   characters; everything else passes through byte-for-byte. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let location_json = function
+  | Device d -> Printf.sprintf {|{"kind":"device","name":"%s"}|} (json_escape d)
+  | Node n -> Printf.sprintf {|{"kind":"node","name":"%s"}|} (json_escape n)
+  | Cell c -> Printf.sprintf {|{"kind":"cell","name":"%s"}|} (json_escape c)
+  | Group i -> Printf.sprintf {|{"kind":"group","index":%d}|} i
+  | Gate i -> Printf.sprintf {|{"kind":"net","id":%d}|} i
+  | Output o -> Printf.sprintf {|{"kind":"output","name":"%s"}|} (json_escape o)
+  | Toplevel -> {|{"kind":"design"}|}
+
+let render_json ds =
+  let ds = sort ds in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\"diagnostics\":[";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf {|{"rule":"%s","severity":"%s","location":%s,"message":"%s"}|}
+           (json_escape d.rule) (severity_name d.severity) (location_json d.location)
+           (json_escape d.message)))
+    ds;
+  Buffer.add_string buf
+    (Printf.sprintf "],\"errors\":%d,\"warnings\":%d,\"infos\":%d}" (count Error ds)
+       (count Warning ds) (count Info ds));
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

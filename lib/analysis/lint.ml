@@ -1,0 +1,25 @@
+exception Preflight_failed of string
+
+let netlist ?erc net = Diagnostic.sort (Erc.check ?config:erc net)
+
+let circuit ?scoap c = Diagnostic.sort (Scoap.check ?config:scoap c)
+
+let fails ~fail_on ds =
+  List.exists (fun d -> Diagnostic.severity_ge d.Diagnostic.severity fail_on) ds
+
+let preflight_enabled () =
+  match Sys.getenv_opt "CML_DFT_NO_PREFLIGHT" with
+  | None | Some "" | Some "0" -> true
+  | Some _ -> false
+
+let preflight ~what ds =
+  let errors =
+    List.filter (fun d -> d.Diagnostic.severity = Diagnostic.Error) ds
+  in
+  if errors <> [] then
+    raise
+      (Preflight_failed
+         (Printf.sprintf "%s failed pre-flight lint:\n%s" what (Diagnostic.render_text errors)))
+
+let preflight_netlist ~what net =
+  if preflight_enabled () then preflight ~what (netlist net)

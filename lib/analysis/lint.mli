@@ -1,0 +1,33 @@
+(** The unified static-analysis pass: run rule families, merge
+    reports, and gate expensive simulation runs behind a pre-flight
+    check that fails fast with a rule citation instead of a numeric
+    mystery deep inside a Newton loop.
+
+    The pre-flight is opt-out: callers such as [Campaign.run] enable
+    it by default and expose a [?preflight:false] escape hatch, and
+    setting the environment variable [CML_DFT_NO_PREFLIGHT=1]
+    disables every pre-flight in the process (useful when
+    deliberately simulating rule-breaking netlists). *)
+
+exception Preflight_failed of string
+(** Raised by the [preflight_*] functions; the payload is the full
+    rendered report (rule ids included). *)
+
+val netlist : ?erc:Erc.config -> Cml_spice.Netlist.t -> Diagnostic.t list
+(** All electrical and CML rules, sorted. *)
+
+val circuit : ?scoap:Scoap.config -> Cml_logic.Circuit.t -> Diagnostic.t list
+(** All SCOAP rules, sorted. *)
+
+val fails : fail_on:Diagnostic.severity -> Diagnostic.t list -> bool
+(** True when any diagnostic is at least as severe as [fail_on]. *)
+
+val preflight_enabled : unit -> bool
+(** False when [CML_DFT_NO_PREFLIGHT] is set to a non-[0] value. *)
+
+val preflight : what:string -> Diagnostic.t list -> unit
+(** @raise Preflight_failed when the list contains an error. *)
+
+val preflight_netlist : what:string -> Cml_spice.Netlist.t -> unit
+(** ERC pre-flight; a no-op when pre-flights are disabled via the
+    environment.  @raise Preflight_failed on any error-level finding. *)

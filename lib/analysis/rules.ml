@@ -1,0 +1,73 @@
+type info = {
+  id : string;
+  family : string;
+  severity : Diagnostic.severity;
+  title : string;
+}
+
+let erc_floating_node = "ERC001"
+let erc_no_dc_path = "ERC002"
+let erc_duplicate_name = "ERC003"
+let erc_nonpositive_resistance = "ERC004"
+let erc_negative_capacitance = "ERC005"
+let erc_vsource_loop = "ERC006"
+
+let cml_mismatched_loads = "CML001"
+let cml_missing_tail = "CML002"
+let cml_swing_window = "CML003"
+let cml_vtest_unrouted = "CML004"
+
+let dft_uninstrumented_cell = "DFT001"
+let dft_oversized_group = "DFT002"
+let dft_single_polarity = "DFT003"
+let dft_missing_readout = "DFT004"
+
+let scoap_unobservable = "SCOAP001"
+let scoap_hard_observe = "SCOAP002"
+let scoap_hard_control = "SCOAP003"
+let scoap_reconvergent = "SCOAP004"
+let scoap_output_summary = "SCOAP005"
+
+let all =
+  [
+    { id = erc_floating_node; family = "erc"; severity = Diagnostic.Error;
+      title = "node connects to fewer than two device terminals" };
+    { id = erc_no_dc_path; family = "erc"; severity = Diagnostic.Error;
+      title = "node has no DC conduction path to ground" };
+    { id = erc_duplicate_name; family = "erc"; severity = Diagnostic.Warning;
+      title = "device names collide case-insensitively" };
+    { id = erc_nonpositive_resistance; family = "erc"; severity = Diagnostic.Error;
+      title = "resistor value is zero or negative" };
+    { id = erc_negative_capacitance; family = "erc"; severity = Diagnostic.Error;
+      title = "capacitor value is negative" };
+    { id = erc_vsource_loop; family = "erc"; severity = Diagnostic.Error;
+      title = "loop of ideal voltage sources" };
+    { id = cml_mismatched_loads; family = "cml"; severity = Diagnostic.Error;
+      title = "differential pair load resistors differ" };
+    { id = cml_missing_tail; family = "cml"; severity = Diagnostic.Error;
+      title = "differential pair has no tail current source" };
+    { id = cml_swing_window; family = "cml"; severity = Diagnostic.Warning;
+      title = "output swing budget outside the nominal window" };
+    { id = cml_vtest_unrouted; family = "cml"; severity = Diagnostic.Error;
+      title = "sensor base is not on the vtest rail" };
+    { id = dft_uninstrumented_cell; family = "dft"; severity = Diagnostic.Error;
+      title = "cell is not covered by any sensor group" };
+    { id = dft_oversized_group; family = "dft"; severity = Diagnostic.Error;
+      title = "sharing group exceeds the safe size" };
+    { id = dft_single_polarity; family = "dft"; severity = Diagnostic.Warning;
+      title = "output monitored on only one polarity" };
+    { id = dft_missing_readout; family = "dft"; severity = Diagnostic.Error;
+      title = "plan group has no read-out devices in the netlist" };
+    { id = scoap_unobservable; family = "scoap"; severity = Diagnostic.Error;
+      title = "net drives no primary output or flip-flop" };
+    { id = scoap_hard_observe; family = "scoap"; severity = Diagnostic.Warning;
+      title = "net observability above the threshold" };
+    { id = scoap_hard_control; family = "scoap"; severity = Diagnostic.Warning;
+      title = "net controllability above the threshold" };
+    { id = scoap_reconvergent; family = "scoap"; severity = Diagnostic.Info;
+      title = "fanout stem reconverges downstream" };
+    { id = scoap_output_summary; family = "scoap"; severity = Diagnostic.Info;
+      title = "hardest-to-observe net in an output cone" };
+  ]
+
+let find id = List.find_opt (fun r -> r.id = id) all

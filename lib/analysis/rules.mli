@@ -1,0 +1,47 @@
+(** The rule catalog: one entry per rule id the analysis pass can
+    emit, with its default severity and a one-line description.  The
+    catalog is the single source of truth cited by the CLI
+    ([cmldft lint --rules]) and DESIGN.md §8. *)
+
+type info = {
+  id : string;
+  family : string;  (** ["erc"], ["cml"], ["dft"] or ["scoap"] *)
+  severity : Diagnostic.severity;  (** default severity *)
+  title : string;
+}
+
+(* Electrical rules on a SPICE netlist. *)
+
+val erc_floating_node : string (* ERC001 *)
+val erc_no_dc_path : string (* ERC002 *)
+val erc_duplicate_name : string (* ERC003 *)
+val erc_nonpositive_resistance : string (* ERC004 *)
+val erc_negative_capacitance : string (* ERC005 *)
+val erc_vsource_loop : string (* ERC006 *)
+
+(* CML design rules. *)
+
+val cml_mismatched_loads : string (* CML001 *)
+val cml_missing_tail : string (* CML002 *)
+val cml_swing_window : string (* CML003 *)
+val cml_vtest_unrouted : string (* CML004 *)
+
+(* DFT-coverage audit on an insertion plan. *)
+
+val dft_uninstrumented_cell : string (* DFT001 *)
+val dft_oversized_group : string (* DFT002 *)
+val dft_single_polarity : string (* DFT003 *)
+val dft_missing_readout : string (* DFT004 *)
+
+(* SCOAP testability metrics on a gate-level circuit. *)
+
+val scoap_unobservable : string (* SCOAP001 *)
+val scoap_hard_observe : string (* SCOAP002 *)
+val scoap_hard_control : string (* SCOAP003 *)
+val scoap_reconvergent : string (* SCOAP004 *)
+val scoap_output_summary : string (* SCOAP005 *)
+
+val all : info list
+(** Every rule, in catalog order. *)
+
+val find : string -> info option

@@ -1,0 +1,237 @@
+module C = Cml_logic.Circuit
+module D = Diagnostic
+
+type metrics = { cc0 : int array; cc1 : int array; co : int array }
+
+let infinite = max_int / 4
+
+let ( ++ ) a b = if a >= infinite || b >= infinite then infinite else a + b
+
+(* Controllability in topological order; flip-flop transfer adds one
+   sequential level.  Because flip-flop loops feed values backwards,
+   iterate the whole relaxation to a fixpoint — values only ever
+   decrease, so at most one pass per flip-flop layer is needed. *)
+let compute_cc (c : C.t) =
+  let n = Array.length c.C.gates in
+  let cc0 = Array.make n infinite and cc1 = Array.make n infinite in
+  let set i v0 v1 =
+    let changed = v0 < cc0.(i) || v1 < cc1.(i) in
+    if v0 < cc0.(i) then cc0.(i) <- v0;
+    if v1 < cc1.(i) then cc1.(i) <- v1;
+    changed
+  in
+  let relax i =
+    match c.C.gates.(i) with
+    | C.Input _ -> set i 1 1
+    | C.And (a, b) -> set i (1 ++ min cc0.(a) cc0.(b)) (1 ++ cc1.(a) ++ cc1.(b))
+    | C.Or (a, b) -> set i (1 ++ cc0.(a) ++ cc0.(b)) (1 ++ min cc1.(a) cc1.(b))
+    | C.Xor (a, b) ->
+        set i
+          (1 ++ min (cc0.(a) ++ cc0.(b)) (cc1.(a) ++ cc1.(b)))
+          (1 ++ min (cc1.(a) ++ cc0.(b)) (cc0.(a) ++ cc1.(b)))
+    | C.Not a -> set i (1 ++ cc1.(a)) (1 ++ cc0.(a))
+    | C.Buf a -> set i (1 ++ cc0.(a)) (1 ++ cc1.(a))
+    | C.Mux { sel; a; b } ->
+        set i
+          (1 ++ min (cc1.(sel) ++ cc0.(a)) (cc0.(sel) ++ cc0.(b)))
+          (1 ++ min (cc1.(sel) ++ cc1.(a)) (cc0.(sel) ++ cc1.(b)))
+    | C.Dff { d } -> set i (1 ++ cc0.(d)) (1 ++ cc1.(d))
+  in
+  let changed = ref true in
+  let passes = ref 0 in
+  while !changed && !passes <= n + 1 do
+    changed := false;
+    Array.iter (fun i -> if relax i then changed := true) c.C.order;
+    Array.iter (fun ff -> if relax ff then changed := true) c.C.dffs;
+    incr passes
+  done;
+  (cc0, cc1)
+
+let compute_co (c : C.t) cc0 cc1 =
+  let n = Array.length c.C.gates in
+  let co = Array.make n infinite in
+  List.iter (fun (_, id) -> co.(id) <- 0) c.C.outputs;
+  let lower i v = if v < co.(i) then (co.(i) <- v; true) else false in
+  let relax i =
+    let cg = co.(i) in
+    if cg >= infinite then false
+    else
+      match c.C.gates.(i) with
+      | C.Input _ -> false
+      | C.And (a, b) ->
+          let ca = lower a (cg ++ cc1.(b) ++ 1) in
+          let cb = lower b (cg ++ cc1.(a) ++ 1) in
+          ca || cb
+      | C.Or (a, b) ->
+          let ca = lower a (cg ++ cc0.(b) ++ 1) in
+          let cb = lower b (cg ++ cc0.(a) ++ 1) in
+          ca || cb
+      | C.Xor (a, b) ->
+          let ca = lower a (cg ++ min cc0.(b) cc1.(b) ++ 1) in
+          let cb = lower b (cg ++ min cc0.(a) cc1.(a) ++ 1) in
+          ca || cb
+      | C.Not a | C.Buf a -> lower a (cg ++ 1)
+      | C.Mux { sel; a; b } ->
+          (* to see [sel], the data inputs must differ; to see a data
+             input, steer the mux toward it *)
+          let cs =
+            lower sel (cg ++ min (cc1.(a) ++ cc0.(b)) (cc0.(a) ++ cc1.(b)) ++ 1)
+          in
+          let ca = lower a (cg ++ cc1.(sel) ++ 1) in
+          let cb = lower b (cg ++ cc0.(sel) ++ 1) in
+          cs || ca || cb
+      | C.Dff { d } -> lower d (cg ++ 1)
+  in
+  let changed = ref true in
+  let passes = ref 0 in
+  while !changed && !passes <= n + 1 do
+    changed := false;
+    for k = Array.length c.C.order - 1 downto 0 do
+      if relax c.C.order.(k) then changed := true
+    done;
+    Array.iter (fun ff -> if relax ff then changed := true) c.C.dffs;
+    incr passes
+  done;
+  co
+
+let compute c =
+  let cc0, cc1 = compute_cc c in
+  let co = compute_co c cc0 cc1 in
+  { cc0; cc1; co }
+
+(* ------------------------------------------------------------------ *)
+
+let fanins = function
+  | C.Input _ -> []
+  | C.And (a, b) | C.Or (a, b) | C.Xor (a, b) -> [ a; b ]
+  | C.Not a | C.Buf a -> [ a ]
+  | C.Mux { sel; a; b } -> [ sel; a; b ]
+  | C.Dff { d } -> [ d ]
+
+type output_report = { output : string; hardest_net : int; hardest_co : int }
+
+let output_reports (c : C.t) m =
+  List.map
+    (fun (name, id) ->
+      (* transitive fan-in cone, through flip-flops *)
+      let n = Array.length c.C.gates in
+      let seen = Array.make n false in
+      let rec visit i =
+        if not seen.(i) then begin
+          seen.(i) <- true;
+          List.iter visit (fanins c.C.gates.(i))
+        end
+      in
+      visit id;
+      let hardest_net = ref id and hardest_co = ref m.co.(id) in
+      for i = 0 to n - 1 do
+        if seen.(i) && m.co.(i) < infinite && (m.co.(i) > !hardest_co || !hardest_co >= infinite)
+        then begin
+          hardest_net := i;
+          hardest_co := m.co.(i)
+        end
+      done;
+      { output = name; hardest_net = !hardest_net; hardest_co = !hardest_co })
+    c.C.outputs
+
+let consumers (c : C.t) =
+  let n = Array.length c.C.gates in
+  let cons = Array.make n [] in
+  Array.iteri (fun i g -> List.iter (fun f -> cons.(f) <- i :: cons.(f)) (fanins g)) c.C.gates;
+  cons
+
+let reconvergent_stems (c : C.t) =
+  let n = Array.length c.C.gates in
+  let cons = consumers c in
+  let reach_from start =
+    let seen = Array.make n false in
+    let rec visit i =
+      if not seen.(i) then begin
+        seen.(i) <- true;
+        List.iter visit cons.(i)
+      end
+    in
+    visit start;
+    seen
+  in
+  let stems = ref [] in
+  for s = 0 to n - 1 do
+    match cons.(s) with
+    | _ :: _ :: _ as branches ->
+        (* distinct consumer gates, each explored as its own branch *)
+        let branches = List.sort_uniq Stdlib.compare branches in
+        if List.length branches >= 2 then begin
+          let sets = List.map reach_from branches in
+          (* the earliest net reached by two different branches *)
+          let meet = ref None in
+          for i = 0 to n - 1 do
+            if !meet = None && i <> s then begin
+              let hits = List.length (List.filter (fun set -> set.(i)) sets) in
+              if hits >= 2 then meet := Some i
+            end
+          done;
+          match !meet with
+          | Some m -> stems := (s, m) :: !stems
+          | None -> ()
+        end
+    | _ -> ()
+  done;
+  List.rev !stems
+
+(* ------------------------------------------------------------------ *)
+
+type config = { co_warn : int; cc_warn : int }
+
+let default_config = { co_warn = 40; cc_warn = 40 }
+
+let net_label (c : C.t) i =
+  match c.C.gates.(i) with
+  | C.Input name -> Printf.sprintf "%d (input %s)" i name
+  | C.And _ | C.Or _ | C.Xor _ | C.Not _ | C.Buf _ | C.Mux _ | C.Dff _ -> string_of_int i
+
+let check ?(config = default_config) (c : C.t) =
+  let m = compute c in
+  let n = Array.length c.C.gates in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    if m.co.(i) >= infinite then
+      out :=
+        D.make ~rule:Rules.scoap_unobservable D.Error (D.Gate i)
+          "net %s cannot be observed at any primary output" (net_label c i)
+        :: !out
+    else if m.co.(i) > config.co_warn then
+      out :=
+        D.make ~rule:Rules.scoap_hard_observe D.Warning (D.Gate i)
+          "observability CO = %d exceeds %d" m.co.(i) config.co_warn
+        :: !out;
+    if m.cc0.(i) < infinite && m.cc1.(i) < infinite
+       && max m.cc0.(i) m.cc1.(i) > config.cc_warn
+    then
+      out :=
+        D.make ~rule:Rules.scoap_hard_control D.Warning (D.Gate i)
+          "controllability CC0 = %d / CC1 = %d exceeds %d" m.cc0.(i) m.cc1.(i) config.cc_warn
+        :: !out;
+    if m.cc0.(i) >= infinite || m.cc1.(i) >= infinite then
+      out :=
+        D.make ~rule:Rules.scoap_hard_control D.Warning (D.Gate i)
+          "net %s cannot be driven to %s from the primary inputs" (net_label c i)
+          (if m.cc0.(i) >= infinite then "0" else "1")
+        :: !out
+  done;
+  List.iter
+    (fun (s, meet) ->
+      out :=
+        D.make ~rule:Rules.scoap_reconvergent D.Info (D.Gate s)
+          "fanout stem reconverges at net %d (SCOAP values along these paths are optimistic)"
+          meet
+        :: !out)
+    (reconvergent_stems c);
+  List.iter
+    (fun r ->
+      out :=
+        D.make ~rule:Rules.scoap_output_summary D.Info (D.Output r.output)
+          "hardest-to-observe net in this cone is %s (CO = %d)" (net_label c r.hardest_net)
+          r.hardest_co
+        :: !out)
+    (output_reports c m);
+  List.rev !out

@@ -1,0 +1,50 @@
+(** SCOAP testability metrics (Goldstein's controllability /
+    observability measures, in the spirit of OpenTestability) on
+    gate-level circuits, plus reconvergent-fanout detection.
+
+    CC0(n)/CC1(n) count how many net assignments it takes to force
+    net [n] to 0/1 (primary inputs cost 1); CO(n) counts how many to
+    propagate [n] to a primary output (outputs cost 0).  Flip-flops
+    add one level per crossing; feedback through flip-flops is
+    resolved by fixpoint iteration.  Unreachable values are reported
+    as {!infinite}. *)
+
+type metrics = {
+  cc0 : int array;  (** per net; {!infinite} = uncontrollable *)
+  cc1 : int array;
+  co : int array;  (** per net; {!infinite} = unobservable *)
+}
+
+val infinite : int
+(** Sentinel for "not achievable"; safe to add without overflow. *)
+
+val compute : Cml_logic.Circuit.t -> metrics
+
+type output_report = {
+  output : string;  (** primary output name *)
+  hardest_net : int;  (** net in its fan-in cone with the largest finite CO *)
+  hardest_co : int;
+}
+
+val output_reports : Cml_logic.Circuit.t -> metrics -> output_report list
+(** Per-output hardest-to-observe-net report, in output declaration
+    order.  Cones are transitive through flip-flops. *)
+
+type config = {
+  co_warn : int;  (** CO above this is flagged hard-to-observe *)
+  cc_warn : int;  (** CC0 or CC1 above this is flagged hard-to-control *)
+}
+
+val default_config : config
+(** [co_warn = 40], [cc_warn = 40] — generous enough that clean small
+    benches stay quiet. *)
+
+val reconvergent_stems : Cml_logic.Circuit.t -> (int * int) list
+(** Fanout stems whose branches meet again downstream, as
+    [(stem net, reconvergence net)] pairs — the structures that make
+    SCOAP optimistic and random patterns miss faults. *)
+
+val check : ?config:config -> Cml_logic.Circuit.t -> Diagnostic.t list
+(** Diagnostics: unobservable nets (error), hard-to-observe /
+    hard-to-control nets (warning), reconvergent stems and the
+    per-output summary (info). *)

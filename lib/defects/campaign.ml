@@ -1,4 +1,3 @@
-module N = Cml_spice.Netlist
 module E = Cml_spice.Engine
 module T = Cml_spice.Transient
 
@@ -109,11 +108,13 @@ let classify ~proc ~reference m =
   }
 
 let run ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?(stages = 8) ?dut ?tstop ?jobs
-    ~defects () =
+    ?(preflight = true) ~defects () =
   let dut = match dut with Some d -> d | None -> Cml_cells.Chain.dut_stage in
   let tstop = match tstop with Some t -> t | None -> 2.0 /. freq in
   let chain = Cml_cells.Chain.build ~proc ~stages ~freq () in
   let golden = chain.Cml_cells.Chain.builder.Cml_cells.Builder.net in
+  if preflight then
+    Cml_analysis.Lint.preflight_netlist ~what:"campaign golden netlist" golden;
   let reference = measure_chain chain golden ~freq ~tstop ~dut in
   let run_one defect =
     match Inject.apply golden defect with

@@ -52,6 +52,7 @@ val run :
   ?dut:int ->
   ?tstop:float ->
   ?jobs:int ->
+  ?preflight:bool ->
   defects:Defect.t list ->
   unit ->
   t
@@ -61,7 +62,12 @@ val run :
     instance.  Defects are simulated in parallel over [jobs] domains
     (default: [CML_DFT_JOBS] or cores - 1; see
     {!Cml_runtime.Pool.default_jobs}); results are deterministic and
-    identical to a [jobs = 1] run. *)
+    identical to a [jobs = 1] run.
+
+    Unless [preflight] is [false] (or [CML_DFT_NO_PREFLIGHT] is set),
+    the fault-free netlist is linted first and
+    [Cml_analysis.Lint.Preflight_failed] is raised — with the rule
+    citations — instead of starting a doomed simulation batch. *)
 
 val classify :
   proc:Cml_cells.Process.t -> reference:measurement -> measurement -> flags

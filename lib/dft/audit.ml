@@ -1,0 +1,49 @@
+module N = Cml_spice.Netlist
+module DA = Cml_analysis.Dft_audit
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let view ?(max_safe_share = 45) (plan : Insertion.plan) (builder : Cml_cells.Builder.t) =
+  let net = builder.Cml_cells.Builder.net in
+  let group (g : Insertion.group) =
+    let members =
+      List.mapi
+        (fun k (cell, (outputs : Cml_cells.Builder.diff)) ->
+          (* the sensors planned for member [k] of group [index] *)
+          let prefix = Printf.sprintf "ro%d.det%d." g.Insertion.index k in
+          let monitors_p = ref false and monitors_n = ref false in
+          N.iter_devices net (fun d ->
+              match d with
+              | N.Bjt { name; emitters; _ } when starts_with ~prefix name ->
+                  Array.iter
+                    (fun e ->
+                      if e = outputs.Cml_cells.Builder.p then monitors_p := true;
+                      if e = outputs.Cml_cells.Builder.n then monitors_n := true)
+                    emitters
+              | N.Resistor _ | N.Capacitor _ | N.Diode _ | N.Bjt _ | N.Vsource _
+              | N.Isource _ | N.Vcvs _ | N.Vccs _ -> ());
+          { DA.cell; monitors_p = !monitors_p; monitors_n = !monitors_n })
+        g.Insertion.members
+    in
+    let readout_prefix = Printf.sprintf "ro%d." g.Insertion.index in
+    let readout_devices = ref 0 in
+    N.iter_devices net (fun d ->
+        let name = N.device_name d in
+        if starts_with ~prefix:readout_prefix name && not (contains ~sub:".det" name) then
+          incr readout_devices);
+    { DA.index = g.Insertion.index; members; readout_devices = !readout_devices }
+  in
+  {
+    DA.groups = List.map group plan.Insertion.groups;
+    all_cells = List.map fst (Cml_cells.Builder.cells builder);
+    max_safe_share;
+  }
+
+let check ?max_safe_share plan builder =
+  Cml_analysis.Diagnostic.sort (DA.check (view ?max_safe_share plan builder))

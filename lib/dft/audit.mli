@@ -1,0 +1,20 @@
+(** Bridge from a concrete {!Insertion.plan} to the static
+    DFT-coverage audit of {!Cml_analysis.Dft_audit}: inspects the
+    instrumented netlist to determine which output polarities each
+    planned sensor really monitors, then runs the coverage rules. *)
+
+val view :
+  ?max_safe_share:int ->
+  Insertion.plan ->
+  Cml_cells.Builder.t ->
+  Cml_analysis.Dft_audit.view
+(** Abstract coverage view of the plan against the builder's netlist
+    and registered cells.  [max_safe_share] defaults to 45 (the
+    paper's section-6.4 limit). *)
+
+val check :
+  ?max_safe_share:int ->
+  Insertion.plan ->
+  Cml_cells.Builder.t ->
+  Cml_analysis.Diagnostic.t list
+(** [Dft_audit.check] of {!view}, sorted. *)

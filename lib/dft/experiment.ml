@@ -17,7 +17,8 @@ type response = {
   vout_drop : float;
 }
 
-let build_monitored ?(proc = Cml_cells.Process.default) ~stages ~dut ~variant ~freq ~pipe () =
+let build_monitored ?(proc = Cml_cells.Process.default) ?(preflight = true) ~stages ~dut
+    ~variant ~freq ~pipe () =
   let chain = Cml_cells.Chain.build ~proc ~stages ~freq () in
   let builder = chain.Cml_cells.Chain.builder in
   let outputs = Cml_cells.Chain.output chain dut in
@@ -43,6 +44,11 @@ let build_monitored ?(proc = Cml_cells.Process.default) ~stages ~dut ~variant ~f
         | N.Vccs _ -> ());
         out
   in
+  (* lint the instrumented (still fault-free) netlist before the
+     deliberate defect goes in *)
+  if preflight then
+    Cml_analysis.Lint.preflight_netlist ~what:"monitored-chain netlist"
+      builder.Cml_cells.Builder.net;
   let net =
     match pipe with
     | None -> builder.Cml_cells.Builder.net
@@ -53,9 +59,9 @@ let build_monitored ?(proc = Cml_cells.Process.default) ~stages ~dut ~variant ~f
   (chain, outputs, vout, net)
 
 let detector_response ?(proc = Cml_cells.Process.default) ?(stages = 3) ?(dut = 2) ?max_step
-    ~variant ~freq ~pipe ~tstop () =
+    ?preflight ~variant ~freq ~pipe ~tstop () =
   let _chain, outputs, vout, net =
-    build_monitored ~proc ~stages ~dut ~variant ~freq ~pipe ()
+    build_monitored ~proc ?preflight ~stages ~dut ~variant ~freq ~pipe ()
   in
   let sim = E.compile net in
   let max_step =
@@ -102,9 +108,9 @@ type threshold_row = {
 }
 
 let amplitude_thresholds ?(proc = Cml_cells.Process.default) ?(detect_drop = 0.15) ?jobs
-    ~variant ~freq ~pipe_values ~tstop () =
+    ?preflight ~variant ~freq ~pipe_values ~tstop () =
   let row pipe_r =
-    let resp = detector_response ~proc ~variant ~freq ~pipe:(Some pipe_r) ~tstop () in
+    let resp = detector_response ~proc ?preflight ~variant ~freq ~pipe:(Some pipe_r) ~tstop () in
     {
       pipe_r;
       amplitude = resp.excursion;
@@ -123,10 +129,14 @@ let amplitude_thresholds ?(proc = Cml_cells.Process.default) ?(detect_drop = 0.1
   in
   (rows, min_detected)
 
-let swing_vs_frequency ?(proc = Cml_cells.Process.default) ?jobs ~pipe ~freqs () =
+let swing_vs_frequency ?(proc = Cml_cells.Process.default) ?jobs ?(preflight = true) ~pipe
+    ~freqs () =
   let one freq =
     let chain = Cml_cells.Chain.build ~proc ~stages:3 ~freq () in
     let builder = chain.Cml_cells.Chain.builder in
+    if preflight then
+      Cml_analysis.Lint.preflight_netlist ~what:"swing-sweep netlist"
+        builder.Cml_cells.Builder.net;
     let outputs = Cml_cells.Chain.output chain 2 in
     let net =
       match pipe with
@@ -153,7 +163,8 @@ type hysteresis = {
   switch_up : float option;
 }
 
-let hysteresis ?(proc = Cml_cells.Process.default) ?config ?vtest ?v_min ?(points = 201) () =
+let hysteresis ?(proc = Cml_cells.Process.default) ?config ?vtest ?v_min ?(points = 201)
+    ?(preflight = true) () =
   let vtest_value = match vtest with Some v -> v | None -> Detector.vtest_test proc in
   let v_min =
     match v_min with Some v -> v | None -> proc.Cml_cells.Process.vgnd -. 0.2
@@ -163,6 +174,9 @@ let hysteresis ?(proc = Cml_cells.Process.default) ?config ?vtest ?v_min ?(point
   let ro = Readout.attach b ~name:"ro" ~vtest:vtest_node ?config () in
   N.vsource b.Cml_cells.Builder.net ~name:"vdrive" ~pos:ro.Readout.vout ~neg:N.gnd
     (Cml_spice.Waveform.Dc vtest_value);
+  if preflight then
+    Cml_analysis.Lint.preflight_netlist ~what:"hysteresis-sweep netlist"
+      b.Cml_cells.Builder.net;
   let down = Cml_numerics.Vec.linspace vtest_value v_min points in
   let up = Cml_numerics.Vec.linspace v_min vtest_value points in
   let values = Array.append down up in
@@ -190,7 +204,8 @@ type phase_response = {
   toggling : float;
 }
 
-let phase_sensitivity ?(proc = Cml_cells.Process.default) ~variant ~pipe ~freq ~tstop () =
+let phase_sensitivity ?(proc = Cml_cells.Process.default) ?(preflight = true) ~variant ~pipe
+    ~freq ~tstop () =
   let run stim =
     let b = Cml_cells.Builder.create ~proc () in
     let input =
@@ -206,6 +221,9 @@ let phase_sensitivity ?(proc = Cml_cells.Process.default) ~variant ~pipe ~freq ~
           let vt = Detector.ensure_vtest b vtest in
           Detector.attach_v2 b ~name:"det" ~outputs:out ~vtest:vt cfg
     in
+    if preflight then
+      Cml_analysis.Lint.preflight_netlist ~what:"phase-sensitivity netlist"
+        b.Cml_cells.Builder.net;
     let net =
       Cml_defects.Inject.apply b.Cml_cells.Builder.net
         (Cml_defects.Defect.Pipe { device = "g.q3"; r = pipe })

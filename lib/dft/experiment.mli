@@ -2,7 +2,12 @@
     monitored buffer in a short chain, with an optional pipe defect,
     producing the detector response waveform and its metrics
     (Figures 7, 8, 10) and the detectable-amplitude characterisation
-    (the 0.57 V / 0.35 V claims). *)
+    (the 0.57 V / 0.35 V claims).
+
+    Every harness lints the netlist it builds before simulating
+    (see {!Cml_analysis.Lint.preflight_netlist}); pass
+    [~preflight:false] — or set [CML_DFT_NO_PREFLIGHT] — to simulate
+    rule-breaking netlists on purpose. *)
 
 type variant =
   | V1 of Detector.config
@@ -25,6 +30,7 @@ val detector_response :
   ?stages:int ->
   ?dut:int ->
   ?max_step:float ->
+  ?preflight:bool ->
   variant:variant ->
   freq:float ->
   pipe:float option ->
@@ -46,6 +52,7 @@ val amplitude_thresholds :
   ?proc:Cml_cells.Process.t ->
   ?detect_drop:float ->
   ?jobs:int ->
+  ?preflight:bool ->
   variant:variant ->
   freq:float ->
   pipe_values:float list ->
@@ -62,6 +69,7 @@ val amplitude_thresholds :
 val swing_vs_frequency :
   ?proc:Cml_cells.Process.t ->
   ?jobs:int ->
+  ?preflight:bool ->
   pipe:float option ->
   freqs:float list ->
   unit ->
@@ -83,6 +91,7 @@ val hysteresis :
   ?vtest:float ->
   ?v_min:float ->
   ?points:int ->
+  ?preflight:bool ->
   unit ->
   hysteresis
 (** Figure 12: drive the read-out's [vout] node directly with a DC
@@ -99,6 +108,7 @@ type phase_response = {
 
 val phase_sensitivity :
   ?proc:Cml_cells.Process.t ->
+  ?preflight:bool ->
   variant:variant ->
   pipe:float ->
   freq:float ->

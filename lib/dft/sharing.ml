@@ -1,4 +1,3 @@
-module N = Cml_spice.Netlist
 module E = Cml_spice.Engine
 
 type built = {

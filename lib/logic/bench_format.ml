@@ -115,10 +115,15 @@ let of_string text =
         | _ -> fail line "DFF takes exactly one input"
       end)
     defs;
+  let declared_outputs = Hashtbl.create 16 in
   List.iter
     (fun (line, st) ->
       match st with
-      | St_output name -> Circuit.output b name (resolve line name)
+      | St_output name ->
+          (match Hashtbl.find_opt declared_outputs name with
+          | Some first -> fail line "duplicate output declaration %S (first on line %d)" name first
+          | None -> Hashtbl.replace declared_outputs name line);
+          Circuit.output b name (resolve line name)
       | St_input _ | St_gate _ -> ())
     statements;
   Circuit.finalize b

@@ -19,8 +19,10 @@
 exception Parse_error of { line : int; message : string }
 
 val of_string : string -> Circuit.t
-(** @raise Parse_error on malformed text, undefined signals or a
-    combinational cycle. *)
+(** @raise Parse_error on malformed text, undefined or duplicated
+    signals, duplicate output declarations, unknown gate types, wrong
+    arities or a combinational cycle; the error names the offending
+    line number. *)
 
 val read_file : path:string -> Circuit.t
 

@@ -77,33 +77,67 @@ let fanins = function
 (* DFF outputs act as sources in the combinational graph; their data
    input is read only at the clock edge. *)
 
+let gate_kind = function
+  | Input name -> Printf.sprintf "input %s" name
+  | And _ -> "and"
+  | Or _ -> "or"
+  | Xor _ -> "xor"
+  | Not _ -> "not"
+  | Buf _ -> "buf"
+  | Mux _ -> "mux"
+  | Dff _ -> "dff"
+
 let finalize b =
   let gates = Array.of_list (List.rev b.rev_gates) in
   let n = Array.length gates in
+  let describe i = Printf.sprintf "net %d (%s)" i (gate_kind gates.(i)) in
+  let unconnected =
+    List.filter_map
+      (fun (i, g) -> match g with Dff { d } when d < 0 -> Some i | _ -> None)
+      (Array.to_list (Array.mapi (fun i g -> (i, g)) gates))
+  in
+  if unconnected <> [] then
+    invalid_arg
+      (Printf.sprintf "finalize: unconnected flip-flop(s) at %s (wire them with connect_dff)"
+         (String.concat ", " (List.map (fun i -> Printf.sprintf "net %d" i) unconnected)));
   Array.iteri
     (fun i g ->
-      (match g with
-      | Dff { d } when d < 0 -> invalid_arg "finalize: unconnected flip-flop"
-      | Dff _ | Input _ | And _ | Or _ | Xor _ | Not _ | Buf _ | Mux _ -> ());
       List.iter
-        (fun f -> if f < 0 || f >= n then invalid_arg "finalize: dangling fanin")
-        (fanins gates.(i)))
+        (fun f ->
+          if f < 0 || f >= n then
+            invalid_arg
+              (Printf.sprintf "finalize: %s has dangling fanin %d (valid nets are 0..%d)"
+                 (describe i) f (n - 1)))
+        (fanins g))
     gates;
-  (* topological sort of the combinational part (DFS) *)
+  (* topological sort of the combinational part (DFS); [path] is the
+     active DFS stack (most recent first) so a back edge can report
+     the whole offending cycle *)
   let mark = Array.make n 0 in
   let order = ref [] in
-  let rec visit i =
+  let rec visit path i =
     match mark.(i) with
     | 2 -> ()
-    | 1 -> invalid_arg "finalize: combinational cycle"
+    | 1 ->
+        (* back edge: the cycle is the DFS stack from its top down to
+           the first occurrence of [i]; prefixing [i] lists it in
+           signal-flow order (each net drives the next) *)
+        let rec upto = function
+          | [] -> []
+          | j :: rest -> if j = i then [ j ] else j :: upto rest
+        in
+        let cycle = i :: upto path in
+        invalid_arg
+          (Printf.sprintf "finalize: combinational cycle: %s (break it with a flip-flop)"
+             (String.concat " -> " (List.map describe cycle)))
     | _ ->
         mark.(i) <- 1;
-        List.iter visit (fanins gates.(i));
+        List.iter (visit (i :: path)) (fanins gates.(i));
         mark.(i) <- 2;
         order := i :: !order
   in
   for i = 0 to n - 1 do
-    visit i
+    visit [] i
   done;
   let dffs = ref [] in
   Array.iteri (fun i g -> match g with Dff _ -> dffs := i :: !dffs | _ -> ()) gates;

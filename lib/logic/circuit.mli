@@ -50,6 +50,8 @@ val output : builder -> string -> int -> unit
 
 val finalize : builder -> t
 (** @raise Invalid_argument on a combinational cycle or an
-    unconnected flip-flop. *)
+    unconnected flip-flop.  The message names the offending nets: the
+    full cycle in signal-flow order (["net 4 (buf) -> net 5 (and) ->
+    net 4 (buf)"]) or every unconnected flip-flop id. *)
 
 val num_nets : t -> int

@@ -4,7 +4,6 @@
    and the Q3 pipe of Figure 4 (excessive excursion that heals). *)
 
 module N = Cml_spice.Netlist
-module E = Cml_spice.Engine
 module D = Cml_defects.Defect
 module B = Cml_cells.Builder
 

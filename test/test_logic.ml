@@ -92,6 +92,43 @@ let test_unconnected_dff_rejected () =
   | _ -> Alcotest.fail "expected Invalid_argument"
   | exception Invalid_argument _ -> ()
 
+(* finalize diagnostics: the error messages must name the offending
+   nets so a user can actually find them *)
+
+let expect_invalid_arg expected f =
+  match f () with
+  | _ -> Alcotest.failf "expected Invalid_argument %S" expected
+  | exception Invalid_argument msg -> Alcotest.(check string) "message" expected msg
+
+let test_finalize_cycle_names_path () =
+  let b = C.create () in
+  let _a = C.input b "a" in
+  (* net 1 reads net 2, which reads net 1: a two-gate loop *)
+  let g1 = C.buf b 2 in
+  let _g2 = C.buf b g1 in
+  expect_invalid_arg
+    "finalize: combinational cycle: net 1 (buf) -> net 2 (buf) -> net 1 (buf) (break it \
+     with a flip-flop)"
+    (fun () -> C.finalize b)
+
+let test_finalize_lists_all_unconnected_dffs () =
+  let b = C.create () in
+  ignore (C.dff b);
+  ignore (C.dff b);
+  let connected = C.dff b in
+  let i = C.input b "i" in
+  C.connect_dff b ~ff:connected ~d:i;
+  expect_invalid_arg
+    "finalize: unconnected flip-flop(s) at net 0, net 1 (wire them with connect_dff)"
+    (fun () -> C.finalize b)
+
+let test_finalize_names_dangling_fanin () =
+  let b = C.create () in
+  let _a = C.input b "a" in
+  let _g = C.buf b 7 in
+  expect_invalid_arg "finalize: net 1 (buf) has dangling fanin 7 (valid nets are 0..1)"
+    (fun () -> C.finalize b)
+
 let test_counter_counts () =
   let c = L.Bench_circuits.counter ~bits:3 in
   let state = ref (L.Sim.initial c V.F) in
@@ -291,23 +328,13 @@ let test_bench_s27_simulates () =
 
 let test_bench_forward_references () =
   (* G2 uses G3, defined later *)
-  let c = L.Bench_format.of_string "INPUT(a)
-OUTPUT(g2)
-g2 = NOT(g3)
-g3 = BUF(a)
-" in
+  let c = L.Bench_format.of_string "INPUT(a)\nOUTPUT(g2)\ng2 = NOT(g3)\ng3 = BUF(a)\n" in
   let values = L.Sim.eval c (L.Sim.initial c V.F) ~inputs:[| V.T |] in
   Alcotest.check val_eq "not(buf(1)) = 0" V.F (List.assoc "g2" (L.Sim.outputs_of c values))
 
 let test_bench_nary_gates () =
   let c =
-    L.Bench_format.of_string
-      "INPUT(a)
-INPUT(b)
-INPUT(c)
-OUTPUT(y)
-y = AND(a, b, c)
-"
+    L.Bench_format.of_string "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = AND(a, b, c)\n"
   in
   let check inputs expect =
     let values = L.Sim.eval c (L.Sim.initial c V.F) ~inputs in
@@ -319,34 +346,59 @@ y = AND(a, b, c)
 let test_bench_nand_nor () =
   let c =
     L.Bench_format.of_string
-      "INPUT(a)
-INPUT(b)
-OUTPUT(x)
-OUTPUT(y)
-x = NAND(a, b)
-y = NOR(a, b)
-"
+      "INPUT(a)\nINPUT(b)\nOUTPUT(x)\nOUTPUT(y)\nx = NAND(a, b)\ny = NOR(a, b)\n"
   in
   let values = L.Sim.eval c (L.Sim.initial c V.F) ~inputs:[| V.T; V.F |] in
   Alcotest.check val_eq "nand(1,0)" V.T (List.assoc "x" (L.Sim.outputs_of c values));
   Alcotest.check val_eq "nor(1,0)" V.F (List.assoc "y" (L.Sim.outputs_of c values))
 
 let test_bench_rejects_cycle () =
-  match L.Bench_format.of_string "INPUT(a)
-OUTPUT(x)
-x = NOT(y)
-y = NOT(x)
-" with
+  match L.Bench_format.of_string "INPUT(a)\nOUTPUT(x)\nx = NOT(y)\ny = NOT(x)\n" with
   | _ -> Alcotest.fail "expected Parse_error"
   | exception L.Bench_format.Parse_error _ -> ()
 
 let test_bench_rejects_undefined () =
-  match L.Bench_format.of_string "INPUT(a)
-OUTPUT(x)
-x = NOT(zz)
-" with
+  match L.Bench_format.of_string "INPUT(a)\nOUTPUT(x)\nx = NOT(zz)\n" with
   | _ -> Alcotest.fail "expected Parse_error"
   | exception L.Bench_format.Parse_error _ -> ()
+
+(* parser error paths: the reported line number must point at the
+   offending statement *)
+
+let expect_parse_error ~line ~needle text =
+  match L.Bench_format.of_string text with
+  | _ -> Alcotest.failf "expected Parse_error mentioning %S" needle
+  | exception L.Bench_format.Parse_error { line = l; message } ->
+      Alcotest.(check int) "line" line l;
+      let contains s sub =
+        let ls = String.length s and lsub = String.length sub in
+        let rec scan i = i + lsub <= ls && (String.sub s i lsub = sub || scan (i + 1)) in
+        scan 0
+      in
+      if not (contains message needle) then
+        Alcotest.failf "message %S does not mention %S" message needle
+
+let test_bench_malformed_line () =
+  expect_parse_error ~line:2 ~needle:"missing ')'" "INPUT(a)\nx = AND(a\nOUTPUT(x)\n"
+
+let test_bench_unknown_gate () =
+  expect_parse_error ~line:3 ~needle:{|unknown gate type "FOO"|}
+    "INPUT(a)\nOUTPUT(x)\nx = FOO(a)\n"
+
+let test_bench_wrong_arity () =
+  expect_parse_error ~line:2 ~needle:"wrong arity for NOT" "INPUT(a)\nx = NOT(a, a)\nOUTPUT(x)\n"
+
+let test_bench_duplicate_output () =
+  expect_parse_error ~line:4 ~needle:{|duplicate output declaration "b" (first on line 3)|}
+    "INPUT(a)\nb = NOT(a)\nOUTPUT(b)\nOUTPUT(b)\n"
+
+let test_bench_duplicate_definition () =
+  expect_parse_error ~line:3 ~needle:{|duplicate definition of "b"|}
+    "INPUT(a)\nb = NOT(a)\nb = BUF(a)\nOUTPUT(b)\n"
+
+let test_bench_cycle_line_number () =
+  expect_parse_error ~line:3 ~needle:{|combinational cycle through "x"|}
+    "INPUT(a)\nOUTPUT(x)\nx = BUF(x)\n"
 
 let test_bench_roundtrip_behaviour () =
   let c = L.Bench_format.s27 () in
@@ -465,7 +517,7 @@ let test_vcd_emits_changes_only () =
   | [] -> Alcotest.fail "truncated vcd")
 
 let () =
-  let qc = List.map QCheck_alcotest.to_alcotest in
+  let qc = List.map (fun t -> QCheck_alcotest.to_alcotest t) in
   Alcotest.run "logic"
     [
       ( "values",
@@ -480,6 +532,10 @@ let () =
         [
           Alcotest.test_case "connect_dff misuse" `Quick test_combinational_cycle_rejected;
           Alcotest.test_case "unconnected dff" `Quick test_unconnected_dff_rejected;
+          Alcotest.test_case "cycle message names path" `Quick test_finalize_cycle_names_path;
+          Alcotest.test_case "unconnected dffs all listed" `Quick
+            test_finalize_lists_all_unconnected_dffs;
+          Alcotest.test_case "dangling fanin named" `Quick test_finalize_names_dangling_fanin;
           Alcotest.test_case "counter counts" `Quick test_counter_counts;
           Alcotest.test_case "counter holds" `Quick test_counter_disabled_holds;
           Alcotest.test_case "shift register" `Quick test_shift_register_moves;
@@ -538,6 +594,12 @@ let () =
           Alcotest.test_case "nand/nor" `Quick test_bench_nand_nor;
           Alcotest.test_case "combinational cycle" `Quick test_bench_rejects_cycle;
           Alcotest.test_case "undefined signal" `Quick test_bench_rejects_undefined;
+          Alcotest.test_case "malformed line" `Quick test_bench_malformed_line;
+          Alcotest.test_case "unknown gate type" `Quick test_bench_unknown_gate;
+          Alcotest.test_case "wrong arity" `Quick test_bench_wrong_arity;
+          Alcotest.test_case "duplicate output" `Quick test_bench_duplicate_output;
+          Alcotest.test_case "duplicate definition" `Quick test_bench_duplicate_definition;
+          Alcotest.test_case "cycle line number" `Quick test_bench_cycle_line_number;
           Alcotest.test_case "round-trip behaviour" `Quick test_bench_roundtrip_behaviour;
         ] );
       ("value-properties", qc [ prop_demorgan; prop_xor_via_andor; prop_x_monotone ]);

@@ -326,7 +326,7 @@ let prop_stats_histogram_total =
       total = Array.length xs)
 
 let () =
-  let qc = List.map QCheck_alcotest.to_alcotest in
+  let qc = List.map (fun t -> QCheck_alcotest.to_alcotest t) in
   Alcotest.run "numerics"
     [
       ( "vec",

@@ -553,7 +553,7 @@ let () =
           Alcotest.test_case "report on dual emitters" `Quick test_bjt_report_multi_emitter;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [
             prop_pulse_bounded;
             prop_breakpoints_sorted_in_range;

@@ -359,7 +359,7 @@ let prop_netlist_roundtrip =
       netlists_equal net (Io.of_string (Io.to_string net)))
 
 let () =
-  let qc = List.map QCheck_alcotest.to_alcotest in
+  let qc = List.map (fun t -> QCheck_alcotest.to_alcotest t) in
   Alcotest.run "spice-io-ac"
     [
       ( "values",

@@ -261,7 +261,7 @@ let prop_swing_nonnegative =
       Cml_wave.Measure.swing w ~t_from:(Cml_wave.Wave.t_start w) >= 0.0)
 
 let () =
-  let qc = List.map QCheck_alcotest.to_alcotest in
+  let qc = List.map (fun t -> QCheck_alcotest.to_alcotest t) in
   Alcotest.run "wave"
     [
       ( "wave",
