@@ -5,7 +5,7 @@
 DUNE ?= dune
 LINT := $(DUNE) exec --no-build bin/cmldft.exe -- lint
 
-.PHONY: all build test fmt lint-examples fixtures check clean
+.PHONY: all build test fmt lint-examples fixtures check perf clean
 
 all: build
 
@@ -32,7 +32,20 @@ lint-examples: build
 fixtures: build
 	$(DUNE) exec examples/write_lint_fixtures.exe
 
+# Kernel benchmarks + campaign scaling; appends an entry to the
+# BENCH_spice.json history and fails when any kernel regresses more
+# than 25% against the last committed entry.  Opt into it from
+# `make check` with CHECK_PERF=1 (it reruns every benchmark, minutes
+# not seconds, so it is not part of the default gate).
+PERF_JOBS ?= 4
+
+perf: build
+	$(DUNE) exec bench/main.exe -- perf --jobs $(PERF_JOBS) --json BENCH_spice.json --check
+
 check: build test fmt lint-examples
+ifeq ($(CHECK_PERF),1)
+	$(MAKE) perf
+endif
 	@echo "check: OK"
 
 clean:

@@ -46,28 +46,31 @@ let run_all () =
 
 (* Options may appear anywhere on the command line:
      --jobs N / -j N   worker domains for parallel sections
-     --json FILE       machine-readable dump (perf only) *)
-let rec parse_options json names = function
-  | [] -> (json, List.rev names)
+     --json FILE       append a machine-readable entry (perf only)
+     --check           exit 1 when a kernel regressed > 25% vs the
+                       last committed --json entry (perf only) *)
+let rec parse_options json check names = function
+  | [] -> (json, check, List.rev names)
   | ("--jobs" | "-j") :: v :: rest -> (
       match int_of_string_opt v with
       | Some n when n >= 1 ->
           Cml_runtime.Pool.set_default_jobs n;
-          parse_options json names rest
+          parse_options json check names rest
       | Some _ | None ->
           Printf.eprintf "--jobs expects a positive integer, got %S\n" v;
           exit 2)
   | [ ("--jobs" | "-j") ] ->
       Printf.eprintf "--jobs expects a value\n";
       exit 2
-  | "--json" :: file :: rest -> parse_options (Some file) names rest
+  | "--json" :: file :: rest -> parse_options (Some file) check names rest
   | [ "--json" ] ->
       Printf.eprintf "--json expects a file name\n";
       exit 2
-  | name :: rest -> parse_options json (name :: names) rest
+  | "--check" :: rest -> parse_options json true names rest
+  | name :: rest -> parse_options json check (name :: names) rest
 
 let () =
-  let json, names = parse_options None [] (List.tl (Array.to_list Sys.argv)) in
+  let json, check, names = parse_options None false [] (List.tl (Array.to_list Sys.argv)) in
   match names with
   | [] -> run_all ()
   | [ "list" ] ->
@@ -77,7 +80,7 @@ let () =
       List.iter
         (fun name ->
           match name with
-          | "perf" -> Perf.run ?json ()
+          | "perf" -> Perf.run ?json ~check ()
           | _ -> (
               match List.assoc_opt name experiments with
               | Some f -> f ()

@@ -105,13 +105,16 @@ let solver_reuse () =
   ignore (T.run sim net (T.config ~tstop:2e-9 ~max_step:10e-12 ()));
   (E.unknown_count sim, E.solver_stats sim)
 
+(* enough variants that a --jobs 4 run keeps every domain busy for
+   several tasks (the old 4-defect batch degenerated to one task per
+   domain and measured mostly the sequential reference simulation) *)
 let campaign_defects () =
   let golden = Cml_cells.Chain.build ~stages:8 ~freq:100e6 () in
   let all =
     Cml_defects.Sites.enumerate golden.Cml_cells.Chain.builder.Cml_cells.Builder.net
-      ~prefix:"x3" ~pipe_values:[ 1e3; 4e3 ]
+      ~prefix:"x3" ~pipe_values:[ 1e3; 2e3; 4e3 ]
   in
-  List.filteri (fun i _ -> i < 4) all
+  List.filteri (fun i _ -> i < 32) all
 
 let time_campaign ~jobs defects =
   let t0 = Unix.gettimeofday () in
@@ -119,61 +122,119 @@ let time_campaign ~jobs defects =
   (Unix.gettimeofday () -. t0, Cml_defects.Campaign.summary c)
 
 (* ------------------------------------------------------------------ *)
-(* minimal JSON emission (no dependency): every key is a known ASCII
-   literal, so escaping only has to cover the benchmark names *)
+(* JSON trajectory: the bench file is a history — each [--json] run
+   appends one entry, so the timing record accumulates across PRs
+   instead of being overwritten.  A schema-1 file (single object) is
+   migrated in place into the first history entry. *)
 
-let json_string s =
-  let b = Buffer.create (String.length s + 2) in
-  Buffer.add_char b '"';
-  String.iter
-    (fun ch ->
-      match ch with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.add_char b '"';
-  Buffer.contents b
+module J = Json_lite
 
-let write_json path ~jobs ~kernels ~nunk ~(stats : E.solver_stats) ~campaign =
+let entry_json ~jobs ~kernels ~nunk ~(stats : E.solver_stats) ~campaign =
   let t1, tn, ndefects, summaries_match = campaign in
-  let oc = open_out path in
-  let p fmt = Printf.fprintf oc fmt in
-  p "{\n";
-  p "  \"schema\": \"cml-dft-perf/1\",\n";
-  p "  \"jobs\": %d,\n" jobs;
-  p "  \"kernels\": [\n";
-  List.iteri
-    (fun i (name, ns) ->
-      p "    {\"name\": %s, \"ns_per_run\": %.1f}%s\n" (json_string name) ns
-        (if i = List.length kernels - 1 then "" else ","))
-    kernels;
-  p "  ],\n";
-  p "  \"solver\": {\n";
-  p "    \"chain_unknowns\": %d,\n" nunk;
-  p "    \"symbolic_factorizations\": %d,\n" stats.E.symbolic_factorizations;
-  p "    \"numeric_refactorizations\": %d\n" stats.E.numeric_refactorizations;
-  p "  },\n";
-  p "  \"campaign\": {\n";
-  p "    \"defects\": %d,\n" ndefects;
-  p "    \"jobs1_s\": %.3f,\n" t1;
-  p "    \"jobsN_s\": %.3f,\n" tn;
-  p "    \"speedup\": %.2f,\n" (if tn > 0.0 then t1 /. tn else 0.0);
-  p "    \"summaries_match\": %b\n" summaries_match;
-  p "  }\n";
-  p "}\n";
-  close_out oc
+  J.Obj
+    [
+      ("jobs", J.Num (float_of_int jobs));
+      ( "kernels",
+        J.List
+          (List.map
+             (fun (name, ns) -> J.Obj [ ("name", J.Str name); ("ns_per_run", J.Num ns) ])
+             kernels) );
+      ( "solver",
+        J.Obj
+          [
+            ("chain_unknowns", J.Num (float_of_int nunk));
+            ("symbolic_factorizations", J.Num (float_of_int stats.E.symbolic_factorizations));
+            ("numeric_refactorizations", J.Num (float_of_int stats.E.numeric_refactorizations));
+            ("newton_iters", J.Num (float_of_int stats.E.newton_iters));
+            ("device_loads", J.Num (float_of_int stats.E.device_loads));
+            ("bypassed_loads", J.Num (float_of_int stats.E.bypassed_loads));
+          ] );
+      ( "campaign",
+        J.Obj
+          [
+            ("defects", J.Num (float_of_int ndefects));
+            ("jobs1_s", J.Num t1);
+            ("jobsN_s", J.Num tn);
+            ("speedup", J.Num (if tn > 0.0 then t1 /. tn else 0.0));
+            ("summaries_match", J.Bool summaries_match);
+          ] );
+    ]
 
-let run ?json () =
+let load_history path =
+  if not (Sys.file_exists path) then []
+  else
+    match J.parse_file path with
+    | exception (J.Parse_error _ | Sys_error _) -> []
+    | v -> (
+        match J.member "schema" v with
+        | Some (J.Str "cml-dft-perf/1") -> (
+            (* pre-history file: the whole object is the only entry *)
+            match v with
+            | J.Obj members -> [ J.Obj (List.filter (fun (k, _) -> k <> "schema") members) ]
+            | _ -> [])
+        | Some (J.Str "cml-dft-perf/2") -> (
+            match J.member "history" v with Some (J.List entries) -> entries | _ -> [])
+        | _ -> [])
+
+let write_history path entries =
+  J.write_file path (J.Obj [ ("schema", J.Str "cml-dft-perf/2"); ("history", J.List entries) ])
+
+let entry_kernels entry =
+  match J.member "kernels" entry with
+  | Some (J.List ks) ->
+      List.filter_map
+        (fun k ->
+          match (J.member "name" k, J.member "ns_per_run" k) with
+          | Some (J.Str name), Some (J.Num ns) -> Some (name, ns)
+          | _ -> None)
+        ks
+  | _ -> []
+
+let regression_limit = 1.25
+
+(* kernels of the new run that got more than 25% slower than the last
+   committed history entry: [(name, old_ns, new_ns)] *)
+let regressions ~baseline ~kernels =
+  let old_kernels = entry_kernels baseline in
+  List.filter_map
+    (fun (name, ns) ->
+      match List.assoc_opt name old_kernels with
+      | Some old_ns when old_ns > 0.0 && ns > regression_limit *. old_ns ->
+          Some (name, old_ns, ns)
+      | Some _ | None -> None)
+    kernels
+
+(* best-of-N over full bechamel passes: the per-pass OLS estimate is
+   tight, but on a shared host the whole pass can be slowed by
+   unrelated load, which would trip the 25% regression gate on noise.
+   The minimum across passes is the usual robust choice — a kernel
+   cannot run faster than the code allows, only slower. *)
+let kernel_estimates_best ~passes =
+  let min_merge best pass =
+    List.map
+      (fun (name, est) ->
+        match List.assoc_opt name best with
+        | Some prev -> (name, Float.min prev est)
+        | None -> (name, est))
+      pass
+  in
+  let rec go best k = if k = 0 then best else go (min_merge best (kernel_estimates ())) (k - 1) in
+  go (kernel_estimates ()) (passes - 1)
+
+let run ?json ?(check = false) () =
   Util.section "perf" "Bechamel micro-benchmarks of the simulation kernels";
-  let kernels = kernel_estimates () in
+  let kernels = kernel_estimates_best ~passes:3 in
   List.iter (fun (name, est) -> Printf.printf "  %-42s %12.1f ns/run\n" name est) kernels;
   let nunk, stats = solver_reuse () in
   Printf.printf "\nsolver reuse over a chain transient (%d unknowns):\n" nunk;
   Printf.printf "  symbolic factorizations   %6d\n" stats.E.symbolic_factorizations;
   Printf.printf "  numeric refactorizations  %6d\n" stats.E.numeric_refactorizations;
+  Printf.printf "  newton iterations         %6d\n" stats.E.newton_iters;
+  Printf.printf "  device loads              %6d\n" stats.E.device_loads;
+  Printf.printf "  bypassed loads            %6d  (%.0f%%)\n" stats.E.bypassed_loads
+    (if stats.E.device_loads > 0 then
+       100.0 *. float_of_int stats.E.bypassed_loads /. float_of_int stats.E.device_loads
+     else 0.0);
   Util.verdict
     (stats.E.numeric_refactorizations > 10 * max 1 stats.E.symbolic_factorizations)
     "symbolic analysis is amortised across Newton iterations";
@@ -181,15 +242,50 @@ let run ?json () =
   let defects = campaign_defects () in
   Printf.printf "\ncampaign scaling (%d defects, jobs = 1 vs %d):\n%!"
     (List.length defects) jobs;
-  let t1, s1 = time_campaign ~jobs:1 defects in
-  let tn, sn = time_campaign ~jobs defects in
+  (* interleaved best-of-two wall clocks: background load on a shared
+     host drifts over seconds, and alternating the two settings keeps
+     that drift from being misread as a scaling difference *)
+  let t1a, s1 = time_campaign ~jobs:1 defects in
+  let tna, sn = time_campaign ~jobs defects in
+  let t1b, _ = time_campaign ~jobs:1 defects in
+  let tnb, _ = time_campaign ~jobs defects in
+  let t1 = Float.min t1a t1b and tn = Float.min tna tnb in
   Printf.printf "  jobs = 1   %8.2f s\n" t1;
   Printf.printf "  jobs = %-3d %8.2f s  (%.2fx)\n" jobs tn (if tn > 0.0 then t1 /. tn else 0.0);
   let summaries_match = s1 = sn in
   Util.verdict summaries_match "parallel summary is byte-identical to sequential";
-  match json with
-  | None -> ()
-  | Some path ->
-      write_json path ~jobs ~kernels ~nunk ~stats
-        ~campaign:(t1, tn, List.length defects, summaries_match);
-      Printf.printf "wrote %s\n" path
+  let failed_check =
+    match json with
+    | None -> false
+    | Some path ->
+        let history = load_history path in
+        let entry =
+          entry_json ~jobs ~kernels ~nunk ~stats
+            ~campaign:(t1, tn, List.length defects, summaries_match)
+        in
+        write_history path (history @ [ entry ]);
+        Printf.printf "wrote %s (%d history entries)\n" path (List.length history + 1);
+        if not check then false
+        else begin
+          match List.rev history with
+          | [] ->
+              print_endline "perf check: no baseline entry, nothing to compare against";
+              false
+          | baseline :: _ -> (
+              match regressions ~baseline ~kernels with
+              | [] ->
+                  Util.verdict true
+                    (Printf.sprintf "no kernel regressed more than %.0f%% vs last entry"
+                       ((regression_limit -. 1.0) *. 100.0));
+                  false
+              | regs ->
+                  List.iter
+                    (fun (name, old_ns, ns) ->
+                      Printf.printf "  REGRESSION %-42s %.1f -> %.1f ns/run (%.2fx)\n" name
+                        old_ns ns (ns /. old_ns))
+                    regs;
+                  Util.verdict false "kernel performance regression against last entry";
+                  true)
+        end
+  in
+  if failed_check then exit 1

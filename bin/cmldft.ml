@@ -41,6 +41,13 @@ let apply_jobs = function
 
 let pipe_option pipe = if pipe > 0.0 then Some pipe else None
 
+let no_warm_start_arg =
+  let doc =
+    "Cold-start every variant simulation instead of seeding Newton from the nominal \
+     (fault-free) solution; an escape hatch for debugging warm-start interactions."
+  in
+  Arg.(value & flag & info [ "no-warm-start" ] ~doc)
+
 (* ------------------------------------------------------------------ *)
 (* chain: simulate the Figure-3 buffer chain *)
 
@@ -173,7 +180,7 @@ let campaign_cmd =
   let dut_arg =
     Arg.(value & opt string "x3" & info [ "dut" ] ~docv:"INST" ~doc:"Instance to attack.")
   in
-  let run freq dut jobs =
+  let run freq dut jobs no_warm_start =
     apply_jobs jobs;
     let golden = Cml_cells.Chain.build ~stages:8 ~freq () in
     let defects =
@@ -182,7 +189,7 @@ let campaign_cmd =
     in
     Printf.printf "running %d defects on %s (%d jobs)...\n%!" (List.length defects) dut
       (Cml_runtime.Pool.default_jobs ());
-    let c = Cml_defects.Campaign.run ~freq ~defects () in
+    let c = Cml_defects.Campaign.run ~freq ~warm_start:(not no_warm_start) ~defects () in
     List.iter
       (fun e ->
         let open Cml_defects.Campaign in
@@ -200,7 +207,7 @@ let campaign_cmd =
     List.iter (fun (k, v) -> Printf.printf "%-24s %d\n" k v) (Cml_defects.Campaign.summary c)
   in
   let info = Cmd.info "campaign" ~doc:"Defect-injection campaign (paper section 5)." in
-  Cmd.v info Term.(const run $ freq_arg $ dut_arg $ jobs_arg)
+  Cmd.v info Term.(const run $ freq_arg $ dut_arg $ jobs_arg $ no_warm_start_arg)
 
 (* ------------------------------------------------------------------ *)
 (* area *)
@@ -237,9 +244,9 @@ let mc_cmd =
   let gates_arg =
     Arg.(value & opt int 10 & info [ "g"; "gates" ] ~docv:"N" ~doc:"Monitored gates per block.")
   in
-  let run samples seed gates jobs =
+  let run samples seed gates jobs no_warm_start =
     apply_jobs jobs;
-    let r = Dft.Montecarlo.run ~n:gates ~samples ~seed () in
+    let r = Dft.Montecarlo.run ~n:gates ~warm_start:(not no_warm_start) ~samples ~seed () in
     Printf.printf "samples       : %d good + %d faulty\n" samples samples;
     Printf.printf "false alarms  : %d\n" r.Dft.Montecarlo.false_alarms;
     Printf.printf "missed        : %d\n" r.Dft.Montecarlo.missed;
@@ -250,7 +257,7 @@ let mc_cmd =
     Printf.printf "margin        : %.3f V\n" r.Dft.Montecarlo.separation
   in
   let info = Cmd.info "mc" ~doc:"Monte-Carlo robustness of the DFT under process spread." in
-  Cmd.v info Term.(const run $ samples_arg $ seed_arg $ gates_arg $ jobs_arg)
+  Cmd.v info Term.(const run $ samples_arg $ seed_arg $ gates_arg $ jobs_arg $ no_warm_start_arg)
 
 (* ------------------------------------------------------------------ *)
 (* logic: run a .bench circuit through the digital test flow *)

@@ -27,10 +27,13 @@ type entry = { defect : Defect.t; outcome : outcome }
 
 type t = { reference : measurement; entries : entry list }
 
-let measure_chain chain net ~freq ~tstop ~dut =
+(* As [measure_chain], but also hands back the raw trajectory so the
+   campaign can use the fault-free run as a warm-start guide for every
+   variant. *)
+let measure_chain_full ?guide ?breakpoints chain net ~freq ~tstop ~dut =
   let sim = E.compile net in
   let cfg = T.config ~tstop ~max_step:10e-12 () in
-  let r = T.run sim net cfg in
+  let r = T.run ?guide ?breakpoints sim net cfg in
   let wave nd = Cml_wave.Wave.create r.T.times (T.node_trace r nd) in
   let t_from = tstop /. 2.0 in
   let supply_current =
@@ -68,16 +71,20 @@ let measure_chain chain net ~freq ~tstop ~dut =
         | Some t1 when t1 -. t0 < 0.75 /. freq -> Some (t1 -. t0)
         | Some _ -> None)
   in
-  {
-    dut_vlow = Float.min lo_p lo_n;
-    dut_vhigh = Float.max hi_p hi_n;
-    dut_swing = hi_p -. lo_p;
-    final_vlow = Float.min lo_fp lo_fn;
-    final_vhigh = Float.max hi_fp hi_fn;
-    final_swing = hi_fp -. lo_fp;
-    final_delay;
-    supply_current;
-  }
+  ( {
+      dut_vlow = Float.min lo_p lo_n;
+      dut_vhigh = Float.max hi_p hi_n;
+      dut_swing = hi_p -. lo_p;
+      final_vlow = Float.min lo_fp lo_fn;
+      final_vhigh = Float.max hi_fp hi_fn;
+      final_swing = hi_fp -. lo_fp;
+      final_delay;
+      supply_current;
+    },
+    r )
+
+let measure_chain ?guide ?breakpoints chain net ~freq ~tstop ~dut =
+  fst (measure_chain_full ?guide ?breakpoints chain net ~freq ~tstop ~dut)
 
 let classify ~proc ~reference m =
   let swing = proc.Cml_cells.Process.swing in
@@ -108,20 +115,29 @@ let classify ~proc ~reference m =
   }
 
 let run ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?(stages = 8) ?dut ?tstop ?jobs
-    ?(preflight = true) ~defects () =
+    ?(preflight = true) ?(warm_start = true) ~defects () =
   let dut = match dut with Some d -> d | None -> Cml_cells.Chain.dut_stage in
   let tstop = match tstop with Some t -> t | None -> 2.0 /. freq in
   let chain = Cml_cells.Chain.build ~proc ~stages ~freq () in
   let golden = chain.Cml_cells.Chain.builder.Cml_cells.Builder.net in
   if preflight then
     Cml_analysis.Lint.preflight_netlist ~what:"campaign golden netlist" golden;
-  let reference = measure_chain chain golden ~freq ~tstop ~dut in
+  (* the stimulus is shared by every variant, and defect injection
+     only ever adds resistors and capacitors, so the fault-free
+     breakpoint schedule is valid for all of them *)
+  let breakpoints = T.collect_breakpoints golden ~tstop in
+  let reference, ref_traj = measure_chain_full ~breakpoints chain golden ~freq ~tstop ~dut in
+  (* the nominal trajectory seeds every variant's Newton solves;
+     [T.run] ignores it for variants whose defect changed the unknown
+     layout (an open adds a node) and falls back to cold seeding
+     whenever the variant diverges from the nominal path *)
+  let guide = if warm_start then Some ref_traj else None in
   let run_one defect =
     match Inject.apply golden defect with
     | exception (Not_found | Invalid_argument _) ->
         { defect; outcome = Failed "injection failed" }
     | faulty -> (
-        match measure_chain chain faulty ~freq ~tstop ~dut with
+        match measure_chain ?guide ~breakpoints chain faulty ~freq ~tstop ~dut with
         | m -> { defect; outcome = Measured (m, classify ~proc ~reference m) }
         | exception E.No_convergence msg -> { defect; outcome = Failed msg })
   in

@@ -39,11 +39,16 @@ type t = {
 }
 
 val measure_chain :
+  ?guide:Cml_spice.Transient.result ->
+  ?breakpoints:float array ->
   Cml_cells.Chain.t -> Cml_spice.Netlist.t -> freq:float -> tstop:float -> dut:int ->
   measurement
 (** Simulate the given (possibly faulty) netlist of a chain and
-    extract the measurement.  @raise Engine.No_convergence on solver
-    failure (callers of {!run} get it folded into [Failed]). *)
+    extract the measurement.  [guide] and [breakpoints] are passed to
+    {!Cml_spice.Transient.run}: a campaign measures the fault-free
+    chain once and warm-starts every variant from its trajectory.
+    @raise Engine.No_convergence on solver failure (callers of {!run}
+    get it folded into [Failed]). *)
 
 val run :
   ?proc:Cml_cells.Process.t ->
@@ -53,6 +58,7 @@ val run :
   ?tstop:float ->
   ?jobs:int ->
   ?preflight:bool ->
+  ?warm_start:bool ->
   defects:Defect.t list ->
   unit ->
   t
@@ -67,7 +73,14 @@ val run :
     Unless [preflight] is [false] (or [CML_DFT_NO_PREFLIGHT] is set),
     the fault-free netlist is linted first and
     [Cml_analysis.Lint.Preflight_failed] is raised — with the rule
-    citations — instead of starting a doomed simulation batch. *)
+    citations — instead of starting a doomed simulation batch.
+
+    Unless [warm_start] is [false], the fault-free chain is simulated
+    once and its trajectory warm-starts every defect variant (DC from
+    the nominal operating point, each step's Newton from the nearest
+    nominal snapshot); classification results are unaffected — a
+    variant that rejects the nominal seed falls back to cold
+    seeding. *)
 
 val classify :
   proc:Cml_cells.Process.t -> reference:measurement -> measurement -> flags

@@ -59,7 +59,7 @@ let build_monitored ?(proc = Cml_cells.Process.default) ?(preflight = true) ~sta
   (chain, outputs, vout, net)
 
 let detector_response ?(proc = Cml_cells.Process.default) ?(stages = 3) ?(dut = 2) ?max_step
-    ?preflight ~variant ~freq ~pipe ~tstop () =
+    ?preflight ?guide ~variant ~freq ~pipe ~tstop () =
   let _chain, outputs, vout, net =
     build_monitored ~proc ?preflight ~stages ~dut ~variant ~freq ~pipe ()
   in
@@ -67,7 +67,7 @@ let detector_response ?(proc = Cml_cells.Process.default) ?(stages = 3) ?(dut = 
   let max_step =
     match max_step with Some h -> h | None -> Float.min 10e-12 (1.0 /. freq /. 50.0)
   in
-  let r = T.run sim net (T.config ~tstop ~max_step ()) in
+  let r = T.run ?guide sim net (T.config ~tstop ~max_step ()) in
   let wave nd = Cml_wave.Wave.create r.T.times (T.node_trace r nd) in
   let w_vout = wave vout in
   let w_p = wave outputs.Cml_cells.Builder.p and w_n = wave outputs.Cml_cells.Builder.n in
@@ -108,9 +108,23 @@ type threshold_row = {
 }
 
 let amplitude_thresholds ?(proc = Cml_cells.Process.default) ?(detect_drop = 0.15) ?jobs
-    ?preflight ~variant ~freq ~pipe_values ~tstop () =
+    ?preflight ?(warm_start = true) ~variant ~freq ~pipe_values ~tstop () =
+  (* a pipe defect adds one resistor across existing nodes, so the
+     fault-free monitored chain is layout-compatible with every row
+     and its trajectory can seed all of their Newton solves *)
+  let guide =
+    if warm_start then begin
+      let _, _, _, net = build_monitored ~proc ?preflight ~stages:3 ~dut:2 ~variant ~freq ~pipe:None () in
+      let sim = E.compile net in
+      let max_step = Float.min 10e-12 (1.0 /. freq /. 50.0) in
+      Some (T.run sim net (T.config ~tstop ~max_step ()))
+    end
+    else None
+  in
   let row pipe_r =
-    let resp = detector_response ~proc ?preflight ~variant ~freq ~pipe:(Some pipe_r) ~tstop () in
+    let resp =
+      detector_response ~proc ?preflight ?guide ~variant ~freq ~pipe:(Some pipe_r) ~tstop ()
+    in
     {
       pipe_r;
       amplitude = resp.excursion;

@@ -31,6 +31,7 @@ val detector_response :
   ?dut:int ->
   ?max_step:float ->
   ?preflight:bool ->
+  ?guide:Cml_spice.Transient.result ->
   variant:variant ->
   freq:float ->
   pipe:float option ->
@@ -39,7 +40,9 @@ val detector_response :
   response
 (** Drive a [stages]-buffer chain (default 3, monitored stage 2) at
     [freq]; when [pipe] is given, that C-E pipe resistance is placed
-    on the monitored stage's current-source transistor. *)
+    on the monitored stage's current-source transistor.  [guide]
+    warm-starts the transient from a layout-compatible trajectory
+    (see {!Cml_spice.Transient.run}). *)
 
 type threshold_row = {
   pipe_r : float;
@@ -53,6 +56,7 @@ val amplitude_thresholds :
   ?detect_drop:float ->
   ?jobs:int ->
   ?preflight:bool ->
+  ?warm_start:bool ->
   variant:variant ->
   freq:float ->
   pipe_values:float list ->
@@ -64,7 +68,9 @@ val amplitude_thresholds :
     paper's 0.57 V for variant 1, 0.35 V for variant 2).
     [detect_drop] is the vout drop counted as a detection (default
     0.15 V, comparable to the variant-3 comparator threshold).
-    Rows run in parallel over [jobs] domains. *)
+    Rows run in parallel over [jobs] domains.  Unless [warm_start] is
+    [false], the fault-free monitored chain is simulated once and its
+    trajectory seeds every row's Newton solves. *)
 
 val swing_vs_frequency :
   ?proc:Cml_cells.Process.t ->

@@ -13,7 +13,7 @@ type result = {
 }
 
 let run ?(proc = Cml_cells.Process.default) ?(spec = Cml_defects.Variation.default_spec)
-    ?(n = 10) ?defect ?(multi_emitter = true) ?jobs ~samples ~seed () =
+    ?(n = 10) ?defect ?(multi_emitter = true) ?jobs ?(warm_start = true) ~samples ~seed () =
   let defect =
     match defect with
     | Some d -> d
@@ -27,10 +27,22 @@ let run ?(proc = Cml_cells.Process.default) ?(spec = Cml_defects.Variation.defau
   let vtest_value = Detector.vtest_test proc in
   let lo, hi = Readout.thresholds Readout.default_config ~vtest:vtest_value in
   let decision = (lo +. hi) /. 2.0 in
-  let measure net k =
+  (* the unperturbed operating points: process variation moves values,
+     not topology, so every perturbed sample's Newton solve can start
+     from its netlist's nominal solution ([dc_from] falls back to the
+     homotopy ladder when a sample strays too far) *)
+  let nominal net =
+    if warm_start then Some (E.dc_operating_point (E.compile net)) else None
+  in
+  let x_good = nominal golden and x_bad = nominal faulty in
+  let measure net x_nom k =
     let perturbed = Cml_defects.Variation.perturb ~spec ~seed:(seed + k) net in
     let sim = E.compile perturbed in
-    let x = E.dc_operating_point sim in
+    let x =
+      match x_nom with
+      | Some x0 when Array.length x0 = E.unknown_count sim -> E.dc_from sim x0
+      | Some _ | None -> E.dc_operating_point sim
+    in
     let vfb = E.voltage x built.Sharing.readout.Readout.vfb in
     let vout = E.voltage x built.Sharing.readout.Readout.vout in
     (vfb > decision, vout)
@@ -39,7 +51,7 @@ let run ?(proc = Cml_cells.Process.default) ?(spec = Cml_defects.Variation.defau
      and compiles a fresh sim, so samples are independent tasks *)
   let outcomes =
     Cml_runtime.Pool.parallel_map ?jobs
-      (fun k -> (measure golden k, measure faulty k))
+      (fun k -> (measure golden x_good k, measure faulty x_bad k))
       (Array.init samples Fun.id)
   in
   let false_alarms = ref 0 and missed = ref 0 in

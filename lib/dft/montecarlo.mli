@@ -23,6 +23,7 @@ val run :
   ?defect:Cml_defects.Defect.t ->
   ?multi_emitter:bool ->
   ?jobs:int ->
+  ?warm_start:bool ->
   samples:int ->
   seed:int ->
   unit ->
@@ -33,4 +34,9 @@ val run :
     test mode.  A sample is flagged when its comparator feedback node
     latches to the fault state.  Samples run in parallel over [jobs]
     domains (deterministic: each sample's perturbation derives from
-    [seed + k]). *)
+    [seed + k]).
+
+    Unless [warm_start] is [false], the unperturbed fault-free and
+    faulty netlists are solved once and every sample's Newton starts
+    from the matching nominal operating point, falling back to the
+    cold homotopies when a sample diverges. *)

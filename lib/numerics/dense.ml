@@ -47,38 +47,120 @@ let pivot_threshold = 1e-13
 let lu m =
   let n = m.n in
   let w = copy m in
+  let a = w.a in
   let perm = Array.init n (fun i -> i) in
   for k = 0 to n - 1 do
-    let best = ref k and best_abs = ref (Float.abs (get w k k)) in
+    let kn = k * n in
+    let best = ref k and best_abs = ref (Float.abs (Array.unsafe_get a (kn + k))) in
     for i = k + 1 to n - 1 do
-      let a = Float.abs (get w i k) in
-      if a > !best_abs then begin
+      let v = Float.abs (Array.unsafe_get a ((i * n) + k)) in
+      if v > !best_abs then begin
         best := i;
-        best_abs := a
+        best_abs := v
       end
     done;
     if !best_abs < pivot_threshold then raise (Singular k);
     if !best <> k then begin
+      let bn = !best * n in
       for j = 0 to n - 1 do
-        let tmp = get w k j in
-        set w k j (get w !best j);
-        set w !best j tmp
+        let tmp = Array.unsafe_get a (kn + j) in
+        Array.unsafe_set a (kn + j) (Array.unsafe_get a (bn + j));
+        Array.unsafe_set a (bn + j) tmp
       done;
       let tmp = perm.(k) in
       perm.(k) <- perm.(!best);
       perm.(!best) <- tmp
     end;
-    let pivot = get w k k in
+    let pivot = Array.unsafe_get a (kn + k) in
     for i = k + 1 to n - 1 do
-      let factor = get w i k /. pivot in
-      set w i k factor;
+      let im = i * n in
+      let factor = Array.unsafe_get a (im + k) /. pivot in
+      Array.unsafe_set a (im + k) factor;
       if factor <> 0.0 then
         for j = k + 1 to n - 1 do
-          set w i j (get w i j -. (factor *. get w k j))
+          Array.unsafe_set a (im + j)
+            (Array.unsafe_get a (im + j) -. (factor *. Array.unsafe_get a (kn + j)))
         done
     done
   done;
   { lu_mat = w; perm }
+
+(* Reusable factorisation state for callers that solve the same-size
+   system every Newton iteration: the matrix copy, the permutation and
+   the solution all live in the workspace, so a solve allocates
+   nothing. *)
+type ws = { wm : t; wperm : int array }
+
+let ws n = { wm = create n; wperm = Array.make n 0 }
+
+(* The elimination below runs every Newton iteration of every dense
+   simulation, so it works on the flat backing array with unsafe
+   accesses: every index is [row * n + col] with both in [0, n), and
+   the dimension assert above pins the lengths of [b] and [out].
+   Going through [get]/[set] costs a non-inlined call plus a bounds
+   check per element (no flambda), which profiles as ~60% of the
+   whole transient loop. *)
+let solve_ws m ws b out =
+  let n = m.n in
+  assert (ws.wm.n = n && Array.length b = n && Array.length out = n && not (b == out));
+  let a = ws.wm.a and perm = ws.wperm in
+  Array.blit m.a 0 a 0 (n * n);
+  for i = 0 to n - 1 do
+    perm.(i) <- i
+  done;
+  for k = 0 to n - 1 do
+    let kn = k * n in
+    let best = ref k and best_abs = ref (Float.abs (Array.unsafe_get a (kn + k))) in
+    for i = k + 1 to n - 1 do
+      let v = Float.abs (Array.unsafe_get a ((i * n) + k)) in
+      if v > !best_abs then begin
+        best := i;
+        best_abs := v
+      end
+    done;
+    if !best_abs < pivot_threshold then raise (Singular k);
+    if !best <> k then begin
+      let bn = !best * n in
+      for j = 0 to n - 1 do
+        let tmp = Array.unsafe_get a (kn + j) in
+        Array.unsafe_set a (kn + j) (Array.unsafe_get a (bn + j));
+        Array.unsafe_set a (bn + j) tmp
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!best);
+      perm.(!best) <- tmp
+    end;
+    let pivot = Array.unsafe_get a (kn + k) in
+    for i = k + 1 to n - 1 do
+      let im = i * n in
+      let factor = Array.unsafe_get a (im + k) /. pivot in
+      Array.unsafe_set a (im + k) factor;
+      if factor <> 0.0 then
+        for j = k + 1 to n - 1 do
+          Array.unsafe_set a (im + j)
+            (Array.unsafe_get a (im + j) -. (factor *. Array.unsafe_get a (kn + j)))
+        done
+    done
+  done;
+  for i = 0 to n - 1 do
+    out.(i) <- b.(perm.(i))
+  done;
+  for i = 1 to n - 1 do
+    let im = i * n in
+    let s = ref (Array.unsafe_get out i) in
+    for j = 0 to i - 1 do
+      s := !s -. (Array.unsafe_get a (im + j) *. Array.unsafe_get out j)
+    done;
+    Array.unsafe_set out i !s
+  done;
+  for i = n - 1 downto 0 do
+    let im = i * n in
+    let s = ref (Array.unsafe_get out i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (Array.unsafe_get a (im + j) *. Array.unsafe_get out j)
+    done;
+    Array.unsafe_set out i (!s /. Array.unsafe_get a (im + i))
+  done
 
 let lu_solve { lu_mat = w; perm } b =
   let n = w.n in

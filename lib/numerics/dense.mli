@@ -49,3 +49,16 @@ val lu_solve : lu -> float array -> float array
 
 val solve : t -> float array -> float array
 (** One-shot [lu] + [lu_solve]. *)
+
+type ws
+(** Preallocated factorisation workspace (matrix copy + permutation)
+    for repeated same-size solves. *)
+
+val ws : int -> ws
+(** Workspace for [n] x [n] systems. *)
+
+val solve_ws : t -> ws -> float array -> float array -> unit
+(** [solve_ws m ws b out] solves [m x = b] into [out] using the
+    workspace for the factorisation — zero allocation.  [out] must not
+    be [b] (checked).  The input matrix is not modified.
+    @raise Singular like {!lu}. *)

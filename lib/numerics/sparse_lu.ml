@@ -240,10 +240,9 @@ let refactorize f (a : Sparse.csc) =
        !ok
      end
 
-let solve f b =
+let solve_into f b x =
   let n = f.n in
-  assert (Array.length b = n);
-  let x = Array.make n 0.0 in
+  assert (Array.length b = n && Array.length x = n && not (b == x));
   for i = 0 to n - 1 do
     x.(f.pinv.(i)) <- b.(i)
   done;
@@ -264,7 +263,11 @@ let solve f b =
       for p = f.u_colptr.(j) to dpos - 1 do
         x.(f.u_rowind.(p)) <- x.(f.u_rowind.(p)) -. (f.u_values.(p) *. xj)
       done
-  done;
+  done
+
+let solve f b =
+  let x = Array.make f.n 0.0 in
+  solve_into f b x;
   x
 
 let lu_nnz f = (f.l_colptr.(f.n), f.u_colptr.(f.n))

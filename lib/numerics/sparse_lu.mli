@@ -34,5 +34,10 @@ val refactorize : factor -> Sparse.csc -> bool
 val solve : factor -> float array -> float array
 (** [solve f b] returns [x] with [A x = b]. *)
 
+val solve_into : factor -> float array -> float array -> unit
+(** [solve_into f b x] writes the solution of [A x = b] into the
+    caller-owned [x] — zero allocation.  [x] must not be [b]
+    (checked); every component of [x] is overwritten. *)
+
 val lu_nnz : factor -> int * int
 (** Stored entries in [(L, U)]; for diagnostics. *)

@@ -52,6 +52,7 @@ type job = {
   run : int -> unit;  (* must not raise; see [map] *)
   total : int;
   next : int Atomic.t;
+  chunk : int;  (* indices claimed per cursor fetch *)
   active : int;  (* domains allowed to pull tasks, including the caller *)
   mutable unfinished : int;  (* workers yet to acknowledge; under [mutex] *)
 }
@@ -69,9 +70,12 @@ type t = {
 
 let drain job =
   let rec go () =
-    let i = Atomic.fetch_and_add job.next 1 in
-    if i < job.total then begin
-      job.run i;
+    let start = Atomic.fetch_and_add job.next job.chunk in
+    if start < job.total then begin
+      let stop = min job.total (start + job.chunk) in
+      for i = start to stop - 1 do
+        job.run i
+      done;
       go ()
     end
   in
@@ -136,7 +140,14 @@ let run_tasks t ~active ~total run =
         run i
       done
     else begin
-      let job = { run; total; next = Atomic.make 0; active; unfinished = t.workers } in
+      (* coarse claiming: each cursor fetch takes a run of indices, so
+         a batch much larger than the domain count (fault simulation,
+         Monte-Carlo) touches the shared cursor ~8 times per domain
+         instead of once per task, while small batches (a handful of
+         transients) still hand out single tasks and keep the tail
+         balanced *)
+      let chunk = max 1 (total / (active * 8)) in
+      let job = { run; total; next = Atomic.make 0; chunk; active; unfinished = t.workers } in
       Mutex.lock t.mutex;
       t.generation <- t.generation + 1;
       t.job <- Some job;
@@ -156,7 +167,12 @@ type 'b cell = Pending | Done of 'b | Raised of exn * Printexc.raw_backtrace
 let map t ?jobs f arr =
   let n = Array.length arr in
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
-  let active = min (min jobs n) (t.workers + 1) in
+  (* never run more domains than the machine has cores: oversubscribed
+     OCaml 5 domains serialise on every minor-GC stop-the-world sync,
+     which turns "--jobs 4" on a 1-core host into a large slowdown
+     rather than a wash *)
+  let cores = Domain.recommended_domain_count () in
+  let active = min (min jobs n) (min (t.workers + 1) cores) in
   if active <= 1 then Array.map f arr
   else begin
     let cells = Array.make n Pending in
@@ -195,7 +211,14 @@ let global_pool ~at_least =
     match !global with
     | Some p -> p
     | None ->
-        let workers = max (at_least - 1) (max 0 (default_jobs () - 1)) in
+        (* capped at cores - 1: extra domains never run concurrently
+           anyway (see the [active] cap in [map]) and merely existing
+           taxes every minor collection of the working domains — on a
+           1-core host, idle workers cost ~40% of sequential runtime *)
+        let cores = Domain.recommended_domain_count () in
+        let workers =
+          min (max (at_least - 1) (max 0 (default_jobs () - 1))) (max 0 (cores - 1))
+        in
         let p = create ~workers in
         global := Some p;
         p

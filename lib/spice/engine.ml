@@ -7,6 +7,9 @@ type options = {
   gmin : float;
   max_iter : int;
   solver : solver_kind;
+  bypass : bool;
+  lte_reltol_factor : float;
+  lte_abstol : float;
 }
 
 let default_options =
@@ -17,16 +20,50 @@ let default_options =
     gmin = 1e-12;
     max_iter = 100;
     solver = Auto;
+    bypass = true;
+    lte_reltol_factor = 30.0;
+    lte_abstol = 1e-4;
   }
 
 exception No_convergence of string
 
 type junction = { mutable v_last : float }
 
+(* SPICE3-style bypass caches: the stamps a junction device produced
+   at its last full evaluation, plus the (limited) junction voltages
+   they were computed at.  When the next load finds every junction of
+   the device within a safety-scaled convergence tolerance of the
+   cached voltages, the exponentials and their derivatives are skipped
+   and the cached stamps are replayed verbatim. *)
+type dcache = {
+  mutable d_valid : bool;
+  mutable d_v : float;  (** limited junction voltage of the cached stamps *)
+  mutable d_g : float;
+  mutable d_ieq : float;
+}
+
+type bcache = {
+  mutable b_valid : bool;
+  mutable b_vbe : float;
+  mutable b_vbc : float;
+  mutable g_cb : float;
+  mutable g_cc : float;
+  mutable g_ce : float;
+  mutable g_bb : float;
+  mutable g_bc : float;
+  mutable g_be : float;
+  mutable g_eb : float;
+  mutable g_ec : float;
+  mutable g_ee : float;
+  mutable i_c : float;
+  mutable i_b : float;
+  mutable i_e : float;
+}
+
 type sdev =
   | SRes of { i : int; j : int; g : float }
   | SCap of { i : int; j : int; c : float; mutable vprev : float; mutable iprev : float }
-  | SDiode of { a : int; k : int; m : Models.diode; js : junction }
+  | SDiode of { a : int; k : int; m : Models.diode; js : junction; dc : dcache }
   | SBjt of {
       name : string;
       c : int;
@@ -35,25 +72,33 @@ type sdev =
       m : Models.bjt;
       jbe : junction;
       jbc : junction;
+      bc : bcache;
     }
   | SVsrc of { p : int; n : int; br : int; w : Waveform.t }
   | SIsrc of { p : int; n : int; w : Waveform.t }
   | SVcvs of { p : int; n : int; cp : int; cn : int; br : int; gain : float }
   | SVccs of { p : int; n : int; cp : int; cn : int; gm : float }
 
+type sparse_backend = {
+  trip : Cml_numerics.Sparse.triplet;
+  mutable pat : Cml_numerics.Sparse.pattern option;
+  mutable count : int;
+  mutable lu : Cml_numerics.Sparse_lu.factor option;
+      (** factor of the previous solve, kept for numeric-only
+          refactorization while the Jacobian pattern and pivot
+          stability allow it *)
+  mutable symbolic : int;  (** full factorizations performed *)
+  mutable numeric : int;  (** numeric-only refactorizations *)
+  mutable sstamp : int -> int -> float -> unit;
+      (** prebuilt stamping closure: appends triplet entries until the
+          pattern is compressed, then overwrites values in entry
+          order — no per-load closure allocation *)
+}
+
 type backend =
-  | BDense of Cml_numerics.Dense.t
-  | BSparse of {
-      trip : Cml_numerics.Sparse.triplet;
-      mutable pat : Cml_numerics.Sparse.pattern option;
-      mutable count : int;
-      mutable lu : Cml_numerics.Sparse_lu.factor option;
-          (** factor of the previous solve, kept for numeric-only
-              refactorization while the Jacobian pattern and pivot
-              stability allow it *)
-      mutable symbolic : int;  (** full factorizations performed *)
-      mutable numeric : int;  (** numeric-only refactorizations *)
-    }
+  | BDense of { m : Cml_numerics.Dense.t; dws : Cml_numerics.Dense.ws;
+                dstamp : int -> int -> float -> unit }
+  | BSparse of sparse_backend
 
 type sim = {
   opts : options;
@@ -63,10 +108,15 @@ type sim = {
   branches : (string, int) Hashtbl.t;
   backend : backend;
   rhs : float array;
+  ws_x : float array;  (** Newton workspace: current iterate *)
+  ws_xnew : float array;  (** Newton workspace: linear-solve output *)
   mutable junction_error : float;
       (** largest |v_solution - v_limited| over all junctions during
           the last load; convergence requires this to vanish, or the
           slow creep of [pnjlim] could be mistaken for a fixed point *)
+  mutable n_newton_iters : int;
+  mutable n_device_loads : int;
+  mutable n_bypassed : int;
 }
 
 type integ = Dcop | Tran of { geq : float; trap : bool }
@@ -77,10 +127,33 @@ let voltage x nd = if nd = 0 then 0.0 else x.(nd - 1)
 
 let unknown_count sim = sim.nunk
 
+let node_unknowns sim = sim.nv
+
 let options sim = sim.opts
 
 let branch_unknown sim name =
   match Hashtbl.find_opt sim.branches name with Some i -> i | None -> raise Not_found
+
+let dcache_create () = { d_valid = false; d_v = 0.0; d_g = 0.0; d_ieq = 0.0 }
+
+let bcache_create () =
+  {
+    b_valid = false;
+    b_vbe = 0.0;
+    b_vbc = 0.0;
+    g_cb = 0.0;
+    g_cc = 0.0;
+    g_ce = 0.0;
+    g_bb = 0.0;
+    g_bc = 0.0;
+    g_be = 0.0;
+    g_eb = 0.0;
+    g_ec = 0.0;
+    g_ee = 0.0;
+    i_c = 0.0;
+    i_b = 0.0;
+    i_e = 0.0;
+  }
 
 let compile ?(options = default_options) net =
   let nv = Netlist.node_count net - 1 in
@@ -96,7 +169,15 @@ let compile ?(options = default_options) net =
         emit (SRes { i = u n1; j = u n2; g = 1.0 /. r })
     | Netlist.Capacitor { n1; n2; c; _ } -> emit_cap (u n1) (u n2) c
     | Netlist.Diode { anode; cathode; model; _ } ->
-        emit (SDiode { a = u anode; k = u cathode; m = model; js = { v_last = 0.0 } });
+        emit
+          (SDiode
+             {
+               a = u anode;
+               k = u cathode;
+               m = model;
+               js = { v_last = 0.0 };
+               dc = dcache_create ();
+             });
         emit_cap (u anode) (u cathode) model.Models.d_cj
     | Netlist.Bjt { name; collector; base; emitters; model } ->
         Array.iteri
@@ -112,6 +193,7 @@ let compile ?(options = default_options) net =
                    m = model;
                    jbe = { v_last = 0.0 };
                    jbc = { v_last = 0.0 };
+                   bc = bcache_create ();
                  });
             emit_cap (u base) (u e) model.Models.q_cje;
             emit_cap (u base) (u collector) model.Models.q_cjc)
@@ -140,8 +222,8 @@ let compile ?(options = default_options) net =
     | Auto -> nunk > 60
   in
   let backend =
-    if use_sparse then
-      BSparse
+    if use_sparse then begin
+      let sp =
         {
           trip = Cml_numerics.Sparse.triplet_create nunk;
           pat = None;
@@ -149,8 +231,22 @@ let compile ?(options = default_options) net =
           lu = None;
           symbolic = 0;
           numeric = 0;
+          sstamp = (fun _ _ _ -> ());
         }
-    else BDense (Cml_numerics.Dense.create nunk)
+      in
+      sp.sstamp <-
+        (fun i j v -> if i >= 0 && j >= 0 then Cml_numerics.Sparse.add sp.trip i j v);
+      BSparse sp
+    end
+    else begin
+      let m = Cml_numerics.Dense.create nunk in
+      BDense
+        {
+          m;
+          dws = Cml_numerics.Dense.ws nunk;
+          dstamp = (fun i j v -> if i >= 0 && j >= 0 then Cml_numerics.Dense.add_entry m i j v);
+        }
+    end
   in
   {
     opts = options;
@@ -160,46 +256,70 @@ let compile ?(options = default_options) net =
     branches;
     backend;
     rhs = Array.make nunk 0.0;
+    ws_x = Array.make nunk 0.0;
+    ws_xnew = Array.make nunk 0.0;
     junction_error = 0.0;
+    n_newton_iters = 0;
+    n_device_loads = 0;
+    n_bypassed = 0;
   }
 
 (* ------------------------------------------------------------------ *)
 (* Assembly.
 
    The entry *sequence* produced by [load] is identical on every call
-   (same devices, same order, zero-valued entries included), which is
+   (same devices, same order, zero-valued entries included; a bypassed
+   device replays exactly the stamps of its full evaluation), which is
    what lets the sparse backend compress the pattern once and then
    only refresh numeric values. *)
+
+let[@inline] vof x i = if i < 0 then 0.0 else x.(i)
+
+let[@inline] inject rhs i v = if i >= 0 then rhs.(i) <- rhs.(i) +. v
+
+let[@inline] stamp_conductance stamp i j g =
+  stamp i i g;
+  stamp j j g;
+  stamp i j (-.g);
+  stamp j i (-.g)
+
+(* Safety factor applied to the reltol/vntol convergence tolerance
+   before it is used as the bypass threshold: a bypassed device's
+   stamps are stale by at most the threshold, so the fixed point the
+   solver finds can be off by the same order — keeping the threshold
+   a decade under the convergence tolerance keeps the node-voltage
+   deviation between bypass-on and bypass-off runs well inside
+   10 x vntol (asserted by a property test). *)
+let bypass_safety = 0.1
+
+let[@inline] bypass_close opts vnew vcache =
+  Float.abs (vnew -. vcache)
+  <= bypass_safety
+     *. ((opts.reltol *. Float.max (Float.abs vnew) (Float.abs vcache)) +. opts.vntol)
 
 (* Assembly core, parameterised on the matrix stamp: [load] targets
    the compiled backend, [ac_system] a triplet collector.  [stamp]
    receives raw unknown indices and must ignore negative (ground)
-   ones itself. *)
-let assemble sim ~x ~time ~integ ~srcscale ~gshunt ~stamp =
+   ones itself.  [bypass] enables the device-bypass fast path (off for
+   the AC linearisation, which wants the exact Jacobian).  Apart from
+   the [stamp] closure itself — prebuilt per backend — the hot path
+   allocates nothing. *)
+let assemble sim ~x ~time ~integ ~srcscale ~gshunt ~bypass ~stamp =
   let rhs = sim.rhs in
   Array.fill rhs 0 sim.nunk 0.0;
-  let inject i v = if i >= 0 then rhs.(i) <- rhs.(i) +. v in
-  let vof i = if i < 0 then 0.0 else x.(i) in
-  let stamp_conductance i j g =
-    stamp i i g;
-    stamp j j g;
-    stamp i j (-.g);
-    stamp j i (-.g)
-  in
-  let gmin = sim.opts.gmin in
+  let opts = sim.opts in
+  let gmin = opts.gmin in
   let nvt = Models.boltzmann_vt in
   sim.junction_error <- 0.0;
-  let note_junction vnew vlim =
-    let err = Float.abs (vnew -. vlim) in
-    if err > sim.junction_error then sim.junction_error <- err
-  in
   (* gshunt diagonal for every node unknown: also guarantees a
      structurally non-empty diagonal for the sparse pattern *)
   for i = 0 to sim.nv - 1 do
     stamp i i gshunt
   done;
-  let do_device = function
-    | SRes { i; j; g } -> stamp_conductance i j g
+  let sdevs = sim.sdevs in
+  for di = 0 to Array.length sdevs - 1 do
+    match sdevs.(di) with
+    | SRes { i; j; g } -> stamp_conductance stamp i j g
     | SCap { i; j; c; vprev; iprev } ->
         let g, irhs =
           match integ with
@@ -208,62 +328,124 @@ let assemble sim ~x ~time ~integ ~srcscale ~gshunt ~stamp =
               let g = geq *. c in
               (g, (g *. vprev) +. if trap then iprev else 0.0)
         in
-        stamp_conductance i j g;
-        inject i irhs;
-        inject j (-.irhs)
-    | SDiode { a; k; m; js } ->
-        let n_nvt = m.Models.d_n *. nvt in
-        let vnew = vof a -. vof k in
-        let vlim =
-          Models.pnjlim ~vnew ~vold:js.v_last ~nvt:n_nvt
-            ~vcrit:(Models.vcrit ~is:m.Models.d_is ~nvt:n_nvt)
-        in
-        js.v_last <- vlim;
-        note_junction vnew vlim;
-        let id, gd = Models.junction_current ~is:m.Models.d_is ~nvt:n_nvt vlim in
-        let g = gd +. gmin and i0 = id +. (gmin *. vlim) in
-        stamp_conductance a k g;
-        let ieq = (g *. vlim) -. i0 in
-        inject a ieq;
-        inject k (-.ieq)
-    | SBjt { c; b; e; m; jbe; jbc; name = _ } ->
-        let vcrit = Models.vcrit ~is:m.Models.q_is ~nvt in
-        let lim vnew j =
-          let v = Models.pnjlim ~vnew ~vold:j.v_last ~nvt ~vcrit in
-          j.v_last <- v;
-          note_junction vnew v;
-          v
-        in
-        let vbe = lim (vof b -. vof e) jbe in
-        let vbc = lim (vof b -. vof c) jbc in
-        let ift, gif = Models.junction_current ~is:m.Models.q_is ~nvt vbe in
-        let irt, gir = Models.junction_current ~is:m.Models.q_is ~nvt vbc in
-        let icc = ift -. irt in
-        let ibe = (ift /. m.Models.q_bf) +. (gmin *. vbe) in
-        let gbe = (gif /. m.Models.q_bf) +. gmin in
-        let ibc = (irt /. m.Models.q_br) +. (gmin *. vbc) in
-        let gbc = (gir /. m.Models.q_br) +. gmin in
-        let ic0 = icc -. ibc in
-        let ib0 = ibe +. ibc in
-        let ie0 = -.icc -. ibe in
-        (* rows: partial derivatives wrt (Vb, Vc, Ve) *)
-        let dic_dvb = gif -. gir -. gbc
-        and dic_dvc = gir +. gbc
-        and dic_dve = -.gif in
-        let dib_dvb = gbe +. gbc and dib_dvc = -.gbc and dib_dve = -.gbe in
-        let die_dvb = -.gif -. gbe +. gir and die_dvc = -.gir and die_dve = gif +. gbe in
-        stamp c b dic_dvb;
-        stamp c c dic_dvc;
-        stamp c e dic_dve;
-        stamp b b dib_dvb;
-        stamp b c dib_dvc;
-        stamp b e dib_dve;
-        stamp e b die_dvb;
-        stamp e c die_dvc;
-        stamp e e die_dve;
-        inject c ((gif *. vbe) +. (((-.gir) -. gbc) *. vbc) -. ic0);
-        inject b ((gbe *. vbe) +. (gbc *. vbc) -. ib0);
-        inject e ((((-.gif) -. gbe) *. vbe) +. (gir *. vbc) -. ie0)
+        stamp_conductance stamp i j g;
+        inject rhs i irhs;
+        inject rhs j (-.irhs)
+    | SDiode { a; k; m; js; dc } ->
+        sim.n_device_loads <- sim.n_device_loads + 1;
+        let vnew = vof x a -. vof x k in
+        if bypass && dc.d_valid && bypass_close opts vnew dc.d_v then begin
+          sim.n_bypassed <- sim.n_bypassed + 1;
+          stamp_conductance stamp a k dc.d_g;
+          inject rhs a dc.d_ieq;
+          inject rhs k (-.dc.d_ieq)
+        end
+        else begin
+          let n_nvt = m.Models.d_n *. nvt in
+          let vlim =
+            Models.pnjlim ~vnew ~vold:js.v_last ~nvt:n_nvt
+              ~vcrit:(Models.vcrit ~is:m.Models.d_is ~nvt:n_nvt)
+          in
+          js.v_last <- vlim;
+          let err = Float.abs (vnew -. vlim) in
+          if err > sim.junction_error then sim.junction_error <- err;
+          let id, gd = Models.junction_current ~is:m.Models.d_is ~nvt:n_nvt vlim in
+          let g = gd +. gmin and i0 = id +. (gmin *. vlim) in
+          stamp_conductance stamp a k g;
+          let ieq = (g *. vlim) -. i0 in
+          inject rhs a ieq;
+          inject rhs k (-.ieq);
+          dc.d_valid <- true;
+          dc.d_v <- vlim;
+          dc.d_g <- g;
+          dc.d_ieq <- ieq
+        end
+    | SBjt { c; b; e; m; jbe; jbc; bc; name = _ } ->
+        sim.n_device_loads <- sim.n_device_loads + 1;
+        let vbe_new = vof x b -. vof x e in
+        let vbc_new = vof x b -. vof x c in
+        if
+          bypass && bc.b_valid
+          && bypass_close opts vbe_new bc.b_vbe
+          && bypass_close opts vbc_new bc.b_vbc
+        then begin
+          sim.n_bypassed <- sim.n_bypassed + 1;
+          stamp c b bc.g_cb;
+          stamp c c bc.g_cc;
+          stamp c e bc.g_ce;
+          stamp b b bc.g_bb;
+          stamp b c bc.g_bc;
+          stamp b e bc.g_be;
+          stamp e b bc.g_eb;
+          stamp e c bc.g_ec;
+          stamp e e bc.g_ee;
+          inject rhs c bc.i_c;
+          inject rhs b bc.i_b;
+          inject rhs e bc.i_e
+        end
+        else begin
+          let vcrit = Models.vcrit ~is:m.Models.q_is ~nvt in
+          let vbe =
+            let v = Models.pnjlim ~vnew:vbe_new ~vold:jbe.v_last ~nvt ~vcrit in
+            jbe.v_last <- v;
+            let err = Float.abs (vbe_new -. v) in
+            if err > sim.junction_error then sim.junction_error <- err;
+            v
+          in
+          let vbc =
+            let v = Models.pnjlim ~vnew:vbc_new ~vold:jbc.v_last ~nvt ~vcrit in
+            jbc.v_last <- v;
+            let err = Float.abs (vbc_new -. v) in
+            if err > sim.junction_error then sim.junction_error <- err;
+            v
+          in
+          let ift, gif = Models.junction_current ~is:m.Models.q_is ~nvt vbe in
+          let irt, gir = Models.junction_current ~is:m.Models.q_is ~nvt vbc in
+          let icc = ift -. irt in
+          let ibe = (ift /. m.Models.q_bf) +. (gmin *. vbe) in
+          let gbe = (gif /. m.Models.q_bf) +. gmin in
+          let ibc = (irt /. m.Models.q_br) +. (gmin *. vbc) in
+          let gbc = (gir /. m.Models.q_br) +. gmin in
+          let ic0 = icc -. ibc in
+          let ib0 = ibe +. ibc in
+          let ie0 = -.icc -. ibe in
+          (* rows: partial derivatives wrt (Vb, Vc, Ve) *)
+          let dic_dvb = gif -. gir -. gbc
+          and dic_dvc = gir +. gbc
+          and dic_dve = -.gif in
+          let dib_dvb = gbe +. gbc and dib_dvc = -.gbc and dib_dve = -.gbe in
+          let die_dvb = -.gif -. gbe +. gir and die_dvc = -.gir and die_dve = gif +. gbe in
+          let ic_rhs = (gif *. vbe) +. (((-.gir) -. gbc) *. vbc) -. ic0 in
+          let ib_rhs = (gbe *. vbe) +. (gbc *. vbc) -. ib0 in
+          let ie_rhs = (((-.gif) -. gbe) *. vbe) +. (gir *. vbc) -. ie0 in
+          stamp c b dic_dvb;
+          stamp c c dic_dvc;
+          stamp c e dic_dve;
+          stamp b b dib_dvb;
+          stamp b c dib_dvc;
+          stamp b e dib_dve;
+          stamp e b die_dvb;
+          stamp e c die_dvc;
+          stamp e e die_dve;
+          inject rhs c ic_rhs;
+          inject rhs b ib_rhs;
+          inject rhs e ie_rhs;
+          bc.b_valid <- true;
+          bc.b_vbe <- vbe;
+          bc.b_vbc <- vbc;
+          bc.g_cb <- dic_dvb;
+          bc.g_cc <- dic_dvc;
+          bc.g_ce <- dic_dve;
+          bc.g_bb <- dib_dvb;
+          bc.g_bc <- dib_dvc;
+          bc.g_be <- dib_dve;
+          bc.g_eb <- die_dvb;
+          bc.g_ec <- die_dvc;
+          bc.g_ee <- die_dve;
+          bc.i_c <- ic_rhs;
+          bc.i_b <- ib_rhs;
+          bc.i_e <- ie_rhs
+        end
     | SVsrc { p; n; br; w } ->
         stamp br p 1.0;
         stamp br n (-1.0);
@@ -272,8 +454,8 @@ let assemble sim ~x ~time ~integ ~srcscale ~gshunt ~stamp =
         rhs.(br) <- rhs.(br) +. (srcscale *. Waveform.value w time)
     | SIsrc { p; n; w } ->
         let i = srcscale *. Waveform.value w time in
-        inject p (-.i);
-        inject n i
+        inject rhs p (-.i);
+        inject rhs n i
     | SVcvs { p; n; cp; cn; br; gain } ->
         stamp br p 1.0;
         stamp br n (-1.0);
@@ -286,38 +468,38 @@ let assemble sim ~x ~time ~integ ~srcscale ~gshunt ~stamp =
         stamp p cn (-.gm);
         stamp n cp (-.gm);
         stamp n cn gm
-  in
-  Array.iter do_device sim.sdevs
+  done
 
 let load sim ~x ~time ~integ ~srcscale ~gshunt =
   let stamp =
     match sim.backend with
-    | BDense d ->
-        Cml_numerics.Dense.clear d;
-        fun i j v -> if i >= 0 && j >= 0 then Cml_numerics.Dense.add_entry d i j v
+    | BDense { m; dstamp; _ } ->
+        Cml_numerics.Dense.clear m;
+        dstamp
     | BSparse sp ->
         sp.count <- 0;
-        if sp.pat = None then
-          (fun i j v -> if i >= 0 && j >= 0 then Cml_numerics.Sparse.add sp.trip i j v)
-        else
-          fun i j v ->
-            if i >= 0 && j >= 0 then begin
-              Cml_numerics.Sparse.set_values sp.trip sp.count v;
-              sp.count <- sp.count + 1
-            end
+        sp.sstamp
   in
-  assemble sim ~x ~time ~integ ~srcscale ~gshunt ~stamp;
+  assemble sim ~x ~time ~integ ~srcscale ~gshunt ~bypass:sim.opts.bypass ~stamp;
   match sim.backend with
   | BDense _ -> ()
   | BSparse sp -> begin
       match sp.pat with
-      | None -> sp.pat <- Some (Cml_numerics.Sparse.compress sp.trip)
+      | None ->
+          sp.pat <- Some (Cml_numerics.Sparse.compress sp.trip);
+          (* from now on only values are refreshed, in entry order *)
+          sp.sstamp <-
+            (fun i j v ->
+              if i >= 0 && j >= 0 then begin
+                Cml_numerics.Sparse.set_values sp.trip sp.count v;
+                sp.count <- sp.count + 1
+              end)
       | Some pat -> Cml_numerics.Sparse.refill pat sp.trip
     end
 
-let solve_linear sim =
+let solve_linear_into sim out =
   match sim.backend with
-  | BDense d -> Cml_numerics.Dense.solve d sim.rhs
+  | BDense { m; dws; _ } -> Cml_numerics.Dense.solve_ws m dws sim.rhs out
   | BSparse ({ pat = Some pat; _ } as sp) ->
       let a = Cml_numerics.Sparse.csc_of_pattern pat in
       (* the pattern of an MNA Jacobian is fixed across Newton
@@ -336,16 +518,30 @@ let solve_linear sim =
             sp.symbolic <- sp.symbolic + 1;
             f
       in
-      Cml_numerics.Sparse_lu.solve f sim.rhs
+      Cml_numerics.Sparse_lu.solve_into f sim.rhs out
   | BSparse { pat = None; _ } -> assert false
 
-type solver_stats = { symbolic_factorizations : int; numeric_refactorizations : int }
+type solver_stats = {
+  symbolic_factorizations : int;
+  numeric_refactorizations : int;
+  newton_iters : int;
+  device_loads : int;
+  bypassed_loads : int;
+}
 
 let solver_stats sim =
-  match sim.backend with
-  | BDense _ -> { symbolic_factorizations = 0; numeric_refactorizations = 0 }
-  | BSparse { symbolic; numeric; _ } ->
-      { symbolic_factorizations = symbolic; numeric_refactorizations = numeric }
+  let symbolic, numeric =
+    match sim.backend with
+    | BDense _ -> (0, 0)
+    | BSparse { symbolic; numeric; _ } -> (symbolic, numeric)
+  in
+  {
+    symbolic_factorizations = symbolic;
+    numeric_refactorizations = numeric;
+    newton_iters = sim.n_newton_iters;
+    device_loads = sim.n_device_loads;
+    bypassed_loads = sim.n_bypassed;
+  }
 
 let converged sim x x' =
   let ok = ref true in
@@ -359,31 +555,41 @@ let converged sim x x' =
   !ok
 
 let set_junction_states sim x =
-  let vof i = if i < 0 then 0.0 else x.(i) in
   Array.iter
     (function
-      | SDiode { a; k; js; _ } -> js.v_last <- vof a -. vof k
+      | SDiode { a; k; js; _ } -> js.v_last <- vof x a -. vof x k
       | SBjt { c; b; e; jbe; jbc; _ } ->
-          jbe.v_last <- vof b -. vof e;
-          jbc.v_last <- vof b -. vof c
+          jbe.v_last <- vof x b -. vof x e;
+          jbc.v_last <- vof x b -. vof x c
       | SRes _ | SCap _ | SVsrc _ | SIsrc _ | SVcvs _ | SVccs _ -> ())
     sim.sdevs
 
+(* The iterate loop works entirely in the per-sim workspace ([ws_x],
+   [ws_xnew], the backend matrix/factor scratch): no vector or matrix
+   is allocated per iteration, only the converged solution is copied
+   out once on success. *)
 let newton sim ~time ~integ ?(srcscale = 1.0) ?(gshunt = 0.0) x0 =
   set_junction_states sim x0;
-  let rec iterate x iter =
+  let x = sim.ws_x and xn = sim.ws_xnew in
+  Array.blit x0 0 x 0 sim.nunk;
+  let rec iterate iter =
     if iter > sim.opts.max_iter then None
     else begin
       load sim ~x ~time ~integ ~srcscale ~gshunt;
-      match solve_linear sim with
+      sim.n_newton_iters <- sim.n_newton_iters + 1;
+      match solve_linear_into sim xn with
       | exception (Cml_numerics.Dense.Singular _ | Cml_numerics.Sparse_lu.Singular _) -> None
-      | x' ->
+      | () ->
           let junctions_settled = sim.junction_error <= sim.opts.vntol +. (sim.opts.reltol *. 1.0) in
-          if iter > 0 && junctions_settled && converged sim x x' then Some (x', iter)
-          else iterate x' (iter + 1)
+          if iter > 0 && junctions_settled && converged sim x xn then
+            Some (Cml_numerics.Vec.copy xn, iter)
+          else begin
+            Array.blit xn 0 x 0 sim.nunk;
+            iterate (iter + 1)
+          end
     end
   in
-  iterate (Cml_numerics.Vec.copy x0) 0
+  iterate 0
 
 let zeros sim = Array.make sim.nunk 0.0
 
@@ -442,21 +648,19 @@ let dc_from ?(time = 0.0) sim x0 =
       | None -> raise (No_convergence "dc continuation"))
 
 let init_capacitor_states sim x =
-  let vof i = if i < 0 then 0.0 else x.(i) in
   Array.iter
     (function
       | SCap c ->
-          c.vprev <- vof c.i -. vof c.j;
+          c.vprev <- vof x c.i -. vof x c.j;
           c.iprev <- 0.0
       | SRes _ | SDiode _ | SBjt _ | SVsrc _ | SIsrc _ | SVcvs _ | SVccs _ -> ())
     sim.sdevs
 
 let update_capacitor_states sim x ~h ~trap =
-  let vof i = if i < 0 then 0.0 else x.(i) in
   Array.iter
     (function
       | SCap c ->
-          let v = vof c.i -. vof c.j in
+          let v = vof x c.i -. vof x c.j in
           let i_new =
             if trap then (2.0 *. c.c /. h *. (v -. c.vprev)) -. c.iprev
             else c.c /. h *. (v -. c.vprev)
@@ -471,10 +675,12 @@ let ac_system sim x =
   (* collect the conductance stamps straight off the device sweep
      into a triplet (compression sums duplicates), instead of probing
      every cell of the assembled backend matrix — the dense backend
-     made that an O(n^2) scan with a cons per probe *)
+     made that an O(n^2) scan with a cons per probe.  Bypass is off:
+     the small-signal G must be the exact linearisation at [x], not a
+     cached one. *)
   let trip = Cml_numerics.Sparse.triplet_create sim.nunk in
   let stamp i j v = if i >= 0 && j >= 0 then Cml_numerics.Sparse.add trip i j v in
-  assemble sim ~x ~time:0.0 ~integ:Dcop ~srcscale:1.0 ~gshunt:0.0 ~stamp;
+  assemble sim ~x ~time:0.0 ~integ:Dcop ~srcscale:1.0 ~gshunt:0.0 ~bypass:false ~stamp;
   let a = Cml_numerics.Sparse.csc_of_pattern (Cml_numerics.Sparse.compress trip) in
   let g_entries =
     let acc = ref [] in
@@ -502,19 +708,18 @@ let ac_system sim x =
 type bjt_op = { q_name : string; vbe : float; vce : float; ic : float; ib : float }
 
 let bjt_report sim x =
-  let vof i = if i < 0 then 0.0 else x.(i) in
   let nvt = Models.boltzmann_vt in
   let rev =
     Array.fold_left
       (fun acc d ->
         match d with
         | SBjt { name; c; b; e; m; _ } ->
-            let vbe = vof b -. vof e and vbc = vof b -. vof c in
+            let vbe = vof x b -. vof x e and vbc = vof x b -. vof x c in
             let ift, _ = Models.junction_current ~is:m.Models.q_is ~nvt vbe in
             let irt, _ = Models.junction_current ~is:m.Models.q_is ~nvt vbc in
             let ic = ift -. irt -. (irt /. m.Models.q_br) in
             let ib = (ift /. m.Models.q_bf) +. (irt /. m.Models.q_br) in
-            { q_name = name; vbe; vce = vof c -. vof e; ic; ib } :: acc
+            { q_name = name; vbe; vce = vof x c -. vof x e; ic; ib } :: acc
         | SRes _ | SCap _ | SDiode _ | SVsrc _ | SIsrc _ | SVcvs _ | SVccs _ -> acc)
       [] sim.sdevs
   in

@@ -15,6 +15,19 @@ type options = {
   gmin : float;  (** conductance added across every pn junction (default 1e-12) *)
   max_iter : int;  (** Newton iteration limit per solve (default 100) *)
   solver : solver_kind;
+  bypass : bool;
+      (** SPICE3-style device bypass (default [true]): skip the model
+          evaluation of a junction device whose terminal voltages are
+          within a tenth of the reltol/vntol convergence tolerance of
+          its last full evaluation, replaying the cached stamps
+          instead.  Node voltages stay within 10 x [vntol] of the
+          bypass-off solution. *)
+  lte_reltol_factor : float;
+      (** multiplier on [reltol] for the transient local-truncation
+          error acceptance test (default 30.0) *)
+  lte_abstol : float;
+      (** absolute floor of the transient local-truncation error
+          acceptance test, V (default 1e-4) *)
 }
 
 val default_options : options
@@ -37,6 +50,12 @@ val compile : ?options:options -> Netlist.t -> sim
 
 val options : sim -> options
 val unknown_count : sim -> int
+
+val node_unknowns : sim -> int
+(** Number of node-voltage unknowns (unknowns beyond this index are
+    branch currents).  Together with {!unknown_count} this identifies
+    layout-compatible sims: a warm start may only be seeded from a
+    solution of a sim with the same counts. *)
 
 val node_unknown : Netlist.node -> int
 (** Index of a node voltage in a solution vector, or [-1] for
@@ -92,11 +111,20 @@ type solver_stats = {
   numeric_refactorizations : int;
       (** numeric-only refactorizations reusing the cached symbolic
           analysis — the cheap per-Newton-iteration path *)
+  newton_iters : int;
+      (** Newton iterations (assemble + linear solve) since
+          {!compile} *)
+  device_loads : int;
+      (** junction-device (diode/BJT) load opportunities across all
+          iterations *)
+  bypassed_loads : int;
+      (** of {!field-device_loads}, how many replayed cached stamps
+          instead of re-evaluating the model *)
 }
 
 val solver_stats : sim -> solver_stats
-(** Cumulative linear-solver counters since {!compile}; all zero for
-    the dense backend. *)
+(** Cumulative counters since {!compile}; the factorization counters
+    are zero for the dense backend. *)
 
 val ac_system :
   sim -> float array -> (int * int * float) list * (int * int * float) list

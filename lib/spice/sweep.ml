@@ -4,7 +4,7 @@
    single compiled sim serves every point and warm starts carry the
    hysteresis state. *)
 
-let vsource_sweep_full ?options net ~source ~values =
+let vsource_sweep_full ?options ?(warm_start = true) net ~source ~values =
   let net = Netlist.copy net in
   (match Netlist.get_device net source with
   | Netlist.Vsource v ->
@@ -25,9 +25,9 @@ let vsource_sweep_full ?options net ~source ~values =
       | Some x0 -> Engine.dc_from ~time sim x0
     in
     out.(i) <- x;
-    prev := Some x
+    if warm_start then prev := Some x
   done;
   (sim, out)
 
-let vsource_sweep ?options net ~source ~values =
-  snd (vsource_sweep_full ?options net ~source ~values)
+let vsource_sweep ?options ?warm_start net ~source ~values =
+  snd (vsource_sweep_full ?options ?warm_start net ~source ~values)

@@ -4,6 +4,7 @@
 
 val vsource_sweep_full :
   ?options:Engine.options ->
+  ?warm_start:bool ->
   Netlist.t ->
   source:string ->
   values:float array ->
@@ -15,11 +16,17 @@ val vsource_sweep_full :
     Returns the compiled sim (for index lookups) and the solution
     vector at every point.  The input netlist is not modified (the
     sweep runs on a copy).
+
+    [warm_start:false] cold-starts every point from the homotopy
+    ladder instead: no continuation, so a hysteresis loop collapses to
+    whichever state each point's homotopy lands in — useful to
+    distinguish genuine bistability from sweep memory.
     @raise Not_found if [source] is not a voltage source.
     @raise Engine.No_convergence if a point fails to converge. *)
 
 val vsource_sweep :
   ?options:Engine.options ->
+  ?warm_start:bool ->
   Netlist.t ->
   source:string ->
   values:float array ->

@@ -11,10 +11,20 @@ let config ?max_step ?min_step ?(lte_control = true) ?(record_every = 1) ~tstop 
   let min_step = match min_step with Some h -> h | None -> max_step /. 1e6 in
   { tstop; max_step; min_step; lte_control; record_every }
 
+type stats = {
+  accepted_steps : int;
+  rejected_steps : int;
+  newton_iters : int;
+  device_loads : int;
+  bypassed_loads : int;
+  guided_seeds : int;
+}
+
 type result = {
   times : float array;
   data : float array array;
   sim : Engine.sim;
+  stats : stats;
 }
 
 let collect_breakpoints net ~tstop =
@@ -32,7 +42,8 @@ let collect_breakpoints net ~tstop =
    linear prediction from the two previous points. *)
 let lte_ok opts xpred x =
   let band = ref true in
-  let reltol = 30.0 *. opts.Engine.reltol and abstol = 1e-4 in
+  let reltol = opts.Engine.lte_reltol_factor *. opts.Engine.reltol
+  and abstol = opts.Engine.lte_abstol in
   Array.iteri
     (fun i xp ->
       let tol = abstol +. (reltol *. Float.max (Float.abs xp) (Float.abs x.(i))) in
@@ -40,26 +51,95 @@ let lte_ok opts xpred x =
     xpred;
   !band
 
-let run ?x0 sim net cfg =
+(* Recorded snapshots live in one flat row-major matrix that doubles
+   on demand — one blit per accepted step instead of an [Array.copy]
+   cons onto a list; rows are only materialised once at the end. *)
+type recorder = {
+  rnunk : int;
+  mutable rbuf : float array;
+  mutable rcap : int;  (** rows the buffer can hold *)
+  mutable rlen : int;  (** rows recorded *)
+}
+
+let recorder_create nunk =
+  let cap = 256 in
+  { rnunk = nunk; rbuf = Array.make (cap * nunk) 0.0; rcap = cap; rlen = 0 }
+
+let recorder_push r x =
+  if r.rlen = r.rcap then begin
+    let cap = 2 * r.rcap in
+    let buf = Array.make (cap * r.rnunk) 0.0 in
+    Array.blit r.rbuf 0 buf 0 (r.rlen * r.rnunk);
+    r.rbuf <- buf;
+    r.rcap <- cap
+  end;
+  Array.blit x 0 r.rbuf (r.rlen * r.rnunk) r.rnunk;
+  r.rlen <- r.rlen + 1
+
+let recorder_rows r =
+  Array.init r.rlen (fun k -> Array.sub r.rbuf (k * r.rnunk) r.rnunk)
+
+(* Index of the guide sample closest to [t] (guide times are sorted). *)
+let nearest_index times t =
+  let n = Array.length times in
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if times.(mid) <= t then lo := mid else hi := mid
+  done;
+  if Float.abs (times.(!hi) -. t) < Float.abs (times.(!lo) -. t) then !hi else !lo
+
+let run ?x0 ?guide ?breakpoints sim net cfg =
   let opts = Engine.options sim in
-  let breakpoints = collect_breakpoints net ~tstop:cfg.tstop in
+  let nunk = Engine.unknown_count sim in
+  let breakpoints =
+    match breakpoints with
+    | Some bps -> bps
+    | None -> collect_breakpoints net ~tstop:cfg.tstop
+  in
+  (* a guide trajectory (typically the nominal run of a defect
+     campaign) seeds each step's Newton solve with the nominal
+     solution nearest in time; it must come from a layout-compatible
+     sim, otherwise it is ignored *)
+  let guide =
+    match guide with
+    | Some g when Array.length g.times > 0 && Array.length g.data > 0
+                  && Array.length g.data.(0) = nunk ->
+        Some (g.times, g.data)
+    | Some _ | None -> None
+  in
+  let stats0 = Engine.solver_stats sim in
+  let accepted_steps = ref 0 and rejected_steps = ref 0 and guided_seeds = ref 0 in
   let x_start =
-    match x0 with Some x -> x | None -> Engine.dc_operating_point ~time:0.0 sim
+    match x0 with
+    | Some x -> x
+    | None -> (
+        match guide with
+        | Some (_, gdata) -> (
+            (* warm DC start from the guide's initial point, falling
+               back to the full homotopy ladder if it diverges *)
+            match Engine.newton sim ~time:0.0 ~integ:Engine.Dcop gdata.(0) with
+            | Some (x, _) ->
+                incr guided_seeds;
+                x
+            | None -> Engine.dc_operating_point ~time:0.0 sim)
+        | None -> Engine.dc_operating_point ~time:0.0 sim)
   in
   Engine.init_capacitor_states sim x_start;
   let times = Cml_numerics.Fbuf.create () in
-  let snapshots = ref [] in
+  let rec_ = recorder_create nunk in
   let nsnap = ref 0 in
   let record t x =
     if !nsnap mod cfg.record_every = 0 then begin
       Cml_numerics.Fbuf.push times t;
-      snapshots := Array.copy x :: !snapshots
+      recorder_push rec_ x
     end;
     incr nsnap
   in
   record 0.0 x_start;
   (* state for the predictor *)
   let x_n = ref x_start and x_nm1 = ref x_start in
+  let xpred = Array.make nunk 0.0 in
   let h_prev = ref 0.0 in
   let t = ref 0.0 in
   let h = ref (cfg.max_step /. 10.0) in
@@ -78,16 +158,33 @@ let run ?x0 sim net cfg =
     let h_step = t_next -. !t in
     let trap = (not !force_be) && !h_prev > 0.0 in
     let geq = if trap then 2.0 /. h_step else 1.0 /. h_step in
-    let attempt = Engine.newton sim ~time:t_next ~integ:(Engine.Tran { geq; trap }) !x_n in
+    let integ = Engine.Tran { geq; trap } in
+    let attempt =
+      match guide with
+      | Some (gtimes, gdata) -> begin
+          let seed = gdata.(nearest_index gtimes t_next) in
+          match Engine.newton sim ~time:t_next ~integ seed with
+          | Some _ as ok ->
+              incr guided_seeds;
+              ok
+          | None ->
+              (* nominal trajectory too far from this variant at this
+                 instant: fall back to the classic cold seed (the
+                 previous accepted point) before giving up the step *)
+              Engine.newton sim ~time:t_next ~integ !x_n
+        end
+      | None -> Engine.newton sim ~time:t_next ~integ !x_n
+    in
     let accepted =
       match attempt with
       | None -> None
       | Some (x, _iters) ->
           if cfg.lte_control && !h_prev > 0.0 && not !force_be then begin
             let scale = h_step /. !h_prev in
-            let xpred =
-              Array.mapi (fun i v -> v +. ((v -. !x_nm1.(i)) *. scale)) !x_n
-            in
+            let xn = !x_n and xnm1 = !x_nm1 in
+            for i = 0 to nunk - 1 do
+              xpred.(i) <- xn.(i) +. ((xn.(i) -. xnm1.(i)) *. scale)
+            done;
             if lte_ok opts xpred x then Some x else None
           end
           else Some x
@@ -99,6 +196,7 @@ let run ?x0 sim net cfg =
         x_n := x;
         h_prev := h_step;
         t := t_next;
+        incr accepted_steps;
         record !t x;
         if hitting_bp then begin
           incr bp_index;
@@ -111,6 +209,7 @@ let run ?x0 sim net cfg =
           h := Float.min cfg.max_step (!h *. 1.4)
         end
     | None ->
+        incr rejected_steps;
         let h' = h_step /. 4.0 in
         if h' < cfg.min_step then
           raise
@@ -119,8 +218,18 @@ let run ?x0 sim net cfg =
         h := h';
         force_be := true
   done;
-  let snaps = Array.of_list (List.rev !snapshots) in
-  { times = Cml_numerics.Fbuf.to_array times; data = snaps; sim }
+  let stats1 = Engine.solver_stats sim in
+  let stats =
+    {
+      accepted_steps = !accepted_steps;
+      rejected_steps = !rejected_steps;
+      newton_iters = stats1.Engine.newton_iters - stats0.Engine.newton_iters;
+      device_loads = stats1.Engine.device_loads - stats0.Engine.device_loads;
+      bypassed_loads = stats1.Engine.bypassed_loads - stats0.Engine.bypassed_loads;
+      guided_seeds = !guided_seeds;
+    }
+  in
+  { times = Cml_numerics.Fbuf.to_array times; data = recorder_rows rec_; sim; stats }
 
 let node_trace r nd =
   let idx = Engine.node_unknown nd in

@@ -14,18 +14,61 @@ type config = {
 val config : ?max_step:float -> ?min_step:float -> ?lte_control:bool -> ?record_every:int ->
   tstop:float -> unit -> config
 (** Defaults: [max_step = tstop /. 200.], [min_step = max_step /. 1e6],
-    [lte_control = true], [record_every = 1]. *)
+    [lte_control = true], [record_every = 1].  The tolerances of the
+    LTE acceptance test come from {!Engine.options}
+    ([lte_reltol_factor], [lte_abstol]). *)
+
+type stats = {
+  accepted_steps : int;  (** committed time steps *)
+  rejected_steps : int;
+      (** steps retried after a Newton failure or an LTE rejection *)
+  newton_iters : int;  (** Newton iterations spent in this run *)
+  device_loads : int;  (** junction-device load opportunities *)
+  bypassed_loads : int;
+      (** of [device_loads], how many replayed cached stamps
+          ({!Engine.options.bypass}) *)
+  guided_seeds : int;
+      (** Newton solves successfully seeded from the [?guide]
+          trajectory (0 when no guide was given) *)
+}
 
 type result = {
   times : float array;
   data : float array array;  (** [data.(k)] is the solution vector at [times.(k)] *)
   sim : Engine.sim;
+  stats : stats;
 }
 
-val run : ?x0:float array -> Engine.sim -> Netlist.t -> config -> result
+val collect_breakpoints : Netlist.t -> tstop:float -> float array
+(** Sorted source-waveform breakpoints up to and including [tstop].
+    Precompute once and pass as [?breakpoints] when running many
+    variants of the same stimulus (defect injection adds only
+    resistors and capacitors, so the golden schedule stays valid). *)
+
+val run :
+  ?x0:float array ->
+  ?guide:result ->
+  ?breakpoints:float array ->
+  Engine.sim ->
+  Netlist.t ->
+  config ->
+  result
 (** Run a transient from the DC operating point at [t = 0] (or from
     [x0] when given).  The netlist is only used to collect source
     breakpoints; it must be the one the [sim] was compiled from.
+
+    [guide] warm-starts the run from a previously computed trajectory
+    of a layout-compatible sim (same unknown count — checked, silently
+    ignored otherwise): the DC solve is seeded from the guide's first
+    point and every step's Newton solve from the guide sample nearest
+    in time, falling back to the previous accepted point (and then to
+    the usual step halving) when the seed does not converge.  Results
+    are bit-identical in structure to an unguided run; only Newton
+    iteration counts change.
+
+    [breakpoints] overrides breakpoint collection with a precomputed
+    schedule from {!collect_breakpoints}.
+
     @raise Engine.No_convergence when a step fails at [min_step]. *)
 
 val node_trace : result -> Netlist.node -> float array

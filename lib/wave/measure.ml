@@ -1,27 +1,24 @@
 type direction = Rising | Falling | Either
 
-let segment_crossing t0 v0 t1 v1 level =
-  if v0 = v1 then None
-  else begin
-    let frac = (level -. v0) /. (v1 -. v0) in
-    if frac >= 0.0 && frac < 1.0 then Some (t0 +. (frac *. (t1 -. t0))) else None
-  end
-
-let matches direction v0 v1 =
-  match direction with
-  | Either -> true
-  | Rising -> v1 > v0
-  | Falling -> v1 < v0
-
+(* Scanned over every recorded sample of every measured trace, so the
+   segment test is fused inline (no [matches]/[segment_crossing] calls,
+   no option per segment) and indexes the two parallel arrays without
+   bounds checks — [Wave.create] guarantees equal lengths. *)
 let crossings ?(direction = Either) (w : Wave.t) ~level =
+  let times = w.Wave.times and values = w.Wave.values in
   let acc = ref [] in
-  let n = Array.length w.Wave.times in
+  let n = Array.length times in
   for i = 0 to n - 2 do
-    let v0 = w.Wave.values.(i) and v1 = w.Wave.values.(i + 1) in
-    if matches direction v0 v1 then begin
-      match segment_crossing w.Wave.times.(i) v0 w.Wave.times.(i + 1) v1 level with
-      | Some t -> acc := t :: !acc
-      | None -> ()
+    let v0 = Array.unsafe_get values i and v1 = Array.unsafe_get values (i + 1) in
+    let dir_ok =
+      match direction with Either -> true | Rising -> v1 > v0 | Falling -> v1 < v0
+    in
+    if dir_ok && v0 <> v1 then begin
+      let frac = (level -. v0) /. (v1 -. v0) in
+      if frac >= 0.0 && frac < 1.0 then begin
+        let t0 = Array.unsafe_get times i in
+        acc := (t0 +. (frac *. (Array.unsafe_get times (i + 1) -. t0))) :: !acc
+      end
     end
   done;
   List.rev !acc

@@ -163,6 +163,25 @@ let test_campaign_summary_counts () =
   Alcotest.(check bool) "one stuck at least" true
     (match List.assoc_opt "stuck-at" s with Some n -> n >= 1 | None -> false)
 
+let test_campaign_warm_start_parity () =
+  (* warm-starting every variant from the nominal trajectory is a
+     pure solver accelerant: classification must not change.  One
+     defect per family, including an Open_terminal whose extra node
+     makes its variant layout-incompatible with the guide. *)
+  let defects =
+    [
+      D.Pipe { device = "x3.q3"; r = 4e3 };
+      D.Terminal_short { device = "x3.q2"; t1 = "c"; t2 = "e" };
+      D.Open_terminal { device = "x3.q1"; terminal = "b" };
+    ]
+  in
+  let warm = Cml_defects.Campaign.run ~jobs:1 ~warm_start:true ~defects () in
+  let cold = Cml_defects.Campaign.run ~jobs:1 ~warm_start:false ~defects () in
+  Alcotest.(check (list (pair string int)))
+    "summaries identical with warm start on/off"
+    (Cml_defects.Campaign.summary cold)
+    (Cml_defects.Campaign.summary warm)
+
 let () =
   Alcotest.run "defects"
     [
@@ -191,5 +210,6 @@ let () =
           Alcotest.test_case "benign defect" `Slow test_campaign_benign_defect;
           Alcotest.test_case "reference sanity" `Slow test_campaign_reference_sane;
           Alcotest.test_case "summary counts" `Slow test_campaign_summary_counts;
+          Alcotest.test_case "warm-start parity" `Slow test_campaign_warm_start_parity;
         ] );
     ]

@@ -499,6 +499,88 @@ let prop_rc_matches_analytic =
           Float.abs (Cml_wave.Wave.value_at w (t0 +. (mult *. tau)) -. expected) < 0.02)
         [ 0.5; 1.0; 2.0; 3.0 ])
 
+(* ------------------------------------------------------------------ *)
+(* Device bypass and warm starts *)
+
+let run_chain_transient ~options ~stages ~freq =
+  let chain = Cml_cells.Chain.build ~stages ~freq () in
+  let net = chain.Cml_cells.Chain.builder.Cml_cells.Builder.net in
+  let sim = E.compile ~options net in
+  let tstop = 2.0 /. freq in
+  T.run sim net (T.config ~tstop ~max_step:(tstop /. 100.0) ())
+
+(* The bypass tolerance is a tenth of the Newton convergence band, so
+   replaying cached stamps may move any node by at most a few vntol —
+   well inside 10 x vntol (1e-5 at the default 1e-6). *)
+let prop_bypass_matches_full_eval =
+  QCheck2.Test.make ~name:"device bypass leaves CML chain trajectories unchanged" ~count:4
+    QCheck2.Gen.(pair (int_range 2 4) (float_range 5e8 2e9))
+    (fun (stages, freq) ->
+      let on = run_chain_transient ~options:E.default_options ~stages ~freq in
+      let off =
+        run_chain_transient ~options:{ E.default_options with E.bypass = false } ~stages ~freq
+      in
+      on.T.stats.T.bypassed_loads > 0
+      && off.T.stats.T.bypassed_loads = 0
+      && Array.length on.T.times = Array.length off.T.times
+      &&
+      let dev = ref 0.0 in
+      Array.iteri
+        (fun k row ->
+          Array.iteri
+            (fun i v -> dev := Float.max !dev (Float.abs (v -. off.T.data.(k).(i))))
+            row)
+        on.T.data;
+      !dev <= 10.0 *. E.default_options.E.vntol)
+
+let test_transient_stats_accounting () =
+  let chain = Cml_cells.Chain.build ~stages:3 ~freq:1e9 () in
+  let net = chain.Cml_cells.Chain.builder.Cml_cells.Builder.net in
+  let sim = E.compile net in
+  let r = T.run sim net (T.config ~tstop:2e-9 ~max_step:10e-12 ()) in
+  Alcotest.(check int) "one row per accepted step plus t = 0"
+    (r.T.stats.T.accepted_steps + 1)
+    (Array.length r.T.times);
+  Alcotest.(check bool) "bypass fired" true (r.T.stats.T.bypassed_loads > 0);
+  Alcotest.(check bool) "bypass is a strict subset of loads" true
+    (r.T.stats.T.bypassed_loads < r.T.stats.T.device_loads);
+  Alcotest.(check bool) "newton iterations counted" true (r.T.stats.T.newton_iters > 0);
+  Alcotest.(check int) "no guide means no guided seeds" 0 r.T.stats.T.guided_seeds
+
+let test_transient_guide_is_used () =
+  let chain = Cml_cells.Chain.build ~stages:3 ~freq:1e9 () in
+  let net = chain.Cml_cells.Chain.builder.Cml_cells.Builder.net in
+  let cfg = T.config ~tstop:2e-9 ~max_step:10e-12 () in
+  let nominal = T.run (E.compile net) net cfg in
+  let warm = T.run ~guide:nominal (E.compile net) net cfg in
+  Alcotest.(check bool) "guided seeds used" true (warm.T.stats.T.guided_seeds > 0);
+  Alcotest.(check int) "same grid as the cold run"
+    (Array.length nominal.T.times)
+    (Array.length warm.T.times);
+  let dev = ref 0.0 in
+  Array.iteri
+    (fun k row ->
+      Array.iteri
+        (fun i v -> dev := Float.max !dev (Float.abs (v -. warm.T.data.(k).(i))))
+        row)
+    nominal.T.data;
+  Alcotest.(check bool) "same trajectory as the cold run" true
+    (!dev <= 10.0 *. E.default_options.E.vntol)
+
+let test_transient_incompatible_guide_ignored () =
+  (* a guide from a different circuit (different unknown count) must
+     be ignored, not crash the run *)
+  let net = N.create () in
+  let a = N.node net "a" in
+  N.vsource net ~name:"V1" ~pos:a ~neg:N.gnd (W.Dc 1.0);
+  N.resistor net ~name:"R1" a N.gnd 1e3;
+  let small = T.run (E.compile net) net (T.config ~tstop:1e-9 ()) in
+  let chain = Cml_cells.Chain.build ~stages:2 ~freq:1e9 () in
+  let cnet = chain.Cml_cells.Chain.builder.Cml_cells.Builder.net in
+  let r = T.run ~guide:small (E.compile cnet) cnet (T.config ~tstop:1e-9 ~max_step:10e-12 ()) in
+  Alcotest.(check int) "guide silently dropped" 0 r.T.stats.T.guided_seeds;
+  Alcotest.(check bool) "run still completes" true (Array.length r.T.times > 10)
+
 let () =
   Alcotest.run "spice"
     [
@@ -537,6 +619,10 @@ let () =
           Alcotest.test_case "rc discharge from dc" `Quick test_rc_discharge_from_dc;
           Alcotest.test_case "rc lowpass at fc" `Quick test_sine_through_rc_lowpass_amplitude;
           Alcotest.test_case "initial point recorded" `Quick test_transient_records_initial_point;
+          Alcotest.test_case "stats accounting" `Slow test_transient_stats_accounting;
+          Alcotest.test_case "guide warm-starts steps" `Slow test_transient_guide_is_used;
+          Alcotest.test_case "incompatible guide ignored" `Quick
+            test_transient_incompatible_guide_ignored;
         ] );
       ( "sweep",
         [
@@ -559,5 +645,6 @@ let () =
             prop_breakpoints_sorted_in_range;
             prop_resistive_network_maximum_principle;
             prop_rc_matches_analytic;
+            prop_bypass_matches_full_eval;
           ] );
     ]
