@@ -5,7 +5,7 @@
 DUNE ?= dune
 LINT := $(DUNE) exec --no-build bin/cmldft.exe -- lint
 
-.PHONY: all build test fmt lint-examples fixtures check perf clean
+.PHONY: all build test fmt lint-examples report-examples telemetry-overhead fixtures check perf clean
 
 all: build
 
@@ -27,6 +27,18 @@ fmt:
 lint-examples: build
 	$(LINT) --fail-on error examples/netlists/*.cir examples/netlists/*.bench
 
+# The committed run manifests must stay parseable by `cmldft report`
+# (they are the documented example of the manifest schema).
+report-examples: build
+	$(DUNE) exec --no-build bin/cmldft.exe -- report examples/manifests/*.json
+
+# Disabled-tracing cost gate: the telemetry span hooks on the Newton
+# hot path must amount to < 3% of the recorded chain-transient
+# baseline (computed from the measured per-hook cost, so it does not
+# flake on host drift; see bench/perf.ml).
+telemetry-overhead: build
+	$(DUNE) exec bench/main.exe -- overhead --json BENCH_spice.json
+
 # Regenerate the committed decks in examples/netlists/ from the cell
 # library (they are kept in git so `lint-examples` needs no codegen).
 fixtures: build
@@ -42,7 +54,7 @@ PERF_JOBS ?= 4
 perf: build
 	$(DUNE) exec bench/main.exe -- perf --jobs $(PERF_JOBS) --json BENCH_spice.json --check
 
-check: build test fmt lint-examples
+check: build test fmt lint-examples report-examples telemetry-overhead
 ifeq ($(CHECK_PERF),1)
 	$(MAKE) perf
 endif

@@ -8,7 +8,8 @@
      dune exec bench/main.exe -- list        # available names
      dune exec bench/main.exe -- perf        # bechamel kernel benchmarks
      dune exec bench/main.exe -- --jobs 4 campaign
-     dune exec bench/main.exe -- perf --json BENCH_spice.json *)
+     dune exec bench/main.exe -- perf --json BENCH_spice.json
+     dune exec bench/main.exe -- overhead --json BENCH_spice.json *)
 
 let experiments =
   [
@@ -75,12 +76,14 @@ let () =
   | [] -> run_all ()
   | [ "list" ] ->
       List.iter (fun (name, _) -> print_endline name) experiments;
-      print_endline "perf"
+      print_endline "perf";
+      print_endline "overhead"
   | names ->
       List.iter
         (fun name ->
           match name with
           | "perf" -> Perf.run ?json ~check ()
+          | "overhead" -> Perf.telemetry_overhead ?json ()
           | _ -> (
               match List.assoc_opt name experiments with
               | Some f -> f ()

@@ -127,7 +127,7 @@ let time_campaign ~jobs defects =
    instead of being overwritten.  A schema-1 file (single object) is
    migrated in place into the first history entry. *)
 
-module J = Json_lite
+module J = Cml_telemetry.Json
 
 let entry_json ~jobs ~kernels ~nunk ~(stats : E.solver_stats) ~campaign =
   let t1, tn, ndefects, summaries_match = campaign in
@@ -204,6 +204,52 @@ let regressions ~baseline ~kernels =
       | Some _ | None -> None)
     kernels
 
+(* The campaign probe is a whole parallel workload, not a single
+   kernel, so its wall clock carries scheduler and load noise the
+   best-of-N bechamel estimates do not; gate it more loosely. *)
+let campaign_limit = 1.5
+
+let entry_campaign entry =
+  match J.member "campaign" entry with
+  | Some c -> (
+      match (J.member "jobs1_s" c, J.member "jobsN_s" c) with
+      | Some (J.Num t1), Some (J.Num tn) -> Some (t1, tn)
+      | _ -> None)
+  | _ -> None
+
+let campaign_regressions ~baseline ~t1 ~tn =
+  match entry_campaign baseline with
+  | None -> []
+  | Some (o1, on) ->
+      List.filter_map
+        (fun (label, old_s, new_s) ->
+          if old_s > 0.0 && new_s > campaign_limit *. old_s then Some (label, old_s, new_s)
+          else None)
+        [ ("campaign probe jobs=1 (s)", o1, t1); ("campaign probe jobs=N (s)", on, tn) ]
+
+(* [cmldft report]-style trajectory table: every kernel AND the
+   campaign probe against the last committed history entry, so the
+   BENCH_spice.json history surfaces more than the kernel gate. *)
+let print_trajectory ~baseline ~kernels ~t1 ~tn =
+  print_endline "\ntiming trajectory vs last recorded entry:";
+  Printf.printf "  %-42s %14s %14s %7s\n" "probe" "baseline" "current" "ratio";
+  let row name old_v new_v =
+    Printf.printf "  %-42s %14.1f %14.1f %6.2fx\n" name old_v new_v
+      (if old_v > 0.0 then new_v /. old_v else 0.0)
+  in
+  let old_kernels = entry_kernels baseline in
+  List.iter
+    (fun (name, ns) ->
+      match List.assoc_opt name old_kernels with
+      | Some old_ns -> row (name ^ " (ns)") old_ns ns
+      | None -> Printf.printf "  %-42s %14s %14.1f\n" (name ^ " (ns)") "-" ns)
+    kernels;
+  match entry_campaign baseline with
+  | Some (o1, on) ->
+      row "campaign probe jobs=1 (s)" o1 t1;
+      row "campaign probe jobs=N (s)" on tn
+  | None -> print_endline "  (no campaign timing in last entry)"
+
 (* best-of-N over full bechamel passes: the per-pass OLS estimate is
    tight, but on a shared host the whole pass can be slowed by
    unrelated load, which would trip the 25% regression gate on noise.
@@ -265,27 +311,144 @@ let run ?json ?(check = false) () =
         in
         write_history path (history @ [ entry ]);
         Printf.printf "wrote %s (%d history entries)\n" path (List.length history + 1);
+        (match List.rev history with
+        | [] -> ()
+        | baseline :: _ -> print_trajectory ~baseline ~kernels ~t1 ~tn);
         if not check then false
         else begin
           match List.rev history with
           | [] ->
               print_endline "perf check: no baseline entry, nothing to compare against";
               false
-          | baseline :: _ -> (
-              match regressions ~baseline ~kernels with
-              | [] ->
-                  Util.verdict true
-                    (Printf.sprintf "no kernel regressed more than %.0f%% vs last entry"
-                       ((regression_limit -. 1.0) *. 100.0));
-                  false
-              | regs ->
-                  List.iter
-                    (fun (name, old_ns, ns) ->
-                      Printf.printf "  REGRESSION %-42s %.1f -> %.1f ns/run (%.2fx)\n" name
-                        old_ns ns (ns /. old_ns))
-                    regs;
-                  Util.verdict false "kernel performance regression against last entry";
-                  true)
+          | baseline :: _ ->
+              let regs = regressions ~baseline ~kernels in
+              let camp_regs = campaign_regressions ~baseline ~t1 ~tn in
+              List.iter
+                (fun (name, old_ns, ns) ->
+                  Printf.printf "  REGRESSION %-42s %.1f -> %.1f ns/run (%.2fx)\n" name old_ns
+                    ns (ns /. old_ns))
+                regs;
+              List.iter
+                (fun (name, old_s, s) ->
+                  Printf.printf "  REGRESSION %-42s %.2f -> %.2f s (%.2fx)\n" name old_s s
+                    (s /. old_s))
+                camp_regs;
+              let kernels_ok = regs = [] and campaign_ok = camp_regs = [] in
+              Util.verdict kernels_ok
+                (Printf.sprintf "no kernel regressed more than %.0f%% vs last entry"
+                   ((regression_limit -. 1.0) *. 100.0));
+              Util.verdict campaign_ok
+                (Printf.sprintf "campaign probe within %.0f%% of last entry"
+                   ((campaign_limit -. 1.0) *. 100.0));
+              not (kernels_ok && campaign_ok)
         end
   in
   if failed_check then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry overhead gate.
+
+   The claim to verify: with tracing disabled, the span hooks on the
+   Newton hot path cost one atomic load and a branch — i.e. the chain
+   transient stays within 3% of the pre-telemetry baseline.
+
+   Comparing a fresh wall clock against a number recorded in an
+   earlier session cannot carry a 3% gate: the recorded history shows
+   run-to-run host drift above 10% on this workload (see the
+   interleaving comment in [run]).  So the gate is computed, not
+   compared: measure the disabled start/finish pair directly (it is
+   deterministic — no I/O, no allocation), multiply by the number of
+   hook executions a chain transient performs, and assert that the
+   product is under 3% of the recorded baseline transient time.  The
+   current transient wall clock is printed alongside for context but
+   only gated at the regular [regression_limit]. *)
+
+let chain_transient_name = "kernels chain transient (2 ns)"
+
+let overhead_limit = 0.03
+
+(* minimum ns cost of a disabled [Trace.start]/[Trace.finish] pair *)
+let disabled_pair_ns () =
+  assert (not (Cml_telemetry.Trace.enabled ()));
+  let n = 2_000_000 in
+  let best = ref infinity in
+  for _ = 1 to 5 do
+    let t0 = Cml_telemetry.Clock.now_ns () in
+    for _ = 1 to n do
+      let tok = Cml_telemetry.Trace.start () in
+      Cml_telemetry.Trace.finish ~cat:"bench" "overhead_probe" tok
+    done;
+    let per =
+      Int64.to_float (Int64.sub (Cml_telemetry.Clock.now_ns ()) t0) /. float_of_int n
+    in
+    if per < !best then best := per
+  done;
+  !best
+
+(* min-of-[passes] wall clock of the standard chain transient, plus
+   its Newton iteration count (an upper bound on the number of
+   newton_solve spans: every call runs at least one iteration) *)
+let chain_transient_min ~passes =
+  let chain = Cml_cells.Chain.build ~stages:8 ~freq:100e6 () in
+  let net = chain.Cml_cells.Chain.builder.Cml_cells.Builder.net in
+  let cfg = T.config ~tstop:2e-9 ~max_step:10e-12 () in
+  ignore (T.run (E.compile net) net cfg);
+  let best = ref infinity and iters = ref 0 in
+  for _ = 1 to passes do
+    let sim = E.compile net in
+    let t0 = Cml_telemetry.Clock.now_ns () in
+    ignore (T.run sim net cfg);
+    let dt = Int64.to_float (Int64.sub (Cml_telemetry.Clock.now_ns ()) t0) in
+    if dt < !best then begin
+      best := dt;
+      iters := (E.solver_stats sim).E.newton_iters
+    end
+  done;
+  (!best, !iters)
+
+let telemetry_overhead ?json () =
+  Util.section "telemetry-overhead" "Disabled-tracing cost of the telemetry span hooks";
+  let baseline_ns =
+    match json with
+    | None -> None
+    | Some path -> (
+        match List.rev (load_history path) with
+        | [] -> None
+        | last :: _ -> List.assoc_opt chain_transient_name (entry_kernels last))
+  in
+  let pair = disabled_pair_ns () in
+  let run_ns, iters = chain_transient_min ~passes:10 in
+  (* hook executions per transient: one newton_solve pair per Newton
+     call (over-counted by iterations), the transient span, and the
+     handful of dc / sweep / metrics-publish sites *)
+  let hooks = iters + 16 in
+  let hook_ns = pair *. float_of_int hooks in
+  Printf.printf "  disabled start/finish pair      %10.2f ns\n" pair;
+  Printf.printf "  chain transient (min of 10)     %10.2f ms  (%d newton iterations)\n"
+    (run_ns /. 1e6) iters;
+  Printf.printf "  worst-case hook time            %10.2f us  (%d hooks)\n" (hook_ns /. 1e3)
+    hooks;
+  let denom, denom_what =
+    match baseline_ns with
+    | Some b ->
+        Printf.printf "  recorded baseline transient     %10.2f ms  (current/baseline %.2fx)\n"
+          (b /. 1e6) (run_ns /. b);
+        (b, "recorded baseline")
+    | None ->
+        print_endline "  (no recorded baseline entry; gating against the current run)";
+        (run_ns, "current run")
+  in
+  let frac = hook_ns /. denom in
+  Printf.printf "  hook share of the transient     %10.4f %%\n" (frac *. 100.0);
+  let ok = frac < overhead_limit in
+  Util.verdict ok
+    (Printf.sprintf "disabled tracing costs < %.0f%% of the %s chain transient"
+       (overhead_limit *. 100.0) denom_what);
+  let drifted =
+    match baseline_ns with Some b -> run_ns > regression_limit *. b | None -> false
+  in
+  if drifted then
+    Util.verdict false
+      (Printf.sprintf "chain transient slower than %.2fx the recorded baseline"
+         regression_limit);
+  if (not ok) || drifted then exit 1

@@ -48,6 +48,53 @@ let no_warm_start_arg =
   in
   Arg.(value & flag & info [ "no-warm-start" ] ~doc)
 
+(* telemetry flags, shared by the simulation commands *)
+
+let trace_arg =
+  let doc =
+    "Record spans/events while this command runs and write a Chrome-trace JSON file \
+     (loadable in chrome://tracing and Perfetto)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Write this command's metrics-registry movement as JSON." in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let manifest_arg =
+  let doc = "Write a run manifest (JSON) for $(b,cmldft report)." in
+  Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"FILE" ~doc)
+
+(* [with_telemetry ~trace ~metrics f]: enable tracing when [--trace]
+   was given, run [f], then drain the spans into the Chrome trace and
+   the registry delta into the metrics file.  The sinks are written
+   even when [f] raises, so a crashed campaign still leaves its
+   partial trace behind. *)
+let with_telemetry ~trace ~metrics f =
+  if trace <> None then Cml_telemetry.Trace.set_enabled true;
+  let snap0 = Cml_telemetry.Metrics.snapshot () in
+  let finish () =
+    (match trace with
+    | None -> ()
+    | Some path ->
+        let events = Cml_telemetry.Trace.drain () in
+        Cml_telemetry.Trace.write_chrome ~path events;
+        Printf.printf "wrote %s (%d events)\n" path (List.length events));
+    match metrics with
+    | None -> ()
+    | Some path ->
+        let delta = Cml_telemetry.Metrics.diff snap0 (Cml_telemetry.Metrics.snapshot ()) in
+        Cml_telemetry.Json.write_file path (Cml_telemetry.Metrics.to_json delta);
+        Printf.printf "wrote %s\n" path
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
 (* ------------------------------------------------------------------ *)
 (* chain: simulate the Figure-3 buffer chain *)
 
@@ -55,7 +102,8 @@ let chain_cmd =
   let stages_arg =
     Arg.(value & opt int 8 & info [ "n"; "stages" ] ~docv:"N" ~doc:"Chain length.")
   in
-  let run freq pipe stages csv =
+  let run freq pipe stages csv trace metrics =
+    with_telemetry ~trace ~metrics @@ fun () ->
     let chain = Cml_cells.Chain.build ~stages ~freq () in
     let golden = chain.Cml_cells.Chain.builder.B.net in
     let net =
@@ -85,7 +133,7 @@ let chain_cmd =
         Printf.printf "wrote %s\n" path
   in
   let info = Cmd.info "chain" ~doc:"Simulate the paper's buffer chain (optionally faulty)." in
-  Cmd.v info Term.(const run $ freq_arg $ pipe_arg $ stages_arg $ csv_arg)
+  Cmd.v info Term.(const run $ freq_arg $ pipe_arg $ stages_arg $ csv_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* detector: characterise a built-in detector *)
@@ -98,7 +146,8 @@ let detector_cmd =
   let tstop_arg =
     Arg.(value & opt float 120e-9 & info [ "t"; "tstop" ] ~docv:"S" ~doc:"Simulated time.")
   in
-  let run freq pipe variant tstop csv =
+  let run freq pipe variant tstop csv trace metrics =
+    with_telemetry ~trace ~metrics @@ fun () ->
     let proc = Cml_cells.Process.default in
     let v =
       match variant with
@@ -135,7 +184,9 @@ let detector_cmd =
     print_string (Cml_wave.Ascii_plot.render ~height:12 [ ("vout", r.Dft.Experiment.vout) ])
   in
   let info = Cmd.info "detector" ~doc:"Characterise a built-in amplitude detector." in
-  Cmd.v info Term.(const run $ freq_arg $ pipe_arg $ variant_arg $ tstop_arg $ csv_arg)
+  Cmd.v info
+    Term.(const run $ freq_arg $ pipe_arg $ variant_arg $ tstop_arg $ csv_arg $ trace_arg
+          $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sharing: the Figure-14 sweep *)
@@ -180,8 +231,9 @@ let campaign_cmd =
   let dut_arg =
     Arg.(value & opt string "x3" & info [ "dut" ] ~docv:"INST" ~doc:"Instance to attack.")
   in
-  let run freq dut jobs no_warm_start =
+  let run freq dut jobs no_warm_start trace metrics manifest =
     apply_jobs jobs;
+    with_telemetry ~trace ~metrics @@ fun () ->
     let golden = Cml_cells.Chain.build ~stages:8 ~freq () in
     let defects =
       Cml_defects.Sites.enumerate golden.Cml_cells.Chain.builder.B.net ~prefix:dut
@@ -189,7 +241,9 @@ let campaign_cmd =
     in
     Printf.printf "running %d defects on %s (%d jobs)...\n%!" (List.length defects) dut
       (Cml_runtime.Pool.default_jobs ());
-    let c = Cml_defects.Campaign.run ~freq ~warm_start:(not no_warm_start) ~defects () in
+    let c =
+      Cml_defects.Campaign.run ~freq ~warm_start:(not no_warm_start) ?manifest ~defects ()
+    in
     List.iter
       (fun e ->
         let open Cml_defects.Campaign in
@@ -204,10 +258,13 @@ let campaign_cmd =
               (if f.healed then " healed" else ""))
       c.Cml_defects.Campaign.entries;
     print_newline ();
-    List.iter (fun (k, v) -> Printf.printf "%-24s %d\n" k v) (Cml_defects.Campaign.summary c)
+    List.iter (fun (k, v) -> Printf.printf "%-24s %d\n" k v) (Cml_defects.Campaign.summary c);
+    match manifest with Some path -> Printf.printf "wrote %s\n" path | None -> ()
   in
   let info = Cmd.info "campaign" ~doc:"Defect-injection campaign (paper section 5)." in
-  Cmd.v info Term.(const run $ freq_arg $ dut_arg $ jobs_arg $ no_warm_start_arg)
+  Cmd.v info
+    Term.(const run $ freq_arg $ dut_arg $ jobs_arg $ no_warm_start_arg $ trace_arg
+          $ metrics_arg $ manifest_arg)
 
 (* ------------------------------------------------------------------ *)
 (* area *)
@@ -244,9 +301,12 @@ let mc_cmd =
   let gates_arg =
     Arg.(value & opt int 10 & info [ "g"; "gates" ] ~docv:"N" ~doc:"Monitored gates per block.")
   in
-  let run samples seed gates jobs no_warm_start =
+  let run samples seed gates jobs no_warm_start trace metrics manifest =
     apply_jobs jobs;
-    let r = Dft.Montecarlo.run ~n:gates ~warm_start:(not no_warm_start) ~samples ~seed () in
+    with_telemetry ~trace ~metrics @@ fun () ->
+    let r =
+      Dft.Montecarlo.run ~n:gates ~warm_start:(not no_warm_start) ?manifest ~samples ~seed ()
+    in
     Printf.printf "samples       : %d good + %d faulty\n" samples samples;
     Printf.printf "false alarms  : %d\n" r.Dft.Montecarlo.false_alarms;
     Printf.printf "missed        : %d\n" r.Dft.Montecarlo.missed;
@@ -254,10 +314,13 @@ let mc_cmd =
       (Cml_numerics.Stats.mean r.Dft.Montecarlo.good_vouts)
       (1e3 *. Cml_numerics.Stats.stddev r.Dft.Montecarlo.good_vouts)
       r.Dft.Montecarlo.good_vout_min;
-    Printf.printf "margin        : %.3f V\n" r.Dft.Montecarlo.separation
+    Printf.printf "margin        : %.3f V\n" r.Dft.Montecarlo.separation;
+    match manifest with Some path -> Printf.printf "wrote %s\n" path | None -> ()
   in
   let info = Cmd.info "mc" ~doc:"Monte-Carlo robustness of the DFT under process spread." in
-  Cmd.v info Term.(const run $ samples_arg $ seed_arg $ gates_arg $ jobs_arg $ no_warm_start_arg)
+  Cmd.v info
+    Term.(const run $ samples_arg $ seed_arg $ gates_arg $ jobs_arg $ no_warm_start_arg
+          $ trace_arg $ metrics_arg $ manifest_arg)
 
 (* ------------------------------------------------------------------ *)
 (* logic: run a .bench circuit through the digital test flow *)
@@ -478,6 +541,55 @@ let lint_cmd =
     Term.(const run $ files_arg $ json_arg $ fail_on_arg $ rules_arg $ max_share_arg)
 
 (* ------------------------------------------------------------------ *)
+(* report: render manifests / metrics files for humans *)
+
+let report_cmd =
+  let module Tel = Cml_telemetry in
+  let files_arg =
+    let doc =
+      "Files to report on: run manifests (from $(b,--manifest)) or metrics snapshots \
+       (from $(b,--metrics))."
+    in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE" ~doc)
+  in
+  let top_arg =
+    Arg.(value & opt int 5 & info [ "top" ] ~docv:"N" ~doc:"Slowest variants to list.")
+  in
+  let report_one ~top path =
+    let j = Tel.Json.parse_file path in
+    match Tel.Manifest.of_json j with
+    | m -> print_string (Tel.Manifest.render_text ~top m)
+    | exception Tel.Manifest.Bad_manifest _ ->
+        (* not a manifest: try it as a bare metrics snapshot *)
+        let snap = Tel.Metrics.of_json j in
+        if snap = [] then failwith "neither a run manifest nor a metrics snapshot"
+        else begin
+          Printf.printf "metrics snapshot: %s\n" path;
+          print_string (Tel.Metrics.render_text snap)
+        end
+  in
+  let run files top =
+    let fail = ref false in
+    List.iteri
+      (fun i path ->
+        if i > 0 then print_newline ();
+        match report_one ~top path with
+        | () -> ()
+        | exception Tel.Json.Parse_error (pos, msg) ->
+            Printf.eprintf "cmldft report: %s: JSON error at offset %d: %s\n" path pos msg;
+            fail := true
+        | exception (Sys_error msg | Failure msg) ->
+            Printf.eprintf "cmldft report: %s: %s\n" path msg;
+            fail := true)
+      files;
+    if !fail then exit 2
+  in
+  let doc = "Render run manifests and metrics snapshots (classification histogram, slowest \
+             variants, histogram percentiles, span summary)." in
+  let info = Cmd.info "report" ~doc in
+  Cmd.v info Term.(const run $ files_arg $ top_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc = "reproduction of 'DFT Method for CML Digital Circuits' (DATE 1999)" in
@@ -485,7 +597,7 @@ let main_cmd =
   Cmd.group info
     [
       chain_cmd; detector_cmd; sharing_cmd; campaign_cmd; area_cmd; mc_cmd; logic_cmd;
-      export_cmd; op_cmd; lint_cmd;
+      export_cmd; op_cmd; lint_cmd; report_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

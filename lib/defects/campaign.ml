@@ -25,7 +25,17 @@ type outcome = Measured of measurement * flags | Failed of string
 
 type entry = { defect : Defect.t; outcome : outcome }
 
-type t = { reference : measurement; entries : entry list }
+(* [variants] and [metrics] are telemetry riding alongside the
+   deterministic [entries]: per-variant wall time and solver stats for
+   the run manifest, and the metrics-registry movement over the whole
+   campaign.  They are kept out of [entry] so a parallel run's entries
+   stay structurally equal to a sequential run's. *)
+type t = {
+  reference : measurement;
+  entries : entry list;
+  variants : Cml_telemetry.Manifest.variant list;
+  metrics : Cml_telemetry.Metrics.snapshot;
+}
 
 (* As [measure_chain], but also hands back the raw trajectory so the
    campaign can use the fault-free run as a warm-start guide for every
@@ -114,10 +124,67 @@ let classify ~proc ~reference m =
     healed = degraded_at_dut && final_nominal;
   }
 
+(* Classification labels shared by [summary], the run manifest and
+   [cmldft report]: a manifest's class histogram must reproduce the
+   summary's counts label for label. *)
+let flag_labels f =
+  List.filter_map
+    (fun (label, on) -> if on then Some label else None)
+    [
+      ("stuck-at", f.stuck);
+      ("excessive-excursion", f.excessive_excursion);
+      ("reduced-swing", f.reduced_swing);
+      ("delay-detectable", f.delay_detectable);
+      ("iddq-detectable", f.iddq_detectable);
+      ("healed", f.healed);
+    ]
+
+let variant_of_entry entry ~seconds ~stats =
+  let classes, meas =
+    match entry.outcome with
+    | Failed _ -> ([ "failed" ], [])
+    | Measured (m, fl) ->
+        ( flag_labels fl,
+          [
+            ("dut_vlow", m.dut_vlow);
+            ("dut_swing", m.dut_swing);
+            ("final_swing", m.final_swing);
+            ("supply_current", m.supply_current);
+          ] )
+  in
+  let solver =
+    match stats with
+    | None -> []
+    | Some (s : T.stats) ->
+        [
+          ("accepted_steps", float_of_int s.T.accepted_steps);
+          ("rejected_steps", float_of_int s.T.rejected_steps);
+          ("lte_rejections", float_of_int s.T.lte_rejections);
+          ("newton_iters", float_of_int s.T.newton_iters);
+          ("device_loads", float_of_int s.T.device_loads);
+          ("bypassed_loads", float_of_int s.T.bypassed_loads);
+          ("guided_seeds", float_of_int s.T.guided_seeds);
+          ("cold_fallbacks", float_of_int s.T.cold_fallbacks);
+        ]
+  in
+  {
+    Cml_telemetry.Manifest.v_name = Defect.describe entry.defect;
+    v_classes = classes;
+    v_seconds = seconds;
+    v_metrics = meas @ solver;
+  }
+
+let to_manifest ?seed ?(options = []) t =
+  let spans = Cml_telemetry.Trace.aggregate (Cml_telemetry.Trace.peek ()) in
+  Cml_telemetry.Manifest.create ?seed ~options ~variants:t.variants ~metrics:t.metrics ~spans
+    ~kind:"campaign" ()
+
 let run ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?(stages = 8) ?dut ?tstop ?jobs
-    ?(preflight = true) ?(warm_start = true) ~defects () =
+    ?(preflight = true) ?(warm_start = true) ?manifest ~defects () =
   let dut = match dut with Some d -> d | None -> Cml_cells.Chain.dut_stage in
   let tstop = match tstop with Some t -> t | None -> 2.0 /. freq in
+  let snap0 = Cml_telemetry.Metrics.snapshot () in
+  let span = Cml_telemetry.Trace.start () in
   let chain = Cml_cells.Chain.build ~proc ~stages ~freq () in
   let golden = chain.Cml_cells.Chain.builder.Cml_cells.Builder.net in
   if preflight then
@@ -133,18 +200,55 @@ let run ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?(stages = 8) ?dut ?
      whenever the variant diverges from the nominal path *)
   let guide = if warm_start then Some ref_traj else None in
   let run_one defect =
-    match Inject.apply golden defect with
-    | exception (Not_found | Invalid_argument _) ->
-        { defect; outcome = Failed "injection failed" }
-    | faulty -> (
-        match measure_chain ?guide ~breakpoints chain faulty ~freq ~tstop ~dut with
-        | m -> { defect; outcome = Measured (m, classify ~proc ~reference m) }
-        | exception E.No_convergence msg -> { defect; outcome = Failed msg })
+    let tok = Cml_telemetry.Trace.start () in
+    let t0 = Cml_telemetry.Clock.now_ns () in
+    let entry, stats =
+      match Inject.apply golden defect with
+      | exception (Not_found | Invalid_argument _) ->
+          ({ defect; outcome = Failed "injection failed" }, None)
+      | faulty -> (
+          match measure_chain_full ?guide ~breakpoints chain faulty ~freq ~tstop ~dut with
+          | m, r ->
+              ({ defect; outcome = Measured (m, classify ~proc ~reference m) }, Some r.T.stats)
+          | exception E.No_convergence msg -> ({ defect; outcome = Failed msg }, None))
+    in
+    let seconds = Cml_telemetry.Clock.ns_to_s (Int64.sub (Cml_telemetry.Clock.now_ns ()) t0) in
+    Cml_telemetry.Trace.finish ~cat:"campaign"
+      ~args:
+        (if tok >= 0L then [ ("defect", Cml_telemetry.Trace.S (Defect.describe defect)) ]
+         else [])
+      "variant" tok;
+    (entry, variant_of_entry entry ~seconds ~stats)
   in
   (* one compiled sim per defect ([Inject.apply] copies the netlist,
-     [measure_chain] compiles its own engine), so tasks share only
-     read-only state and can run on worker domains *)
-  { reference; entries = Cml_runtime.Pool.parallel_list_map ?jobs run_one defects }
+     [measure_chain_full] compiles its own engine), so tasks share
+     only read-only state and can run on worker domains *)
+  let results = Cml_runtime.Pool.parallel_list_map ?jobs run_one defects in
+  Cml_telemetry.Trace.finish ~cat:"campaign" "campaign" span;
+  let metrics = Cml_telemetry.Metrics.diff snap0 (Cml_telemetry.Metrics.snapshot ()) in
+  let t =
+    {
+      reference;
+      entries = List.map fst results;
+      variants = List.map snd results;
+      metrics;
+    }
+  in
+  (match manifest with
+  | None -> ()
+  | Some path ->
+      let options =
+        [
+          ("freq", Printf.sprintf "%g" freq);
+          ("stages", string_of_int stages);
+          ("dut", string_of_int dut);
+          ("tstop", Printf.sprintf "%g" tstop);
+          ("warm_start", string_of_bool warm_start);
+          ("defects", string_of_int (List.length defects));
+        ]
+      in
+      Cml_telemetry.Manifest.write ~path (to_manifest ~options t));
+  t
 
 let summary t =
   let count p = List.length (List.filter p t.entries) in

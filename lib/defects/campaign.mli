@@ -36,6 +36,12 @@ type entry = { defect : Defect.t; outcome : outcome }
 type t = {
   reference : measurement;  (** fault-free chain measurement *)
   entries : entry list;
+  variants : Cml_telemetry.Manifest.variant list;
+      (** per-variant telemetry (wall time, transient stats), aligned
+          with [entries]; kept outside [entry] so parallel and
+          sequential runs produce structurally equal entries *)
+  metrics : Cml_telemetry.Metrics.snapshot;
+      (** metrics-registry movement over this campaign *)
 }
 
 val measure_chain :
@@ -59,6 +65,7 @@ val run :
   ?jobs:int ->
   ?preflight:bool ->
   ?warm_start:bool ->
+  ?manifest:string ->
   defects:Defect.t list ->
   unit ->
   t
@@ -80,7 +87,15 @@ val run :
     the nominal operating point, each step's Newton from the nearest
     nominal snapshot); classification results are unaffected — a
     variant that rejects the nominal seed falls back to cold
-    seeding. *)
+    seeding.
+
+    [manifest] writes a {!Cml_telemetry.Manifest} JSON document to the
+    given path after the run (options, per-variant classification and
+    solver metrics, registry delta, span summary). *)
+
+val to_manifest : ?seed:int -> ?options:(string * string) list -> t -> Cml_telemetry.Manifest.t
+(** The run manifest [?manifest] writes; exposed so callers can stamp
+    their own options / seed and choose the path. *)
 
 val classify :
   proc:Cml_cells.Process.t -> reference:measurement -> measurement -> flags

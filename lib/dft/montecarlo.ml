@@ -1,4 +1,5 @@
 module E = Cml_spice.Engine
+module Tel = Cml_telemetry
 
 type result = {
   samples : int;
@@ -10,10 +11,21 @@ type result = {
   separation : float;
   good_vouts : float array;
   bad_vouts : float array;
+  sample_reports : Tel.Manifest.variant list;
+  metrics : Tel.Metrics.snapshot;
 }
 
+let m_samples = Tel.Metrics.counter "montecarlo.samples"
+let m_sample_seconds = Tel.Metrics.histogram "montecarlo.sample_seconds"
+
+let to_manifest ?seed ?(options = []) r =
+  let spans = Tel.Trace.aggregate (Tel.Trace.peek ()) in
+  Tel.Manifest.create ?seed ~options ~variants:r.sample_reports ~metrics:r.metrics ~spans
+    ~kind:"montecarlo" ()
+
 let run ?(proc = Cml_cells.Process.default) ?(spec = Cml_defects.Variation.default_spec)
-    ?(n = 10) ?defect ?(multi_emitter = true) ?jobs ?(warm_start = true) ~samples ~seed () =
+    ?(n = 10) ?defect ?(multi_emitter = true) ?jobs ?(warm_start = true) ?manifest ~samples
+    ~seed () =
   let defect =
     match defect with
     | Some d -> d
@@ -21,6 +33,8 @@ let run ?(proc = Cml_cells.Process.default) ?(spec = Cml_defects.Variation.defau
         Cml_defects.Defect.Pipe
           { device = Printf.sprintf "x%d.q3" (((n - 1) / 2) + 1); r = 4e3 }
   in
+  let snap0 = Tel.Metrics.snapshot () in
+  let span = Tel.Trace.start () in
   let built = Sharing.build ~proc ~multi_emitter ~n () in
   let golden = built.Sharing.builder.Cml_cells.Builder.net in
   let faulty = Cml_defects.Inject.apply golden defect in
@@ -43,6 +57,7 @@ let run ?(proc = Cml_cells.Process.default) ?(spec = Cml_defects.Variation.defau
       | Some x0 when Array.length x0 = E.unknown_count sim -> E.dc_from sim x0
       | Some _ | None -> E.dc_operating_point sim
     in
+    E.publish_metrics sim;
     let vfb = E.voltage x built.Sharing.readout.Readout.vfb in
     let vout = E.voltage x built.Sharing.readout.Readout.vout in
     (vfb > decision, vout)
@@ -51,27 +66,69 @@ let run ?(proc = Cml_cells.Process.default) ?(spec = Cml_defects.Variation.defau
      and compiles a fresh sim, so samples are independent tasks *)
   let outcomes =
     Cml_runtime.Pool.parallel_map ?jobs
-      (fun k -> (measure golden x_good k, measure faulty x_bad k))
+      (fun k ->
+        let tok = Tel.Trace.start () in
+        let t0 = Tel.Clock.now_ns () in
+        let good = measure golden x_good k and bad = measure faulty x_bad k in
+        let seconds = Tel.Clock.ns_to_s (Int64.sub (Tel.Clock.now_ns ()) t0) in
+        Tel.Metrics.incr m_samples;
+        Tel.Metrics.observe m_sample_seconds seconds;
+        Tel.Trace.finish ~cat:"montecarlo"
+          ~args:(if tok >= 0L then [ ("sample", Tel.Trace.I k) ] else [])
+          "sample" tok;
+        (good, bad, seconds))
       (Array.init samples Fun.id)
   in
   let false_alarms = ref 0 and missed = ref 0 in
   let good_vouts = Array.make samples 0.0 and bad_vouts = Array.make samples 0.0 in
+  let sample_reports = ref [] in
   Array.iteri
-    (fun k ((flagged_good, vout_good), (flagged_bad, vout_bad)) ->
+    (fun k ((flagged_good, vout_good), (flagged_bad, vout_bad), seconds) ->
       if flagged_good then incr false_alarms;
       good_vouts.(k) <- vout_good;
       if not flagged_bad then incr missed;
-      bad_vouts.(k) <- vout_bad)
+      bad_vouts.(k) <- vout_bad;
+      let classes =
+        (if flagged_good then [ "false-alarm" ] else [])
+        @ if flagged_bad then [ "detected" ] else [ "missed" ]
+      in
+      sample_reports :=
+        {
+          Tel.Manifest.v_name = Printf.sprintf "sample %d" k;
+          v_classes = classes;
+          v_seconds = seconds;
+          v_metrics = [ ("good_vout", vout_good); ("bad_vout", vout_bad) ];
+        }
+        :: !sample_reports)
     outcomes;
+  Tel.Trace.finish ~cat:"montecarlo" "montecarlo" span;
+  let metrics = Tel.Metrics.diff snap0 (Tel.Metrics.snapshot ()) in
   let gmin = Cml_numerics.Stats.minimum good_vouts in
-  {
-    samples;
-    false_alarms = !false_alarms;
-    missed = !missed;
-    good_vout_min = gmin;
-    good_vout_max = Cml_numerics.Stats.maximum good_vouts;
-    bad_vout_max = Cml_numerics.Stats.maximum bad_vouts;
-    separation = gmin -. Cml_numerics.Stats.maximum bad_vouts;
-    good_vouts;
-    bad_vouts;
-  }
+  let r =
+    {
+      samples;
+      false_alarms = !false_alarms;
+      missed = !missed;
+      good_vout_min = gmin;
+      good_vout_max = Cml_numerics.Stats.maximum good_vouts;
+      bad_vout_max = Cml_numerics.Stats.maximum bad_vouts;
+      separation = gmin -. Cml_numerics.Stats.maximum bad_vouts;
+      good_vouts;
+      bad_vouts;
+      sample_reports = List.rev !sample_reports;
+      metrics;
+    }
+  in
+  (match manifest with
+  | None -> ()
+  | Some path ->
+      let options =
+        [
+          ("n", string_of_int n);
+          ("samples", string_of_int samples);
+          ("defect", Cml_defects.Defect.describe defect);
+          ("warm_start", string_of_bool warm_start);
+        ]
+      in
+      Tel.Manifest.write ~path (to_manifest ~seed ~options r));
+  r

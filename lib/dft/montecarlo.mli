@@ -14,6 +14,11 @@ type result = {
   separation : float;  (** good_vout_min - bad_vout_max: the decision margin *)
   good_vouts : float array;  (** every fault-free sample, for statistics *)
   bad_vouts : float array;
+  sample_reports : Cml_telemetry.Manifest.variant list;
+      (** per-sample telemetry (classification, vouts, wall time) in
+          sample order, for the run manifest *)
+  metrics : Cml_telemetry.Metrics.snapshot;
+      (** metrics-registry movement over this run *)
 }
 
 val run :
@@ -24,6 +29,7 @@ val run :
   ?multi_emitter:bool ->
   ?jobs:int ->
   ?warm_start:bool ->
+  ?manifest:string ->
   samples:int ->
   seed:int ->
   unit ->
@@ -39,4 +45,10 @@ val run :
     Unless [warm_start] is [false], the unperturbed fault-free and
     faulty netlists are solved once and every sample's Newton starts
     from the matching nominal operating point, falling back to the
-    cold homotopies when a sample diverges. *)
+    cold homotopies when a sample diverges.
+
+    [manifest] writes a {!Cml_telemetry.Manifest} JSON document to the
+    given path after the run. *)
+
+val to_manifest :
+  ?seed:int -> ?options:(string * string) list -> result -> Cml_telemetry.Manifest.t

@@ -172,9 +172,19 @@ let map t ?jobs f arr =
      which turns "--jobs 4" on a 1-core host into a large slowdown
      rather than a wash *)
   let cores = Domain.recommended_domain_count () in
+  if jobs > cores then
+    Cml_telemetry.Trace.warn_once ~key:"pool.jobs_exceed_cores"
+      (Printf.sprintf
+         "%d jobs requested (--jobs / %s) but only %d cores are available; capping active \
+          domains at %d"
+         jobs env_var cores cores);
   let active = min (min jobs n) (min (t.workers + 1) cores) in
   if active <= 1 then Array.map f arr
   else begin
+    if Cml_telemetry.Trace.enabled () then
+      Cml_telemetry.Trace.instant ~cat:"pool"
+        ~args:[ ("total", Cml_telemetry.Trace.I n); ("active", Cml_telemetry.Trace.I active) ]
+        "pool.batch";
     let cells = Array.make n Pending in
     let failed = Atomic.make false in
     let run i =

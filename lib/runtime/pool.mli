@@ -11,7 +11,12 @@
     explicit argument, then {!set_default_jobs} (the [--jobs] command
     line flag), then the [CML_DFT_JOBS] environment variable, then
     [Domain.recommended_domain_count () - 1] (at least 1).  [jobs = 1]
-    is an exact sequential fallback. *)
+    is an exact sequential fallback.
+
+    Requesting more jobs than the machine has cores still caps the
+    active domain count at the core count, but no longer silently: the
+    first such batch prints a one-shot warning and records a telemetry
+    event (see {!Cml_telemetry.Trace.warn_once}). *)
 
 val env_var : string
 (** ["CML_DFT_JOBS"]. *)

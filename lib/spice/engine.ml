@@ -543,6 +543,45 @@ let solver_stats sim =
     bypassed_loads = sim.n_bypassed;
   }
 
+let zero_stats =
+  {
+    symbolic_factorizations = 0;
+    numeric_refactorizations = 0;
+    newton_iters = 0;
+    device_loads = 0;
+    bypassed_loads = 0;
+  }
+
+let lu_fill sim =
+  match sim.backend with
+  | BDense _ | BSparse { lu = None; _ } -> None
+  | BSparse { lu = Some f; _ } -> Some (Cml_numerics.Sparse_lu.lu_nnz f)
+
+(* Global metrics-registry handles.  Per-iteration counting stays in
+   the plain mutable [sim] fields above (no atomics on the Newton
+   loop); [publish_metrics] folds a sim's counter deltas into the
+   registry at run boundaries — end of a transient, a sweep, a
+   Monte-Carlo sample. *)
+module M = Cml_telemetry.Metrics
+
+let m_newton_iters = M.counter "solver.newton_iters"
+let m_symbolic = M.counter "solver.symbolic_factorizations"
+let m_numeric = M.counter "solver.numeric_refactorizations"
+let m_device_loads = M.counter "engine.device_loads"
+let m_bypassed = M.counter "engine.bypassed_loads"
+let m_lu_fill = M.gauge "solver.lu_fill_nnz"
+
+let publish_metrics ?(since = zero_stats) sim =
+  let now = solver_stats sim in
+  M.add m_newton_iters (now.newton_iters - since.newton_iters);
+  M.add m_symbolic (now.symbolic_factorizations - since.symbolic_factorizations);
+  M.add m_numeric (now.numeric_refactorizations - since.numeric_refactorizations);
+  M.add m_device_loads (now.device_loads - since.device_loads);
+  M.add m_bypassed (now.bypassed_loads - since.bypassed_loads);
+  match lu_fill sim with
+  | Some (nl, nu) -> M.set m_lu_fill (float_of_int (nl + nu))
+  | None -> ()
+
 let converged sim x x' =
   let ok = ref true in
   for i = 0 to sim.nunk - 1 do
@@ -569,6 +608,10 @@ let set_junction_states sim x =
    is allocated per iteration, only the converged solution is copied
    out once on success. *)
 let newton sim ~time ~integ ?(srcscale = 1.0) ?(gshunt = 0.0) x0 =
+  (* token span, not [with_span]: this is the inner hot path, and the
+     token API keeps the disabled cost to one atomic load + branch
+     with no closure or argument allocation *)
+  let tok = Cml_telemetry.Trace.start () in
   set_junction_states sim x0;
   let x = sim.ws_x and xn = sim.ws_xnew in
   Array.blit x0 0 x 0 sim.nunk;
@@ -589,7 +632,9 @@ let newton sim ~time ~integ ?(srcscale = 1.0) ?(gshunt = 0.0) x0 =
           end
     end
   in
-  iterate 0
+  let result = iterate 0 in
+  Cml_telemetry.Trace.finish ~cat:"solver" "newton_solve" tok;
+  result
 
 let zeros sim = Array.make sim.nunk 0.0
 
@@ -635,17 +680,19 @@ let dc_homotopy sim ~time x0 =
           src_walk (zeros sim) 0.0 0.1 60)
 
 let dc_operating_point ?(time = 0.0) sim =
-  match dc_homotopy sim ~time (zeros sim) with
-  | Some x -> x
-  | None -> raise (No_convergence "dc operating point")
-
-let dc_from ?(time = 0.0) sim x0 =
-  match newton sim ~time ~integ:Dcop x0 with
-  | Some (x, _) -> x
-  | None -> (
+  Cml_telemetry.Trace.with_span ~cat:"sim" "dc" (fun () ->
       match dc_homotopy sim ~time (zeros sim) with
       | Some x -> x
-      | None -> raise (No_convergence "dc continuation"))
+      | None -> raise (No_convergence "dc operating point"))
+
+let dc_from ?(time = 0.0) sim x0 =
+  Cml_telemetry.Trace.with_span ~cat:"sim" "dc" (fun () ->
+      match newton sim ~time ~integ:Dcop x0 with
+      | Some (x, _) -> x
+      | None -> (
+          match dc_homotopy sim ~time (zeros sim) with
+          | Some x -> x
+          | None -> raise (No_convergence "dc continuation")))
 
 let init_capacitor_states sim x =
   Array.iter

@@ -126,6 +126,21 @@ val solver_stats : sim -> solver_stats
 (** Cumulative counters since {!compile}; the factorization counters
     are zero for the dense backend. *)
 
+val zero_stats : solver_stats
+(** All-zero record, the [~since] of a fresh sim. *)
+
+val lu_fill : sim -> (int * int) option
+(** [(nnz L, nnz U)] of the cached sparse LU factor, [None] for the
+    dense backend or before the first factorization. *)
+
+val publish_metrics : ?since:solver_stats -> sim -> unit
+(** Fold this sim's counter movement since [since] (default: a fresh
+    sim) into the global {!Cml_telemetry.Metrics} registry
+    ([solver.newton_iters], [engine.device_loads],
+    [engine.bypassed_loads], [solver.*_refactorizations],
+    [solver.lu_fill_nnz]).  Called at run boundaries, never inside the
+    Newton loop. *)
+
 val ac_system :
   sim -> float array -> (int * int * float) list * (int * int * float) list
 (** Small-signal system at the given (converged) operating point:

@@ -4,6 +4,8 @@
    single compiled sim serves every point and warm starts carry the
    hysteresis state. *)
 
+let m_points = Cml_telemetry.Metrics.counter "sweep.points"
+
 let vsource_sweep_full ?options ?(warm_start = true) net ~source ~values =
   let net = Netlist.copy net in
   (match Netlist.get_device net source with
@@ -16,6 +18,8 @@ let vsource_sweep_full ?options ?(warm_start = true) net ~source ~values =
   let sim = Engine.compile ?options net in
   let n = Array.length values in
   let out = Array.make n [||] in
+  let stats0 = Engine.solver_stats sim in
+  let span = Cml_telemetry.Trace.start () in
   let prev = ref None in
   for i = 0 to n - 1 do
     let time = float_of_int i in
@@ -27,6 +31,9 @@ let vsource_sweep_full ?options ?(warm_start = true) net ~source ~values =
     out.(i) <- x;
     if warm_start then prev := Some x
   done;
+  Cml_telemetry.Metrics.add m_points n;
+  Engine.publish_metrics ~since:stats0 sim;
+  Cml_telemetry.Trace.finish ~cat:"sim" "sweep" span;
   (sim, out)
 
 let vsource_sweep ?options ?warm_start net ~source ~values =

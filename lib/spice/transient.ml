@@ -14,10 +14,12 @@ let config ?max_step ?min_step ?(lte_control = true) ?(record_every = 1) ~tstop 
 type stats = {
   accepted_steps : int;
   rejected_steps : int;
+  lte_rejections : int;
   newton_iters : int;
   device_loads : int;
   bypassed_loads : int;
   guided_seeds : int;
+  cold_fallbacks : int;
 }
 
 type result = {
@@ -79,6 +81,30 @@ let recorder_push r x =
 let recorder_rows r =
   Array.init r.rlen (fun k -> Array.sub r.rbuf (k * r.rnunk) r.rnunk)
 
+(* Run-boundary telemetry: one registry publish and one span per
+   transient run — nothing inside the step loop. *)
+module M = Cml_telemetry.Metrics
+
+let m_runs = M.counter "transient.runs"
+let m_accepted = M.counter "transient.accepted_steps"
+let m_rejected = M.counter "transient.rejected_steps"
+let m_lte = M.counter "transient.lte_rejections"
+let m_guided = M.counter "transient.guided_seeds"
+let m_cold = M.counter "transient.cold_fallbacks"
+let m_seconds = M.histogram "transient.run_seconds"
+
+let publish_run ~stats0 ~t_begin sim stats span =
+  M.incr m_runs;
+  M.add m_accepted stats.accepted_steps;
+  M.add m_rejected stats.rejected_steps;
+  M.add m_lte stats.lte_rejections;
+  M.add m_guided stats.guided_seeds;
+  M.add m_cold stats.cold_fallbacks;
+  M.observe m_seconds
+    (Cml_telemetry.Clock.ns_to_s (Int64.sub (Cml_telemetry.Clock.now_ns ()) t_begin));
+  Engine.publish_metrics ~since:stats0 sim;
+  Cml_telemetry.Trace.finish ~cat:"sim" "transient" span
+
 (* Index of the guide sample closest to [t] (guide times are sorted). *)
 let nearest_index times t =
   let n = Array.length times in
@@ -109,7 +135,13 @@ let run ?x0 ?guide ?breakpoints sim net cfg =
     | Some _ | None -> None
   in
   let stats0 = Engine.solver_stats sim in
-  let accepted_steps = ref 0 and rejected_steps = ref 0 and guided_seeds = ref 0 in
+  let t_begin = Cml_telemetry.Clock.now_ns () in
+  let span = Cml_telemetry.Trace.start () in
+  let accepted_steps = ref 0
+  and rejected_steps = ref 0
+  and lte_rejections = ref 0
+  and guided_seeds = ref 0
+  and cold_fallbacks = ref 0 in
   let x_start =
     match x0 with
     | Some x -> x
@@ -122,7 +154,9 @@ let run ?x0 ?guide ?breakpoints sim net cfg =
             | Some (x, _) ->
                 incr guided_seeds;
                 x
-            | None -> Engine.dc_operating_point ~time:0.0 sim)
+            | None ->
+                incr cold_fallbacks;
+                Engine.dc_operating_point ~time:0.0 sim)
         | None -> Engine.dc_operating_point ~time:0.0 sim)
   in
   Engine.init_capacitor_states sim x_start;
@@ -159,21 +193,24 @@ let run ?x0 ?guide ?breakpoints sim net cfg =
     let trap = (not !force_be) && !h_prev > 0.0 in
     let geq = if trap then 2.0 /. h_step else 1.0 /. h_step in
     let integ = Engine.Tran { geq; trap } in
-    let attempt =
+    (* [attempt_guided] travels alongside the solution so [guided_seeds]
+       only counts *accepted* guided steps: an LTE rejection retries
+       the same instant with a smaller step, and counting each retry
+       used to overstate how much work the guide saved *)
+    let attempt, attempt_guided =
       match guide with
       | Some (gtimes, gdata) -> begin
           let seed = gdata.(nearest_index gtimes t_next) in
           match Engine.newton sim ~time:t_next ~integ seed with
-          | Some _ as ok ->
-              incr guided_seeds;
-              ok
+          | Some _ as ok -> (ok, true)
           | None ->
               (* nominal trajectory too far from this variant at this
                  instant: fall back to the classic cold seed (the
                  previous accepted point) before giving up the step *)
-              Engine.newton sim ~time:t_next ~integ !x_n
+              incr cold_fallbacks;
+              (Engine.newton sim ~time:t_next ~integ !x_n, false)
         end
-      | None -> Engine.newton sim ~time:t_next ~integ !x_n
+      | None -> (Engine.newton sim ~time:t_next ~integ !x_n, false)
     in
     let accepted =
       match attempt with
@@ -185,12 +222,17 @@ let run ?x0 ?guide ?breakpoints sim net cfg =
             for i = 0 to nunk - 1 do
               xpred.(i) <- xn.(i) +. ((xn.(i) -. xnm1.(i)) *. scale)
             done;
-            if lte_ok opts xpred x then Some x else None
+            if lte_ok opts xpred x then Some x
+            else begin
+              incr lte_rejections;
+              None
+            end
           end
           else Some x
     in
     match accepted with
     | Some x ->
+        if attempt_guided then incr guided_seeds;
         Engine.update_capacitor_states sim x ~h:h_step ~trap;
         x_nm1 := !x_n;
         x_n := x;
@@ -223,12 +265,15 @@ let run ?x0 ?guide ?breakpoints sim net cfg =
     {
       accepted_steps = !accepted_steps;
       rejected_steps = !rejected_steps;
+      lte_rejections = !lte_rejections;
       newton_iters = stats1.Engine.newton_iters - stats0.Engine.newton_iters;
       device_loads = stats1.Engine.device_loads - stats0.Engine.device_loads;
       bypassed_loads = stats1.Engine.bypassed_loads - stats0.Engine.bypassed_loads;
       guided_seeds = !guided_seeds;
+      cold_fallbacks = !cold_fallbacks;
     }
   in
+  publish_run ~stats0 ~t_begin sim stats span;
   { times = Cml_numerics.Fbuf.to_array times; data = recorder_rows rec_; sim; stats }
 
 let node_trace r nd =

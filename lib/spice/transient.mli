@@ -22,14 +22,24 @@ type stats = {
   accepted_steps : int;  (** committed time steps *)
   rejected_steps : int;
       (** steps retried after a Newton failure or an LTE rejection *)
+  lte_rejections : int;
+      (** of [rejected_steps], how many were LTE rejections (the
+          Newton solve converged but the predictor band failed) *)
   newton_iters : int;  (** Newton iterations spent in this run *)
   device_loads : int;  (** junction-device load opportunities *)
   bypassed_loads : int;
       (** of [device_loads], how many replayed cached stamps
           ({!Engine.options.bypass}) *)
   guided_seeds : int;
-      (** Newton solves successfully seeded from the [?guide]
-          trajectory (0 when no guide was given) *)
+      (** accepted steps whose Newton solve was seeded from the
+          [?guide] trajectory (0 when no guide was given).  Retries of
+          a rejected instant do not inflate this count; the work spent
+          when a guide seed diverges shows up in [cold_fallbacks]
+          instead. *)
+  cold_fallbacks : int;
+      (** guide-seeded Newton solves (including the initial DC solve)
+          that diverged and fell back to the cold seed / homotopy
+          ladder *)
 }
 
 type result = {

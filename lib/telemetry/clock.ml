@@ -1,0 +1,17 @@
+(* Monotonic time for span timestamps.  [Monotonic_clock] (a tiny C
+   stub shipped with bechamel, already a build dependency) reads
+   CLOCK_MONOTONIC in nanoseconds without allocating, so timestamps
+   are immune to NTP steps and cheap enough for per-Newton-solve
+   spans.  All spans across all domains share one process epoch so a
+   merged trace has a single time axis. *)
+
+let now_ns () : int64 = Monotonic_clock.now ()
+
+(* captured at module initialisation, i.e. before any span can start *)
+let epoch = now_ns ()
+
+let since_epoch_ns () = Int64.sub (now_ns ()) epoch
+
+let ns_to_us ns = Int64.to_float ns /. 1e3
+
+let ns_to_s ns = Int64.to_float ns /. 1e9

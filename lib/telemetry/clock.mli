@@ -1,0 +1,15 @@
+(** Monotonic nanosecond clock (CLOCK_MONOTONIC via bechamel's stub)
+    with a process-wide epoch, so spans from every domain share one
+    time axis. *)
+
+val now_ns : unit -> int64
+(** Raw monotonic reading, ns.  Does not allocate. *)
+
+val epoch : int64
+(** The reading captured at module initialisation. *)
+
+val since_epoch_ns : unit -> int64
+(** [now_ns () - epoch]. *)
+
+val ns_to_us : int64 -> float
+val ns_to_s : int64 -> float

@@ -1,9 +1,9 @@
-(* A deliberately small JSON reader/writer for the benchmark history
-   file.  The repo takes no JSON dependency; the only documents this
-   must handle are the ones [Perf.write_json] itself emits (plus the
-   schema-1 single-object file from before the history format), so
-   the parser favours clarity over speed and raises [Failure] with a
-   byte offset on anything malformed. *)
+(* A deliberately small JSON reader/writer shared by every telemetry
+   sink (Chrome traces, metrics dumps, run manifests) and the
+   benchmark history file.  The repo takes no JSON dependency; the
+   only documents this must handle are the ones the library itself
+   emits, so the parser favours clarity over speed and raises
+   {!Parse_error} with a byte offset on anything malformed. *)
 
 type t =
   | Null
@@ -223,6 +223,39 @@ let to_string v =
   let buf = Buffer.create 1024 in
   write buf ~indent:0 v;
   Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* single-line rendering, for JSONL sinks and large event arrays
+   where the pretty-printer's one-line-per-scalar layout would triple
+   the file size *)
+let rec write_compact buf v =
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Num f -> Buffer.add_string buf (number f)
+  | Str s -> Buffer.add_string buf (escape s)
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          write_compact buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj members ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (escape k);
+          Buffer.add_char buf ':';
+          write_compact buf item)
+        members;
+      Buffer.add_char buf '}'
+
+let to_compact_string v =
+  let buf = Buffer.create 256 in
+  write_compact buf v;
   Buffer.contents buf
 
 let write_file path v =

@@ -1,0 +1,36 @@
+(** Minimal JSON reader/writer shared by the telemetry sinks (Chrome
+    traces, metrics dumps, run manifests) and the benchmark history
+    file.  Handles exactly the documents this library emits; numbers
+    are floats, strings are byte strings with ASCII escapes. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of int * string
+(** Byte offset and message of the first malformed construct. *)
+
+val parse : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val parse_file : string -> t
+(** @raise Parse_error on malformed input, [Sys_error] on IO. *)
+
+val to_string : t -> string
+(** Pretty-printed, 2-space indent, trailing newline. *)
+
+val to_compact_string : t -> string
+(** Single line, no spaces — for JSONL sinks and large event arrays. *)
+
+val write_file : string -> t -> unit
+
+(** {1 Accessors} — shallow, [None] on a type mismatch. *)
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_str : t -> string option

@@ -1,0 +1,63 @@
+(** Run manifests: a machine-readable record of a campaign /
+    Monte-Carlo run / characterisation sweep — tool and git revision,
+    options and seed, per-variant classification + metrics, a
+    metrics-registry snapshot and a span summary — so results are
+    reproducible and diffable.  Rendered for humans by
+    [cmldft report]. *)
+
+val schema : string
+(** ["cml-dft-manifest/1"]. *)
+
+type variant = {
+  v_name : string;  (** defect / sample / sweep-point description *)
+  v_classes : string list;  (** classification labels; [[]] reads as benign *)
+  v_seconds : float;  (** wall-clock of this variant's simulation *)
+  v_metrics : (string * float) list;  (** flat per-variant numbers (solver stats, measurements) *)
+}
+
+type t = {
+  kind : string;  (** ["campaign"], ["montecarlo"], ["sweep"], ... *)
+  tool : string;
+  git : string;  (** [git describe --always --dirty], or ["unknown"] *)
+  created : string;  (** UTC ISO-8601, informative only *)
+  seed : int option;
+  options : (string * string) list;
+  variants : variant list;
+  metrics : Metrics.snapshot;  (** registry delta over the run *)
+  spans : (string * Trace.span_agg) list;
+}
+
+val create :
+  ?seed:int ->
+  ?options:(string * string) list ->
+  ?variants:variant list ->
+  ?metrics:Metrics.snapshot ->
+  ?spans:(string * Trace.span_agg) list ->
+  kind:string ->
+  unit ->
+  t
+(** Stamps tool, git revision and creation time. *)
+
+val git_describe : unit -> string
+
+exception Bad_manifest of string
+
+val to_json : t -> Json.t
+val of_json : Json.t -> t
+(** @raise Bad_manifest on a missing or unsupported schema. *)
+
+val write : path:string -> t -> unit
+val read : path:string -> t
+(** @raise Bad_manifest / [Json.Parse_error] / [Sys_error]. *)
+
+(** {1 Report views} *)
+
+val class_histogram : t -> (string * int) list
+(** Label counts over variants (a variant with no labels counts as
+    ["benign"]), most frequent first. *)
+
+val slowest : ?n:int -> t -> variant list
+
+val render_text : ?top:int -> t -> string
+(** The [cmldft report] body: classification histogram, slowest
+    variants, metrics (with histogram percentiles), span summary. *)

@@ -545,7 +545,10 @@ let test_transient_stats_accounting () =
   Alcotest.(check bool) "bypass is a strict subset of loads" true
     (r.T.stats.T.bypassed_loads < r.T.stats.T.device_loads);
   Alcotest.(check bool) "newton iterations counted" true (r.T.stats.T.newton_iters > 0);
-  Alcotest.(check int) "no guide means no guided seeds" 0 r.T.stats.T.guided_seeds
+  Alcotest.(check int) "no guide means no guided seeds" 0 r.T.stats.T.guided_seeds;
+  Alcotest.(check int) "no guide means no cold fallbacks" 0 r.T.stats.T.cold_fallbacks;
+  Alcotest.(check bool) "LTE rejections are a subset of rejections" true
+    (r.T.stats.T.lte_rejections <= r.T.stats.T.rejected_steps)
 
 let test_transient_guide_is_used () =
   let chain = Cml_cells.Chain.build ~stages:3 ~freq:1e9 () in
@@ -554,6 +557,14 @@ let test_transient_guide_is_used () =
   let nominal = T.run (E.compile net) net cfg in
   let warm = T.run ~guide:nominal (E.compile net) net cfg in
   Alcotest.(check bool) "guided seeds used" true (warm.T.stats.T.guided_seeds > 0);
+  (* guided_seeds counts accepted steps only (plus the warm DC start),
+     so a retried (LTE- or Newton-rejected) instant cannot inflate it
+     past the step count *)
+  Alcotest.(check bool) "guided seeds bounded by accepted steps + DC" true
+    (warm.T.stats.T.guided_seeds <= warm.T.stats.T.accepted_steps + 1);
+  Alcotest.(check bool) "cold fallbacks accounted separately" true
+    (warm.T.stats.T.cold_fallbacks >= 0
+    && warm.T.stats.T.cold_fallbacks <= warm.T.stats.T.accepted_steps + 1);
   Alcotest.(check int) "same grid as the cold run"
     (Array.length nominal.T.times)
     (Array.length warm.T.times);
@@ -579,6 +590,7 @@ let test_transient_incompatible_guide_ignored () =
   let cnet = chain.Cml_cells.Chain.builder.Cml_cells.Builder.net in
   let r = T.run ~guide:small (E.compile cnet) cnet (T.config ~tstop:1e-9 ~max_step:10e-12 ()) in
   Alcotest.(check int) "guide silently dropped" 0 r.T.stats.T.guided_seeds;
+  Alcotest.(check int) "a dropped guide is not a cold fallback" 0 r.T.stats.T.cold_fallbacks;
   Alcotest.(check bool) "run still completes" true (Array.length r.T.times > 10)
 
 let () =
