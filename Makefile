@@ -5,7 +5,7 @@
 DUNE ?= dune
 LINT := $(DUNE) exec --no-build bin/cmldft.exe -- lint
 
-.PHONY: all build test fmt lint-examples report-examples telemetry-overhead fixtures check perf clean
+.PHONY: all build test fmt lint-examples report-examples telemetry-overhead diagnose-smoke fixtures check perf clean
 
 all: build
 
@@ -39,6 +39,17 @@ report-examples: build
 telemetry-overhead: build
 	$(DUNE) exec bench/main.exe -- overhead --json BENCH_spice.json
 
+# End-to-end smoke of the diagnosis pipeline: re-simulate the paper's
+# 3 kohm pipe defect with stage + detector probes, write the JSON
+# record and analog VCD, and render the record back with `cmldft
+# report` (the same path that renders the committed example).
+diagnose-smoke: build
+	$(eval SMOKE_DIR := $(shell mktemp -d))
+	$(DUNE) exec --no-build bin/cmldft.exe -- diagnose --pipe 3000 \
+	  --json $(SMOKE_DIR)/diagnosis.json --vcd $(SMOKE_DIR)/diagnosis.vcd
+	$(DUNE) exec --no-build bin/cmldft.exe -- report $(SMOKE_DIR)/diagnosis.json
+	rm -rf $(SMOKE_DIR)
+
 # Regenerate the committed decks in examples/netlists/ from the cell
 # library (they are kept in git so `lint-examples` needs no codegen).
 fixtures: build
@@ -54,7 +65,7 @@ PERF_JOBS ?= 4
 perf: build
 	$(DUNE) exec bench/main.exe -- perf --jobs $(PERF_JOBS) --json BENCH_spice.json --check
 
-check: build test fmt lint-examples report-examples telemetry-overhead
+check: build test fmt lint-examples report-examples diagnose-smoke telemetry-overhead
 ifeq ($(CHECK_PERF),1)
 	$(MAKE) perf
 endif

@@ -385,26 +385,49 @@ let disabled_pair_ns () =
   done;
   !best
 
+(* min ns cost of the disabled observer dispatch ([T.observe None]) —
+   the per-accepted-step price a run with no [?observers] pays.  The
+   option is laundered through [Sys.opaque_identity] so the match
+   cannot be constant-folded away. *)
+let disabled_observe_ns () =
+  let n = 2_000_000 in
+  let x = Array.make 32 0.0 in
+  let obs = Sys.opaque_identity (None : T.observers option) in
+  let best = ref infinity in
+  for _ = 1 to 5 do
+    let t0 = Cml_telemetry.Clock.now_ns () in
+    for i = 1 to n do
+      T.observe obs (float_of_int i) x
+    done;
+    let per =
+      Int64.to_float (Int64.sub (Cml_telemetry.Clock.now_ns ()) t0) /. float_of_int n
+    in
+    if per < !best then best := per
+  done;
+  !best
+
 (* min-of-[passes] wall clock of the standard chain transient, plus
    its Newton iteration count (an upper bound on the number of
-   newton_solve spans: every call runs at least one iteration) *)
+   newton_solve spans: every call runs at least one iteration) and its
+   accepted-step count (the number of disabled observer dispatches) *)
 let chain_transient_min ~passes =
   let chain = Cml_cells.Chain.build ~stages:8 ~freq:100e6 () in
   let net = chain.Cml_cells.Chain.builder.Cml_cells.Builder.net in
   let cfg = T.config ~tstop:2e-9 ~max_step:10e-12 () in
   ignore (T.run (E.compile net) net cfg);
-  let best = ref infinity and iters = ref 0 in
+  let best = ref infinity and iters = ref 0 and accepted = ref 0 in
   for _ = 1 to passes do
     let sim = E.compile net in
     let t0 = Cml_telemetry.Clock.now_ns () in
-    ignore (T.run sim net cfg);
+    let r = T.run sim net cfg in
     let dt = Int64.to_float (Int64.sub (Cml_telemetry.Clock.now_ns ()) t0) in
     if dt < !best then begin
       best := dt;
-      iters := (E.solver_stats sim).E.newton_iters
+      iters := (E.solver_stats sim).E.newton_iters;
+      accepted := r.T.stats.T.accepted_steps
     end
   done;
-  (!best, !iters)
+  (!best, !iters, !accepted)
 
 let telemetry_overhead ?json () =
   Util.section "telemetry-overhead" "Disabled-tracing cost of the telemetry span hooks";
@@ -417,17 +440,25 @@ let telemetry_overhead ?json () =
         | last :: _ -> List.assoc_opt chain_transient_name (entry_kernels last))
   in
   let pair = disabled_pair_ns () in
-  let run_ns, iters = chain_transient_min ~passes:10 in
+  let observe = disabled_observe_ns () in
+  let run_ns, iters, accepted = chain_transient_min ~passes:10 in
   (* hook executions per transient: one newton_solve pair per Newton
      call (over-counted by iterations), the transient span, and the
      handful of dc / sweep / metrics-publish sites *)
   let hooks = iters + 16 in
   let hook_ns = pair *. float_of_int hooks in
+  (* observer dispatches per transient: one per accepted step plus the
+     initial point *)
+  let observes = accepted + 1 in
+  let observe_ns = observe *. float_of_int observes in
   Printf.printf "  disabled start/finish pair      %10.2f ns\n" pair;
+  Printf.printf "  disabled observer dispatch      %10.2f ns\n" observe;
   Printf.printf "  chain transient (min of 10)     %10.2f ms  (%d newton iterations)\n"
     (run_ns /. 1e6) iters;
   Printf.printf "  worst-case hook time            %10.2f us  (%d hooks)\n" (hook_ns /. 1e3)
     hooks;
+  Printf.printf "  worst-case observer time        %10.2f us  (%d accepted steps)\n"
+    (observe_ns /. 1e3) observes;
   let denom, denom_what =
     match baseline_ns with
     | Some b ->
@@ -443,6 +474,12 @@ let telemetry_overhead ?json () =
   let ok = frac < overhead_limit in
   Util.verdict ok
     (Printf.sprintf "disabled tracing costs < %.0f%% of the %s chain transient"
+       (overhead_limit *. 100.0) denom_what);
+  let obs_frac = observe_ns /. denom in
+  Printf.printf "  observer share of the transient %10.4f %%\n" (obs_frac *. 100.0);
+  let obs_ok = obs_frac < overhead_limit in
+  Util.verdict obs_ok
+    (Printf.sprintf "disabled observers cost < %.0f%% of the %s chain transient"
        (overhead_limit *. 100.0) denom_what);
   let drifted =
     match baseline_ns with Some b -> run_ns > regression_limit *. b | None -> false

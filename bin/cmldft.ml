@@ -48,6 +48,30 @@ let no_warm_start_arg =
   in
   Arg.(value & flag & info [ "no-warm-start" ] ~doc)
 
+let probe_arg =
+  let doc =
+    "Comma-separated node names to probe with streaming observers (sampled at every \
+     accepted solver step, immune to $(b,record_every) thinning).  Node names as in the \
+     exported deck, e.g. $(b,x3.op,x3.on)."
+  in
+  Arg.(value & opt (list string) [] & info [ "probe" ] ~docv:"NODE,.." ~doc)
+
+let vcd_out_arg =
+  let doc = "Dump the probed waveforms as an analog VCD to this file." in
+  Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE" ~doc)
+
+(* resolve --probe names against the netlist; exits with a listing of
+   the valid names on a typo rather than raising *)
+let resolve_probes net names =
+  List.map
+    (fun name ->
+      match N.find_node net name with
+      | Some nd -> (name, E.node_unknown nd)
+      | None ->
+          Printf.eprintf "cmldft: unknown node %S (see `cmldft export` for the deck)\n" name;
+          exit 2)
+    names
+
 (* telemetry flags, shared by the simulation commands *)
 
 let trace_arg =
@@ -102,7 +126,7 @@ let chain_cmd =
   let stages_arg =
     Arg.(value & opt int 8 & info [ "n"; "stages" ] ~docv:"N" ~doc:"Chain length.")
   in
-  let run freq pipe stages csv trace metrics =
+  let run freq pipe stages csv probe vcd trace metrics =
     with_telemetry ~trace ~metrics @@ fun () ->
     let chain = Cml_cells.Chain.build ~stages ~freq () in
     let golden = chain.Cml_cells.Chain.builder.B.net in
@@ -115,7 +139,19 @@ let chain_cmd =
     in
     let sim = E.compile net in
     let tstop = 2.0 /. freq in
-    let r = T.run sim net (T.config ~tstop ~max_step:10e-12 ()) in
+    (* --vcd without --probe dumps every stage output pair *)
+    let probes =
+      match (probe, vcd) with
+      | [], Some _ ->
+          List.concat
+            (List.init stages (fun i ->
+                 let d = Cml_cells.Chain.output chain (i + 1) in
+                 let name = Cml_cells.Chain.stage_name (i + 1) in
+                 [ (name ^ ".p", E.node_unknown d.B.p); (name ^ ".n", E.node_unknown d.B.n) ]))
+      | names, _ -> resolve_probes net names
+    in
+    let observers = match probes with [] -> None | ps -> Some (T.observers ps) in
+    let r = T.run ?observers sim net (T.config ~tstop ~max_step:10e-12 ()) in
     let wave nd = Cml_wave.Wave.create r.T.times (T.node_trace r nd) in
     Printf.printf "%-8s %10s %10s %10s\n" "stage" "vlow" "vhigh" "swing";
     let named = ref [] in
@@ -126,6 +162,24 @@ let chain_cmd =
       let lo, hi = Cml_wave.Measure.extremes w ~t_from:(tstop /. 2.0) in
       Printf.printf "%-8d %8.4f V %8.4f V %7.1f mV\n" i lo hi ((hi -. lo) *. 1e3)
     done;
+    let probed_waves =
+      match observers with
+      | None -> []
+      | Some obs ->
+          List.map (fun (name, ts, vs) -> (name, Cml_wave.Wave.create ts vs))
+            (T.probe_list obs)
+    in
+    (match probed_waves with
+    | [] -> ()
+    | (_, w0) :: _ ->
+        Printf.printf "probed %d node%s at %d accepted steps\n" (List.length probed_waves)
+          (if List.length probed_waves = 1 then "" else "s")
+          (Cml_wave.Wave.length w0));
+    (match vcd with
+    | None -> ()
+    | Some path ->
+        Cml_wave.Vcd_analog.write ~path probed_waves;
+        Printf.printf "wrote %s\n" path);
     match csv with
     | None -> ()
     | Some path ->
@@ -133,7 +187,9 @@ let chain_cmd =
         Printf.printf "wrote %s\n" path
   in
   let info = Cmd.info "chain" ~doc:"Simulate the paper's buffer chain (optionally faulty)." in
-  Cmd.v info Term.(const run $ freq_arg $ pipe_arg $ stages_arg $ csv_arg $ trace_arg $ metrics_arg)
+  Cmd.v info
+    Term.(const run $ freq_arg $ pipe_arg $ stages_arg $ csv_arg $ probe_arg $ vcd_out_arg
+          $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* detector: characterise a built-in detector *)
@@ -146,7 +202,7 @@ let detector_cmd =
   let tstop_arg =
     Arg.(value & opt float 120e-9 & info [ "t"; "tstop" ] ~docv:"S" ~doc:"Simulated time.")
   in
-  let run freq pipe variant tstop csv trace metrics =
+  let run freq pipe variant tstop csv vcd trace metrics =
     with_telemetry ~trace ~metrics @@ fun () ->
     let proc = Cml_cells.Process.default in
     let v =
@@ -181,12 +237,22 @@ let detector_cmd =
             ("opb", r.Dft.Experiment.out_n);
           ];
         Printf.printf "wrote %s\n" path);
+    (match vcd with
+    | None -> ()
+    | Some path ->
+        Cml_wave.Vcd_analog.write ~path
+          [
+            ("det.vout", r.Dft.Experiment.vout);
+            ("op", r.Dft.Experiment.out_p);
+            ("opb", r.Dft.Experiment.out_n);
+          ];
+        Printf.printf "wrote %s\n" path);
     print_string (Cml_wave.Ascii_plot.render ~height:12 [ ("vout", r.Dft.Experiment.vout) ])
   in
   let info = Cmd.info "detector" ~doc:"Characterise a built-in amplitude detector." in
   Cmd.v info
-    Term.(const run $ freq_arg $ pipe_arg $ variant_arg $ tstop_arg $ csv_arg $ trace_arg
-          $ metrics_arg)
+    Term.(const run $ freq_arg $ pipe_arg $ variant_arg $ tstop_arg $ csv_arg $ vcd_out_arg
+          $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sharing: the Figure-14 sweep *)
@@ -265,6 +331,69 @@ let campaign_cmd =
   Cmd.v info
     Term.(const run $ freq_arg $ dut_arg $ jobs_arg $ no_warm_start_arg $ trace_arg
           $ metrics_arg $ manifest_arg)
+
+(* ------------------------------------------------------------------ *)
+(* diagnose: waveform-level drill-down on one defect *)
+
+let diagnose_cmd =
+  let stages_arg =
+    Arg.(value & opt int 8 & info [ "n"; "stages" ] ~docv:"N" ~doc:"Chain length.")
+  in
+  let dut_arg =
+    Arg.(value & opt int 3 & info [ "dut" ] ~docv:"STAGE" ~doc:"Stage carrying the defect.")
+  in
+  let pipe_arg =
+    let doc = "Collector-emitter pipe resistance (ohm) injected on the DUT's Q3." in
+    Arg.(value & opt float 3000.0 & info [ "p"; "pipe" ] ~docv:"OHM" ~doc)
+  in
+  let json_arg =
+    let doc = "Write the structured diagnosis record (JSON) for $(b,cmldft report)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let plot_arg =
+    Arg.(value & flag & info [ "plot" ] ~doc:"Render ASCII plots of the DUT and detector waves.")
+  in
+  let run freq pipe stages dut json vcd plot trace metrics =
+    with_telemetry ~trace ~metrics @@ fun () ->
+    if dut < 1 || dut > stages then begin
+      Printf.eprintf "cmldft diagnose: --dut must be within 1..%d\n" stages;
+      exit 2
+    end;
+    let defect =
+      Cml_defects.Defect.Pipe { device = Cml_cells.Chain.stage_name dut ^ ".q3"; r = pipe }
+    in
+    let d = Dft.Diagnose.run ~freq ~stages ~dut ~defect () in
+    print_string (Dft.Diagnose.render_text d);
+    if plot then begin
+      let dut_wave = List.assoc (Cml_cells.Chain.stage_name dut ^ ".p") d.Dft.Diagnose.waves in
+      print_newline ();
+      print_string
+        (Cml_wave.Ascii_plot.render ~height:12
+           [ (Cml_cells.Chain.stage_name dut ^ ".p", dut_wave) ]);
+      print_newline ();
+      print_string
+        (Cml_wave.Ascii_plot.render ~height:12 [ ("det.vout", d.Dft.Diagnose.detector_wave) ])
+    end;
+    (match json with
+    | None -> ()
+    | Some path ->
+        Dft.Diagnose.write_json ~path d;
+        Printf.printf "wrote %s\n" path);
+    match vcd with
+    | None -> ()
+    | Some path ->
+        Dft.Diagnose.write_vcd ~path d;
+        Printf.printf "wrote %s\n" path
+  in
+  let doc =
+    "Diagnose one defect at waveform level: per-stage signal health against the fault-free \
+     chain, healing depth (paper section 5) and the detector-response timeline \
+     (Figs. 7/8/10), with JSON and analog-VCD outputs."
+  in
+  let info = Cmd.info "diagnose" ~doc in
+  Cmd.v info
+    Term.(const run $ freq_arg $ pipe_arg $ stages_arg $ dut_arg $ json_arg $ vcd_out_arg
+          $ plot_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* area *)
@@ -559,14 +688,19 @@ let report_cmd =
     let j = Tel.Json.parse_file path in
     match Tel.Manifest.of_json j with
     | m -> print_string (Tel.Manifest.render_text ~top m)
-    | exception Tel.Manifest.Bad_manifest _ ->
-        (* not a manifest: try it as a bare metrics snapshot *)
-        let snap = Tel.Metrics.of_json j in
-        if snap = [] then failwith "neither a run manifest nor a metrics snapshot"
-        else begin
-          Printf.printf "metrics snapshot: %s\n" path;
-          print_string (Tel.Metrics.render_text snap)
-        end
+    | exception Tel.Manifest.Bad_manifest _ -> (
+        (* not a manifest: a diagnosis record, then a bare metrics
+           snapshot *)
+        match Dft.Diagnose.of_json j with
+        | d -> print_string (Dft.Diagnose.render_text d)
+        | exception Dft.Diagnose.Bad_diagnosis _ ->
+            let snap = Tel.Metrics.of_json j in
+            if snap = [] then
+              failwith "not a run manifest, diagnosis record or metrics snapshot"
+            else begin
+              Printf.printf "metrics snapshot: %s\n" path;
+              print_string (Tel.Metrics.render_text snap)
+            end)
   in
   let run files top =
     let fail = ref false in
@@ -596,8 +730,8 @@ let main_cmd =
   let info = Cmd.info "cmldft" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
-      chain_cmd; detector_cmd; sharing_cmd; campaign_cmd; area_cmd; mc_cmd; logic_cmd;
-      export_cmd; op_cmd; lint_cmd; report_cmd;
+      chain_cmd; detector_cmd; sharing_cmd; campaign_cmd; diagnose_cmd; area_cmd; mc_cmd;
+      logic_cmd; export_cmd; op_cmd; lint_cmd; report_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

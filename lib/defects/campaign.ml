@@ -10,6 +10,8 @@ type measurement = {
   final_swing : float;
   final_delay : float option;
   supply_current : float;
+  degraded_at : int option;
+  healing_depth : int option;
 }
 
 type flags = {
@@ -37,36 +39,63 @@ type t = {
   metrics : Cml_telemetry.Metrics.snapshot;
 }
 
-(* As [measure_chain], but also hands back the raw trajectory so the
+(* As [measure_chain], but also hands back the raw trajectory (so the
    campaign can use the fault-free run as a warm-start guide for every
-   variant. *)
-let measure_chain_full ?guide ?breakpoints chain net ~freq ~tstop ~dut =
+   variant) and the robust plateau levels of the chain output (the
+   nominal levels the healing profiler measures variants against).
+
+   Every measurement is taken from streaming observers, which sample
+   each accepted step regardless of [record_every] — so variants can
+   thin the dense trajectory ([record_every > 1]) without aliasing the
+   excursion minimum the classifier keys on.  [nominal] (the reference
+   run's chain-output levels) enables the per-stage healing profile. *)
+let measure_chain_full ?guide ?breakpoints ?(record_every = 1) ?nominal chain net ~freq ~tstop
+    ~dut =
   let sim = E.compile net in
-  let cfg = T.config ~tstop ~max_step:10e-12 () in
-  let r = T.run ?guide ?breakpoints sim net cfg in
-  let wave nd = Cml_wave.Wave.create r.T.times (T.node_trace r nd) in
+  let cfg = T.config ~tstop ~max_step:10e-12 ~record_every () in
+  let stages = Array.length chain.Cml_cells.Chain.stages in
+  let input = chain.Cml_cells.Chain.input in
+  let stage_probes =
+    List.concat
+      (List.init stages (fun i ->
+           let d = Cml_cells.Chain.output chain (i + 1) in
+           let name = Cml_cells.Chain.stage_name (i + 1) in
+           [
+             (name ^ ".p", E.node_unknown d.Cml_cells.Builder.p);
+             (name ^ ".n", E.node_unknown d.Cml_cells.Builder.n);
+           ]))
+  in
+  let probes =
+    ("in.p", E.node_unknown input.Cml_cells.Builder.p)
+    :: ("in.n", E.node_unknown input.Cml_cells.Builder.n)
+    :: (match E.branch_unknown sim "vdd" with
+       | exception Not_found -> stage_probes
+       | br -> ("i(vdd)", br) :: stage_probes)
+  in
+  let obs = T.observers probes in
+  let r = T.run ?guide ?breakpoints ~observers:obs sim net cfg in
+  let wave name =
+    let times, values = T.probe_samples obs name in
+    Cml_wave.Wave.create times values
+  in
   let t_from = tstop /. 2.0 in
   let supply_current =
-    match E.branch_unknown sim "vdd" with
+    match wave "i(vdd)" with
     | exception Not_found -> 0.0
-    | br ->
-        let samples = Array.map (fun x -> Float.abs x.(br)) r.T.data in
-        let w = Cml_wave.Wave.create r.T.times samples in
+    | w ->
+        let w = Cml_wave.Wave.map Float.abs w in
         Cml_wave.Wave.mean (Cml_wave.Wave.sub_range w ~t_from ~t_to:(Cml_wave.Wave.t_end w))
   in
-  let dut_out = Cml_cells.Chain.output chain dut in
-  let stages = Array.length chain.Cml_cells.Chain.stages in
-  let final_out = Cml_cells.Chain.output chain stages in
-  let wp_dut = wave dut_out.Cml_cells.Builder.p and wn_dut = wave dut_out.Cml_cells.Builder.n in
-  let wp_fin = wave final_out.Cml_cells.Builder.p and wn_fin = wave final_out.Cml_cells.Builder.n in
+  let stage_wave i = wave (Cml_cells.Chain.stage_name i ^ ".p") in
+  let wp_dut = stage_wave dut and wn_dut = wave (Cml_cells.Chain.stage_name dut ^ ".n") in
+  let wp_fin = stage_wave stages and wn_fin = wave (Cml_cells.Chain.stage_name stages ^ ".n") in
   let lo_p, hi_p = Cml_wave.Measure.extremes wp_dut ~t_from in
   let lo_n, hi_n = Cml_wave.Measure.extremes wn_dut ~t_from in
   let lo_fp, hi_fp = Cml_wave.Measure.extremes wp_fin ~t_from in
   let lo_fn, hi_fn = Cml_wave.Measure.extremes wn_fin ~t_from in
   (* delay from the input pair's actual crossing to the final
      output's next actual crossing *)
-  let input = chain.Cml_cells.Chain.input in
-  let w_in_p = wave input.Cml_cells.Builder.p and w_in_n = wave input.Cml_cells.Builder.n in
+  let w_in_p = wave "in.p" and w_in_n = wave "in.n" in
   let final_delay =
     match
       List.find_opt (fun t -> t >= t_from) (Cml_wave.Measure.differential_crossings w_in_p w_in_n)
@@ -81,6 +110,18 @@ let measure_chain_full ?guide ?breakpoints chain net ~freq ~tstop ~dut =
         | Some t1 when t1 -. t0 < 0.75 /. freq -> Some (t1 -. t0)
         | Some _ -> None)
   in
+  let degraded_at, healing_depth =
+    match nominal with
+    | None -> (None, None)
+    | Some (nominal_low, nominal_high) ->
+        let stage_waves =
+          List.init stages (fun i -> (Cml_cells.Chain.stage_name (i + 1), stage_wave (i + 1)))
+        in
+        let p =
+          Cml_wave.Health.profile ~nominal_low ~nominal_high ~t_from stage_waves
+        in
+        (p.Cml_wave.Health.first_degraded, p.Cml_wave.Health.healing_depth)
+  in
   ( {
       dut_vlow = Float.min lo_p lo_n;
       dut_vhigh = Float.max hi_p hi_n;
@@ -90,11 +131,17 @@ let measure_chain_full ?guide ?breakpoints chain net ~freq ~tstop ~dut =
       final_swing = hi_fp -. lo_fp;
       final_delay;
       supply_current;
+      degraded_at;
+      healing_depth;
     },
-    r )
+    r,
+    Cml_wave.Measure.levels wp_fin ~t_from )
 
-let measure_chain ?guide ?breakpoints chain net ~freq ~tstop ~dut =
-  fst (measure_chain_full ?guide ?breakpoints chain net ~freq ~tstop ~dut)
+let measure_chain ?guide ?breakpoints ?record_every ?nominal chain net ~freq ~tstop ~dut =
+  let m, _, _ =
+    measure_chain_full ?guide ?breakpoints ?record_every ?nominal chain net ~freq ~tstop ~dut
+  in
+  m
 
 let classify ~proc ~reference m =
   let swing = proc.Cml_cells.Process.swing in
@@ -152,6 +199,11 @@ let variant_of_entry entry ~seconds ~stats =
             ("supply_current", m.supply_current);
           ] )
   in
+  let healing =
+    match entry.outcome with
+    | Measured ({ healing_depth = Some d; _ }, _) -> [ ("healing_depth", float_of_int d) ]
+    | Measured _ | Failed _ -> []
+  in
   let solver =
     match stats with
     | None -> []
@@ -171,13 +223,35 @@ let variant_of_entry entry ~seconds ~stats =
     Cml_telemetry.Manifest.v_name = Defect.describe entry.defect;
     v_classes = classes;
     v_seconds = seconds;
-    v_metrics = meas @ solver;
+    v_metrics = meas @ healing @ solver;
   }
+
+(* Healing-depth histogram over the measured entries: how many stages
+   each degraded variant needed to recover ("depth=N"), "unhealed" for
+   degradations that persist to the chain output, "clean" otherwise. *)
+let healing_histogram entries =
+  let label e =
+    match e.outcome with
+    | Failed _ -> None
+    | Measured (m, _) -> (
+        match (m.degraded_at, m.healing_depth) with
+        | None, _ -> Some "clean"
+        | Some _, Some d -> Some (Printf.sprintf "depth=%d" d)
+        | Some _, None -> Some "unhealed")
+  in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      match label e with
+      | None -> ()
+      | Some l -> Hashtbl.replace tbl l (1 + Option.value ~default:0 (Hashtbl.find_opt tbl l)))
+    entries;
+  List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl [])
 
 let to_manifest ?seed ?(options = []) t =
   let spans = Cml_telemetry.Trace.aggregate (Cml_telemetry.Trace.peek ()) in
-  Cml_telemetry.Manifest.create ?seed ~options ~variants:t.variants ~metrics:t.metrics ~spans
-    ~kind:"campaign" ()
+  Cml_telemetry.Manifest.create ?seed ~options ~healing:(healing_histogram t.entries)
+    ~variants:t.variants ~metrics:t.metrics ~spans ~kind:"campaign" ()
 
 let run ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?(stages = 8) ?dut ?tstop ?jobs
     ?(preflight = true) ?(warm_start = true) ?manifest ~defects () =
@@ -193,12 +267,18 @@ let run ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?(stages = 8) ?dut ?
      only ever adds resistors and capacitors, so the fault-free
      breakpoint schedule is valid for all of them *)
   let breakpoints = T.collect_breakpoints golden ~tstop in
-  let reference, ref_traj = measure_chain_full ~breakpoints chain golden ~freq ~tstop ~dut in
+  let reference, ref_traj, nominal =
+    measure_chain_full ~breakpoints chain golden ~freq ~tstop ~dut
+  in
   (* the nominal trajectory seeds every variant's Newton solves;
      [T.run] ignores it for variants whose defect changed the unknown
      layout (an open adds a node) and falls back to cold seeding
      whenever the variant diverges from the nominal path *)
   let guide = if warm_start then Some ref_traj else None in
+  (* classification reads the streamed probes (every accepted step),
+     so variants only keep a thinned dense trajectory — the reference
+     keeps all of it because the guide seeds from its rows *)
+  let variant_record_every = 8 in
   let run_one defect =
     let tok = Cml_telemetry.Trace.start () in
     let t0 = Cml_telemetry.Clock.now_ns () in
@@ -207,8 +287,11 @@ let run ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?(stages = 8) ?dut ?
       | exception (Not_found | Invalid_argument _) ->
           ({ defect; outcome = Failed "injection failed" }, None)
       | faulty -> (
-          match measure_chain_full ?guide ~breakpoints chain faulty ~freq ~tstop ~dut with
-          | m, r ->
+          match
+            measure_chain_full ?guide ~breakpoints ~record_every:variant_record_every ~nominal
+              chain faulty ~freq ~tstop ~dut
+          with
+          | m, r, _ ->
               ({ defect; outcome = Measured (m, classify ~proc ~reference m) }, Some r.T.stats)
           | exception E.No_convergence msg -> ({ defect; outcome = Failed msg }, None))
     in

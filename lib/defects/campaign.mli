@@ -14,6 +14,16 @@ type measurement = {
   final_swing : float;
   final_delay : float option;  (** input-to-final-output delay at actual crossings *)
   supply_current : float;  (** mean magnitude of the rail supply current (A) *)
+  degraded_at : int option;
+      (** 1-based stage of the first out-of-tolerance waveform
+          ({!Cml_wave.Health.profile}); [None] when every stage is
+          within tolerance of the nominal levels, or when no nominal
+          levels were supplied (the reference run itself) *)
+  healing_depth : int option;
+      (** stages the abnormal excursion needs to recover — the paper's
+          section-5 healing observation, quantified; [None] when
+          nothing is degraded or the degradation persists to the chain
+          output *)
 }
 
 type flags = {
@@ -47,12 +57,23 @@ type t = {
 val measure_chain :
   ?guide:Cml_spice.Transient.result ->
   ?breakpoints:float array ->
+  ?record_every:int ->
+  ?nominal:float * float ->
   Cml_cells.Chain.t -> Cml_spice.Netlist.t -> freq:float -> tstop:float -> dut:int ->
   measurement
 (** Simulate the given (possibly faulty) netlist of a chain and
     extract the measurement.  [guide] and [breakpoints] are passed to
     {!Cml_spice.Transient.run}: a campaign measures the fault-free
     chain once and warm-starts every variant from its trajectory.
+
+    All measurements are taken from streaming observers
+    ({!Cml_spice.Transient.observers}), which see every accepted step
+    — so [record_every > 1] (default 1) merely thins the retained
+    dense trajectory without aliasing the excursion extremes the
+    classifier keys on.  [nominal] supplies the fault-free chain
+    output's plateau levels; when present, the per-stage healing
+    profile ({!Cml_wave.Health.profile}) fills [degraded_at] /
+    [healing_depth], otherwise both are [None].
     @raise Engine.No_convergence on solver failure (callers of {!run}
     get it folded into [Failed]). *)
 
@@ -99,6 +120,18 @@ val to_manifest : ?seed:int -> ?options:(string * string) list -> t -> Cml_telem
 
 val classify :
   proc:Cml_cells.Process.t -> reference:measurement -> measurement -> flags
+
+val flag_labels : flags -> string list
+(** The classification labels that are set, using the same vocabulary
+    as {!summary} and the run manifest ("stuck-at",
+    "excessive-excursion", ...); the diagnosis pipeline re-uses these
+    to describe a flagged entry. *)
+
+val healing_histogram : entry list -> (string * int) list
+(** Healing-depth histogram over the measured entries: "clean" (never
+    degraded), "depth=N" (recovered after N stages), "unhealed"
+    (degradation persists to the chain output).  Failed entries are
+    skipped.  This is the [healing] section {!to_manifest} embeds. *)
 
 val summary : t -> (string * int) list
 (** Histogram of the observed fault classes, for reporting: counts of

@@ -81,6 +81,62 @@ let recorder_push r x =
 let recorder_rows r =
   Array.init r.rlen (fun k -> Array.sub r.rbuf (k * r.rnunk) r.rnunk)
 
+(* Streaming observers: a probe set that samples selected unknowns at
+   every *accepted* step — including the ones [record_every]
+   discards — without materialising the dense [times]/[data] matrix.
+   Each probe streams into its own growable [Fbuf]; the shared time
+   axis is recorded once.  The disabled cost is the [observe] option
+   match, gated in bench/perf.ml next to the telemetry hooks. *)
+type probe = {
+  pb_name : string;
+  pb_index : int;  (* unknown index; -1 (ground) streams zeros *)
+  pb_values : Cml_numerics.Fbuf.t;
+}
+
+type observers = {
+  ob_times : Cml_numerics.Fbuf.t;
+  ob_probes : probe array;
+  ob_on_step : (float -> float array -> unit) option;
+}
+
+let observers ?on_step probes =
+  let mk (name, index) =
+    if index < -1 then
+      invalid_arg (Printf.sprintf "Transient.observers: bad unknown index %d for %s" index name);
+    { pb_name = name; pb_index = index; pb_values = Cml_numerics.Fbuf.create () }
+  in
+  {
+    ob_times = Cml_numerics.Fbuf.create ();
+    ob_probes = Array.of_list (List.map mk probes);
+    ob_on_step = on_step;
+  }
+
+let observe obs t x =
+  match obs with
+  | None -> ()
+  | Some o ->
+      Cml_numerics.Fbuf.push o.ob_times t;
+      Array.iter
+        (fun p ->
+          Cml_numerics.Fbuf.push p.pb_values
+            (if p.pb_index < 0 then 0.0 else Array.unsafe_get x p.pb_index))
+        o.ob_probes;
+      (match o.ob_on_step with None -> () | Some f -> f t x)
+
+let probe_names o = Array.to_list (Array.map (fun p -> p.pb_name) o.ob_probes)
+
+let probe_length o = Cml_numerics.Fbuf.length o.ob_times
+
+let probe_samples o name =
+  match Array.find_opt (fun p -> p.pb_name = name) o.ob_probes with
+  | None -> raise Not_found
+  | Some p -> (Cml_numerics.Fbuf.to_array o.ob_times, Cml_numerics.Fbuf.to_array p.pb_values)
+
+let probe_list o =
+  let times = Cml_numerics.Fbuf.to_array o.ob_times in
+  Array.to_list
+    (Array.map (fun p -> (p.pb_name, times, Cml_numerics.Fbuf.to_array p.pb_values)) o.ob_probes)
+
 (* Run-boundary telemetry: one registry publish and one span per
    transient run — nothing inside the step loop. *)
 module M = Cml_telemetry.Metrics
@@ -115,7 +171,7 @@ let nearest_index times t =
   done;
   if Float.abs (times.(!hi) -. t) < Float.abs (times.(!lo) -. t) then !hi else !lo
 
-let run ?x0 ?guide ?breakpoints sim net cfg =
+let run ?x0 ?guide ?breakpoints ?observers sim net cfg =
   let opts = Engine.options sim in
   let nunk = Engine.unknown_count sim in
   let breakpoints =
@@ -164,6 +220,9 @@ let run ?x0 ?guide ?breakpoints sim net cfg =
   let rec_ = recorder_create nunk in
   let nsnap = ref 0 in
   let record t x =
+    (* observers see every accepted step; [record_every] only thins
+       the dense matrix below *)
+    observe observers t x;
     if !nsnap mod cfg.record_every = 0 then begin
       Cml_numerics.Fbuf.push times t;
       recorder_push rec_ x

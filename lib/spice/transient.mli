@@ -49,6 +49,47 @@ type result = {
   stats : stats;
 }
 
+type observers
+(** A streaming probe set: selected unknowns are sampled on every
+    {e accepted} step into bounded per-probe buffers, without
+    materialising the dense [times]/[data] matrix.  Because observers
+    see every accepted step, measurements taken from probes are immune
+    to [record_every] downsampling: with [record_every > 1] the dense
+    matrix can alias narrow extrema (e.g. the excursion minimum a
+    defect campaign classifies on), while the streamed samples cannot.
+    Campaigns therefore measure from probes and keep only a thinned
+    dense trajectory. *)
+
+val observers :
+  ?on_step:(float -> float array -> unit) -> (string * int) list -> observers
+(** [observers probes] builds a probe set from [(name, unknown index)]
+    pairs — node indices from {!Engine.node_unknown} (ground, [-1],
+    streams zeros) or branch indices from {!Engine.branch_unknown}.
+    [on_step] is called after the probes are sampled at each accepted
+    step with the time and the full solution vector (do not retain the
+    vector: it is reused by the step loop).
+    @raise Invalid_argument on an index below [-1]. *)
+
+val observe : observers option -> float -> float array -> unit
+(** The step-loop dispatch: sample every probe (and run [on_step]) at
+    an accepted step, or return immediately when [None].  Exposed so
+    the overhead benchmark can measure the observers-disabled cost of
+    the hook — callers of {!run} never need it. *)
+
+val probe_names : observers -> string list
+
+val probe_length : observers -> int
+(** Samples recorded so far (accepted steps observed, including the
+    initial point). *)
+
+val probe_samples : observers -> string -> float array * float array
+(** [(times, values)] streamed by the named probe; both arrays have
+    {!probe_length} elements.
+    @raise Not_found when no probe has that name. *)
+
+val probe_list : observers -> (string * float array * float array) list
+(** All probes as [(name, times, values)], in declaration order. *)
+
 val collect_breakpoints : Netlist.t -> tstop:float -> float array
 (** Sorted source-waveform breakpoints up to and including [tstop].
     Precompute once and pass as [?breakpoints] when running many
@@ -59,6 +100,7 @@ val run :
   ?x0:float array ->
   ?guide:result ->
   ?breakpoints:float array ->
+  ?observers:observers ->
   Engine.sim ->
   Netlist.t ->
   config ->
@@ -78,6 +120,15 @@ val run :
 
     [breakpoints] overrides breakpoint collection with a precomputed
     schedule from {!collect_breakpoints}.
+
+    [observers] streams selected unknowns at every accepted step —
+    including the initial point and the steps a [record_every > 1]
+    configuration drops from the dense matrix.  On a run with
+    [record_every = 1] the streamed samples are bit-identical to the
+    corresponding rows of [data]; with [record_every = k] the dense
+    matrix holds every k-th streamed sample.  Without observers the
+    per-step cost is a single branch (gated alongside the telemetry
+    hooks in [make telemetry-overhead]).
 
     @raise Engine.No_convergence when a step fails at [min_step]. *)
 

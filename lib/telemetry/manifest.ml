@@ -22,6 +22,10 @@ type t = {
   created : string;  (* UTC, ISO-8601; informative only *)
   seed : int option;
   options : (string * string) list;
+  healing : (string * int) list;
+      (* healing-depth histogram ("clean" / "depth=N" / "unhealed");
+         optional in the JSON, [] when absent — older readers of
+         cml-dft-manifest/1 simply ignore the extra member *)
   variants : variant list;
   metrics : Metrics.snapshot;
   spans : (string * Trace.span_agg) list;
@@ -41,7 +45,8 @@ let timestamp () =
   Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
     tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
 
-let create ?seed ?(options = []) ?(variants = []) ?(metrics = []) ?(spans = []) ~kind () =
+let create ?seed ?(options = []) ?(healing = []) ?(variants = []) ?(metrics = []) ?(spans = [])
+    ~kind () =
   {
     kind;
     tool = "cmldft";
@@ -49,6 +54,7 @@ let create ?seed ?(options = []) ?(variants = []) ?(metrics = []) ?(spans = []) 
     created = timestamp ();
     seed;
     options;
+    healing;
     variants;
     metrics;
     spans;
@@ -85,8 +91,12 @@ let to_json t =
        ("created", Json.Str t.created);
      ]
     @ (match t.seed with Some s -> [ ("seed", Json.Num (float_of_int s)) ] | None -> [])
+    @ [ ("options", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) t.options)) ]
+    @ (match t.healing with
+      | [] -> []
+      | h ->
+          [ ("healing", Json.Obj (List.map (fun (k, n) -> (k, Json.Num (float_of_int n))) h)) ])
     @ [
-        ("options", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) t.options));
         ("variants", Json.List (List.map variant_json t.variants));
         ("metrics", Metrics.to_json t.metrics);
         ("spans", Json.List (List.map span_json t.spans));
@@ -152,6 +162,13 @@ let of_json j =
       | Some (Json.Obj kvs) ->
           List.filter_map (fun (k, v) -> Option.map (fun s -> (k, s)) (Json.to_str v)) kvs
       | _ -> []);
+    healing =
+      (match Json.member "healing" j with
+      | Some (Json.Obj kvs) ->
+          List.filter_map
+            (fun (k, v) -> Option.map (fun f -> (k, int_of_float f)) (Json.to_float v))
+            kvs
+      | _ -> []);
     variants =
       (match Json.member "variants" j with
       | Some (Json.List vs) -> List.filter_map variant_of_json vs
@@ -198,6 +215,11 @@ let render_text ?(top = 5) t =
     line "";
     line "classification (%d variants):" (List.length t.variants);
     List.iter (fun (c, n) -> line "  %-24s %6d" c n) (class_histogram t);
+    if t.healing <> [] then begin
+      line "";
+      line "healing depth:";
+      List.iter (fun (c, n) -> line "  %-24s %6d" c n) t.healing
+    end;
     line "";
     line "slowest variants:";
     List.iter

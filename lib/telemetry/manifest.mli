@@ -22,6 +22,11 @@ type t = {
   created : string;  (** UTC ISO-8601, informative only *)
   seed : int option;
   options : (string * string) list;
+  healing : (string * int) list;
+      (** healing-depth histogram ("clean" / "depth=N" / "unhealed",
+          see {!Cml_defects.Campaign.healing_histogram}); optional in
+          the JSON — absent reads as [[]], and the member is omitted
+          when empty, so the schema stays ["cml-dft-manifest/1"] *)
   variants : variant list;
   metrics : Metrics.snapshot;  (** registry delta over the run *)
   spans : (string * Trace.span_agg) list;
@@ -30,6 +35,7 @@ type t = {
 val create :
   ?seed:int ->
   ?options:(string * string) list ->
+  ?healing:(string * int) list ->
   ?variants:variant list ->
   ?metrics:Metrics.snapshot ->
   ?spans:(string * Trace.span_agg) list ->

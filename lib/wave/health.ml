@@ -1,0 +1,134 @@
+(* Per-stage signal-health profiling of a CML chain (the paper's
+   section-5 narrative, made quantitative): given one probed waveform
+   per stage, measure each stage's plateau levels, swing and excursion
+   depth against the nominal levels, and locate the *healing depth* —
+   how many stages it takes an abnormal excursion at the faulty gate
+   to recover to within tolerance.  Also the detector-response
+   timeline of Figs. 7/8/10 (flag time, t_stability, V_max). *)
+
+type stage = {
+  label : string;
+  vlow : float;
+  vhigh : float;
+  swing : float;
+  excursion : float;
+  overshoot : float;
+  within : bool;
+}
+
+type profile = {
+  stages : stage list;
+  nominal_low : float;
+  nominal_high : float;
+  tolerance : float;
+  first_degraded : int option;
+  healed_at : int option;
+  healing_depth : int option;
+}
+
+let measure_stage ~nominal_low ~nominal_high ~tolerance ~t_from (label, w) =
+  let lo, hi = Measure.levels w ~t_from in
+  let xlo, xhi = Measure.extremes w ~t_from in
+  let excursion = Float.max 0.0 (nominal_low -. xlo) in
+  let overshoot = Float.max 0.0 (xhi -. nominal_high) in
+  (* nan deviations (empty window) compare false, so a degenerate
+     stage reads as degraded rather than silently healthy *)
+  let within =
+    excursion <= tolerance && overshoot <= tolerance
+    && Float.abs (lo -. nominal_low) <= tolerance
+    && Float.abs (hi -. nominal_high) <= tolerance
+  in
+  { label; vlow = lo; vhigh = hi; swing = hi -. lo; excursion; overshoot; within }
+
+let profile ?(tolerance = 0.1) ~nominal_low ~nominal_high ~t_from waves =
+  let stages = List.map (measure_stage ~nominal_low ~nominal_high ~tolerance ~t_from) waves in
+  let n = List.length stages in
+  let within = Array.of_list (List.map (fun s -> s.within) stages) in
+  let first_degraded =
+    let rec find i = if i >= n then None else if within.(i) then find (i + 1) else Some (i + 1) in
+    find 0
+  in
+  (* healed at the first stage past the degradation from which every
+     remaining stage is back within tolerance — a momentary recovery
+     followed by another excursion does not count as healed *)
+  let healed_at =
+    match first_degraded with
+    | None -> None
+    | Some d ->
+        let suffix_ok = Array.make (n + 1) true in
+        for i = n - 1 downto 0 do
+          suffix_ok.(i) <- within.(i) && suffix_ok.(i + 1)
+        done;
+        let rec find i = if i >= n then None else if suffix_ok.(i) then Some (i + 1) else find (i + 1) in
+        find d
+  in
+  let healing_depth =
+    match (first_degraded, healed_at) with Some d, Some h -> Some (h - d) | _ -> None
+  in
+  { stages; nominal_low; nominal_high; tolerance; first_degraded; healed_at; healing_depth }
+
+let render_text p =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "nominal levels: low %.3f V, high %.3f V (tolerance %.0f mV)" p.nominal_low
+    p.nominal_high (p.tolerance *. 1e3);
+  line "%-12s %8s %8s %8s %10s %10s  %s" "stage" "vlow" "vhigh" "swing" "excursion" "overshoot"
+    "health";
+  List.iter
+    (fun s ->
+      line "%-12s %6.3f V %6.3f V %5.0f mV %7.0f mV %7.0f mV  %s" s.label s.vlow s.vhigh
+        (s.swing *. 1e3) (s.excursion *. 1e3) (s.overshoot *. 1e3)
+        (if s.within then "ok" else "DEGRADED"))
+    p.stages;
+  (match (p.first_degraded, p.healed_at) with
+  | Some d, Some h ->
+      let depth = h - d in
+      line "degraded from stage %d, healed at stage %d (healing depth %d stage%s)" d h depth
+        (if depth = 1 then "" else "s")
+  | Some d, None -> line "degraded from stage %d, never heals within this chain" d
+  | None, _ -> line "all stages within tolerance");
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Detector-response timeline *)
+
+type detector_timeline = {
+  flag_time : float option;
+  t_stability : float option;
+  t_settle : float option;
+  vmax : float;
+  v_final : float;
+  drop : float;
+}
+
+let detector_timeline ?(noise = 2e-3) ?fraction ~quiescent ~threshold w =
+  (* a static defect is already folded into the DC operating point, so
+     the flag can be asserted from the first sample with no falling
+     edge ever recorded *)
+  let flag_time =
+    if (not (Wave.is_empty w)) && w.Wave.values.(0) <= threshold then Some (Wave.t_start w)
+    else Measure.first_crossing ~direction:Measure.Falling w ~level:threshold
+  in
+  let t_stability = Measure.time_to_stability ~noise w in
+  let t_settle = Measure.settling_time ?fraction w in
+  let vmax =
+    match t_stability with
+    | Some ts -> Measure.vmax_after w ~t_from:ts
+    | None -> Wave.vmax w
+  in
+  let v_final = Wave.value_at w (Wave.t_end w) in
+  let floor_from = Wave.t_start w +. (0.6 *. (Wave.t_end w -. Wave.t_start w)) in
+  let vfloor, _ = Measure.extremes w ~t_from:floor_from in
+  { flag_time; t_stability; t_settle; vmax; v_final; drop = quiescent -. vfloor }
+
+let render_timeline t =
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let opt_ns = function Some x -> Printf.sprintf "%.1f ns" (x *. 1e9) | None -> "-" in
+  line "flag time   : %s" (opt_ns t.flag_time);
+  line "t_stability : %s" (opt_ns t.t_stability);
+  line "t_settle    : %s" (opt_ns t.t_settle);
+  line "Vmax        : %.3f V" t.vmax;
+  line "V_final     : %.3f V" t.v_final;
+  line "vout drop   : %.3f V" t.drop;
+  Buffer.contents b

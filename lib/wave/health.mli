@@ -1,0 +1,75 @@
+(** Per-stage signal-health profiling of a buffer chain and the
+    detector-response timeline — the waveform-level view behind the
+    paper's section-5 observation that a pipe defect's abnormal
+    excursion heals after a few CML stages.  Pure waveform analysis:
+    feed it one probed waveform per stage (see
+    {!Cml_spice.Transient.observers}) plus the nominal levels. *)
+
+type stage = {
+  label : string;
+  vlow : float;  (** robust low plateau ({!Measure.levels}) *)
+  vhigh : float;
+  swing : float;  (** [vhigh - vlow] *)
+  excursion : float;  (** depth below the nominal low level (V, >= 0) *)
+  overshoot : float;  (** height above the nominal high level (V, >= 0) *)
+  within : bool;  (** every deviation within tolerance *)
+}
+
+type profile = {
+  stages : stage list;  (** in chain order *)
+  nominal_low : float;
+  nominal_high : float;
+  tolerance : float;
+  first_degraded : int option;  (** 1-based position of the first out-of-tolerance stage *)
+  healed_at : int option;
+      (** first position after [first_degraded] from which every
+          remaining stage is back within tolerance *)
+  healing_depth : int option;
+      (** [healed_at - first_degraded]: stages the excursion needs to
+          recover.  [None] when nothing is degraded or the chain never
+          heals. *)
+}
+
+val profile :
+  ?tolerance:float ->
+  nominal_low:float ->
+  nominal_high:float ->
+  t_from:float ->
+  (string * Wave.t) list ->
+  profile
+(** Measure every [(label, wave)] over [t >= t_from] against the
+    nominal levels (tolerance default 0.1 V, the campaign's
+    excessive-excursion threshold).  Degenerate waves (0-1 samples in
+    the window) read as degraded, never as silently healthy. *)
+
+val render_text : profile -> string
+(** Per-stage health table plus the healing-depth verdict. *)
+
+(** {1 Detector response} *)
+
+type detector_timeline = {
+  flag_time : float option;
+      (** first falling crossing of the flag threshold (the moment a
+          tester would see the flag); the start of the wave when the
+          output already sits below threshold at t = 0 (a static
+          defect folded into the DC operating point) *)
+  t_stability : float option;  (** {!Measure.time_to_stability} *)
+  t_settle : float option;  (** {!Measure.settling_time} *)
+  vmax : float;  (** ripple maximum after stability (paper's V{_max}) *)
+  v_final : float;  (** last sample *)
+  drop : float;  (** [quiescent] minus the tail floor of the wave *)
+}
+
+val detector_timeline :
+  ?noise:float ->
+  ?fraction:float ->
+  quiescent:float ->
+  threshold:float ->
+  Wave.t ->
+  detector_timeline
+(** The Figs. 7/8/10 metrics of a detector output wave.  [quiescent]
+    is the fault-free detector level (the supply rail for the paper's
+    variants); [noise] and [fraction] are passed to the underlying
+    measurements. *)
+
+val render_timeline : detector_timeline -> string

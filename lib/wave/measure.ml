@@ -46,7 +46,9 @@ let extremes w ~t_from =
 let levels w ~t_from =
   let ww = Wave.sub_range w ~t_from ~t_to:(Wave.t_end w) in
   let lo = Wave.vmin ww and hi = Wave.vmax ww in
-  if hi -. lo < 1e-12 then (lo, hi)
+  (* 0-1 samples in the window: no plateau to average, return the
+     extremes as-is ((nan, nan) for an empty window) *)
+  if Wave.length ww < 2 || hi -. lo < 1e-12 then (lo, hi)
   else begin
     let band = 0.25 *. (hi -. lo) in
     let mean_of keep =
@@ -75,6 +77,8 @@ let time_to_stability ?(noise = 1e-3) (w : Wave.t) =
   (* walk the samples tracking the running minimum; the first minimum
      is confirmed once the signal has rebounded by more than [noise] *)
   let n = Array.length w.Wave.times in
+  if n < 2 then None
+  else
   let rec walk i best_v best_t =
     if i >= n then None
     else begin
@@ -98,6 +102,8 @@ let period_average w ~freq ~t_from =
     Wave.mean (Wave.sub_range w ~t_from:(t_end -. (periods *. period)) ~t_to:t_end)
 
 let settling_time ?(fraction = 0.95) (w : Wave.t) =
+  if Wave.is_empty w then None
+  else
   let v0 = w.Wave.values.(0) in
   (* robust final value: time-weighted mean of the last tenth *)
   let t_end = Wave.t_end w and t_start = Wave.t_start w in

@@ -5,6 +5,11 @@
 
 type direction = Rising | Falling | Either
 
+(** Degenerate inputs never raise: on a wave (or measurement window)
+    with 0-1 samples, {!crossings} returns [[]], the optional
+    measurements return [None], and the level/extreme measurements
+    return the single sample or [(nan, nan)] when there is none. *)
+
 val crossings : ?direction:direction -> Wave.t -> level:float -> float list
 (** Interpolated times at which the waveform crosses [level], in
     order.  A sample exactly on the level counts as a crossing of the

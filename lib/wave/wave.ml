@@ -2,17 +2,21 @@ type t = { times : float array; values : float array }
 
 let create times values =
   let n = Array.length times in
-  if n = 0 || Array.length values <> n then invalid_arg "Wave.create: bad lengths";
+  if Array.length values <> n then invalid_arg "Wave.create: bad lengths";
   for i = 1 to n - 1 do
     if times.(i) <= times.(i - 1) then invalid_arg "Wave.create: times must increase"
   done;
   { times; values }
 
+let empty = { times = [||]; values = [||] }
+
 let length w = Array.length w.times
 
-let t_start w = w.times.(0)
+let is_empty w = Array.length w.times = 0
 
-let t_end w = w.times.(Array.length w.times - 1)
+let t_start w = if is_empty w then Float.nan else w.times.(0)
+
+let t_end w = if is_empty w then Float.nan else w.times.(Array.length w.times - 1)
 
 (* index of the last sample with time <= t (or 0) *)
 let locate w t =
@@ -32,7 +36,8 @@ let locate w t =
 
 let value_at w t =
   let n = Array.length w.times in
-  if t <= w.times.(0) then w.values.(0)
+  if n = 0 then Float.nan
+  else if t <= w.times.(0) then w.values.(0)
   else if t >= w.times.(n - 1) then w.values.(n - 1)
   else begin
     let i = locate w t in
@@ -57,16 +62,16 @@ let sub_range w ~t_from ~t_to =
       kept_t := t :: !kept_t
     end
   done;
-  if !kept_t = [] then invalid_arg "Wave.sub_range: empty window";
   { times = Array.of_list !kept_t; values = Array.of_list !keep }
 
-let vmin w = Array.fold_left Float.min w.values.(0) w.values
+let vmin w = if is_empty w then Float.nan else Array.fold_left Float.min w.values.(0) w.values
 
-let vmax w = Array.fold_left Float.max w.values.(0) w.values
+let vmax w = if is_empty w then Float.nan else Array.fold_left Float.max w.values.(0) w.values
 
 let mean w =
   let n = Array.length w.times in
-  if n = 1 then w.values.(0)
+  if n = 0 then Float.nan
+  else if n = 1 then w.values.(0)
   else begin
     let area = ref 0.0 in
     for i = 0 to n - 2 do

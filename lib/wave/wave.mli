@@ -1,19 +1,30 @@
 (** Sampled waveforms: a strictly increasing time axis and one value
-    per sample, with linear interpolation between samples. *)
+    per sample, with linear interpolation between samples.
+
+    Waves may be empty (a probe that recorded nothing, a measurement
+    window past the last sample): constructors and measurements are
+    total, with [nan]/[None]-style results on 0-sample inputs instead
+    of exceptions. *)
 
 type t = { times : float array; values : float array }
 
 val create : float array -> float array -> t
-(** Arrays must have equal nonzero length and strictly increasing
-    times. *)
+(** Arrays must have equal length (possibly zero) and strictly
+    increasing times. *)
+
+val empty : t
+(** The 0-sample wave. *)
 
 val length : t -> int
+val is_empty : t -> bool
+
 val t_start : t -> float
 val t_end : t -> float
+(** [nan] on an empty wave. *)
 
 val value_at : t -> float -> float
 (** Linear interpolation; clamped to the end values outside the
-    range. *)
+    range, [nan] on an empty wave. *)
 
 val map : (float -> float) -> t -> t
 (** Pointwise transform of the values. *)
@@ -23,13 +34,14 @@ val combine : (float -> float -> float) -> t -> t -> t
     @raise Invalid_argument if the time axes differ in length. *)
 
 val sub_range : t -> t_from:float -> t_to:float -> t
-(** Samples with [t_from <= t <= t_to].
-    @raise Invalid_argument if the window contains no sample. *)
+(** Samples with [t_from <= t <= t_to]; {!empty} when the window
+    contains no sample. *)
 
 val vmin : t -> float
 val vmax : t -> float
 val mean : t -> float
-(** Time-weighted (trapezoidal) average. *)
+(** Time-weighted (trapezoidal) average.  All three are [nan] on an
+    empty wave. *)
 
 val shift : t -> float -> t
 (** Shift the time axis by the given offset. *)

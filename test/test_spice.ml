@@ -578,6 +578,122 @@ let test_transient_guide_is_used () =
   Alcotest.(check bool) "same trajectory as the cold run" true
     (!dev <= 10.0 *. E.default_options.E.vntol)
 
+(* ------------------------------------------------------------------ *)
+(* Streaming observers *)
+
+let rc_net () =
+  let net = N.create () in
+  let inp = N.node net "in" and out = N.node net "out" in
+  N.vsource net ~name:"V1" ~pos:inp ~neg:N.gnd
+    (W.Pulse { v1 = 0.0; v2 = 1.0; delay = 1e-8; rise = 1e-9; fall = 1e-9; width = 1.0; period = 0.0 });
+  N.resistor net ~name:"R1" inp out 1000.0;
+  N.capacitor net ~name:"C1" out N.gnd 1e-9;
+  (net, out)
+
+let test_observers_match_dense_rows () =
+  let net, out = rc_net () in
+  let sim = E.compile net in
+  let idx = E.node_unknown out in
+  let obs = T.observers [ ("out", idx) ] in
+  let r = T.run ~observers:obs sim net (T.config ~tstop:1e-6 ~max_step:2e-8 ()) in
+  let times, values = T.probe_samples obs "out" in
+  Alcotest.(check int) "one sample per accepted step plus t = 0"
+    (r.T.stats.T.accepted_steps + 1)
+    (Array.length times);
+  (* at record_every = 1 the streamed probe is bit-identical to the
+     dense recording *)
+  Alcotest.(check int) "same count as dense rows" (Array.length r.T.times) (Array.length times);
+  let dense = T.node_trace r out in
+  Array.iteri
+    (fun k t ->
+      if t <> r.T.times.(k) || values.(k) <> dense.(k) then
+        Alcotest.failf "probe sample %d differs from dense row" k)
+    times
+
+let test_observers_record_every_no_alias () =
+  let net, out = rc_net () in
+  let sim = E.compile net in
+  let idx = E.node_unknown out in
+  let steps = ref 0 in
+  let obs = T.observers ~on_step:(fun _ _ -> incr steps) [ ("out", idx) ] in
+  let r = T.run ~observers:obs sim net (T.config ~tstop:1e-6 ~max_step:2e-8 ~record_every:4 ()) in
+  (* the observer sees every accepted step even though the dense
+     recorder keeps only every 4th row *)
+  Alcotest.(check int) "probe length" (r.T.stats.T.accepted_steps + 1) (T.probe_length obs);
+  Alcotest.(check int) "callback per accepted step" (T.probe_length obs) !steps;
+  Alcotest.(check bool) "dense recorder thinned" true
+    (Array.length r.T.times < T.probe_length obs);
+  (* dense row j is the probe sample at stride 4 *)
+  let times, values = T.probe_samples obs "out" in
+  let dense = T.node_trace r out in
+  Array.iteri
+    (fun j t ->
+      if j < Array.length r.T.times - 1 then begin
+        (* the final dense row is the last accepted step whatever the
+           stride, so only interior rows align to j * 4 *)
+        if t <> times.(j * 4) || dense.(j) <> values.(j * 4) then
+          Alcotest.failf "dense row %d is not probe sample %d" j (j * 4)
+      end)
+    r.T.times
+
+let test_observers_validation_and_ground () =
+  (match T.observers [ ("bad", -2) ] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  let net, _ = rc_net () in
+  let sim = E.compile net in
+  let obs = T.observers [ ("gnd", -1) ] in
+  let _ = T.run ~observers:obs sim net (T.config ~tstop:1e-7 ()) in
+  let _, values = T.probe_samples obs "gnd" in
+  Alcotest.(check bool) "ground probe reads zero" true
+    (Array.for_all (fun v -> v = 0.0) values);
+  (match T.probe_samples obs "missing" with
+  | _ -> Alcotest.fail "expected Not_found"
+  | exception Not_found -> ())
+
+let prop_observer_parity_with_dense =
+  QCheck2.Test.make ~name:"streamed probes equal dense rows at the record_every stride" ~count:10
+    QCheck2.Gen.(triple (float_range 100.0 10e3) (float_range 1e-9 1e-7) (int_range 1 5))
+    (fun (rr, cc, every) ->
+      let tau = rr *. cc in
+      let net = N.create () in
+      let inp = N.node net "in" and out = N.node net "out" in
+      N.vsource net ~name:"V1" ~pos:inp ~neg:N.gnd
+        (W.Pulse
+           {
+             v1 = 0.0;
+             v2 = 1.0;
+             delay = tau /. 100.0;
+             rise = tau /. 1000.0;
+             fall = tau /. 1000.0;
+             width = 1.0;
+             period = 0.0;
+           });
+      N.resistor net ~name:"R1" inp out rr;
+      N.capacitor net ~name:"C1" out N.gnd cc;
+      let sim = E.compile net in
+      let obs = T.observers [ ("in", E.node_unknown inp); ("out", E.node_unknown out) ] in
+      let r =
+        T.run ~observers:obs sim net
+          (T.config ~tstop:(4.0 *. tau) ~max_step:(tau /. 50.0) ~record_every:every ())
+      in
+      T.probe_length obs = r.T.stats.T.accepted_steps + 1
+      && List.for_all
+           (fun (nd, name) ->
+             let times, values = T.probe_samples obs name in
+             let dense = T.node_trace r nd in
+             let rows = Array.length r.T.times in
+             (* every interior dense row j is the probe sample at
+                j * every; the final dense row is the last accepted
+                step regardless of stride *)
+             let ok = ref true in
+             for j = 0 to rows - 2 do
+               if r.T.times.(j) <> times.(j * every) || dense.(j) <> values.(j * every) then
+                 ok := false
+             done;
+             !ok)
+           [ (inp, "in"); (out, "out") ])
+
 let test_transient_incompatible_guide_ignored () =
   (* a guide from a different circuit (different unknown count) must
      be ignored, not crash the run *)
@@ -636,6 +752,14 @@ let () =
           Alcotest.test_case "incompatible guide ignored" `Quick
             test_transient_incompatible_guide_ignored;
         ] );
+      ( "observers",
+        [
+          Alcotest.test_case "probes match dense rows" `Quick test_observers_match_dense_rows;
+          Alcotest.test_case "record_every does not alias probes" `Quick
+            test_observers_record_every_no_alias;
+          Alcotest.test_case "validation and ground probe" `Quick
+            test_observers_validation_and_ground;
+        ] );
       ( "sweep",
         [
           Alcotest.test_case "linear sweep" `Quick test_sweep_linear_circuit;
@@ -657,6 +781,7 @@ let () =
             prop_breakpoints_sorted_in_range;
             prop_resistive_network_maximum_principle;
             prop_rc_matches_analytic;
+            prop_observer_parity_with_dense;
             prop_bypass_matches_full_eval;
           ] );
     ]

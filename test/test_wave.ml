@@ -40,8 +40,22 @@ let test_sub_range () =
   check_close "starts at 1" 1.0 (Cml_wave.Wave.t_start mid)
 
 let test_sub_range_empty () =
-  Alcotest.check_raises "empty" (Invalid_argument "Wave.sub_range: empty window") (fun () ->
-      ignore (Cml_wave.Wave.sub_range ramp ~t_from:1.1 ~t_to:1.2))
+  (* a window with no samples yields the empty wave, not an exception *)
+  let w = Cml_wave.Wave.sub_range ramp ~t_from:1.1 ~t_to:1.2 in
+  Alcotest.(check bool) "empty" true (Cml_wave.Wave.is_empty w);
+  Alcotest.(check int) "no samples" 0 (Cml_wave.Wave.length w)
+
+let test_empty_wave_totals () =
+  let e = Cml_wave.Wave.empty in
+  Alcotest.(check bool) "is_empty" true (Cml_wave.Wave.is_empty e);
+  Alcotest.(check bool) "vmin nan" true (Float.is_nan (Cml_wave.Wave.vmin e));
+  Alcotest.(check bool) "vmax nan" true (Float.is_nan (Cml_wave.Wave.vmax e));
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Cml_wave.Wave.mean e));
+  Alcotest.(check bool) "value_at nan" true (Float.is_nan (Cml_wave.Wave.value_at e 1.0));
+  Alcotest.(check bool) "t_start nan" true (Float.is_nan (Cml_wave.Wave.t_start e));
+  (* sub_range of empty stays empty *)
+  Alcotest.(check bool) "sub_range empty" true
+    (Cml_wave.Wave.is_empty (Cml_wave.Wave.sub_range e ~t_from:0.0 ~t_to:1.0))
 
 let test_min_max_mean () =
   check_close "min" 0.0 (Cml_wave.Wave.vmin square_ish);
@@ -131,6 +145,35 @@ let test_time_to_stability_monotone_none () =
   let w = Cml_wave.Wave.create [| 0.0; 1.0; 2.0 |] [| 3.0; 2.0; 1.0 |] in
   Alcotest.(check bool) "no minimum" true (Cml_wave.Measure.time_to_stability w = None)
 
+let test_degenerate_measurements () =
+  (* 0- and 1-sample waves: every measurement is total (satellite
+     requirement — a diagnosis on a truncated probe must not raise) *)
+  let empty = Cml_wave.Wave.empty in
+  let single = Cml_wave.Wave.create [| 1.0 |] [| 0.7 |] in
+  Alcotest.(check (list (float 1e-9))) "crossings empty" []
+    (Cml_wave.Measure.crossings empty ~level:0.5);
+  Alcotest.(check (list (float 1e-9))) "crossings single" []
+    (Cml_wave.Measure.crossings single ~level:0.5);
+  Alcotest.(check bool) "first_crossing empty" true
+    (Cml_wave.Measure.first_crossing empty ~level:0.5 = None);
+  let lo, hi = Cml_wave.Measure.extremes empty ~t_from:0.0 in
+  Alcotest.(check bool) "extremes empty nan" true (Float.is_nan lo && Float.is_nan hi);
+  let lo, hi = Cml_wave.Measure.extremes single ~t_from:0.0 in
+  check_close "extremes single lo" 0.7 lo;
+  check_close "extremes single hi" 0.7 hi;
+  let lo, hi = Cml_wave.Measure.levels single ~t_from:0.0 in
+  check_close "levels single lo" 0.7 lo;
+  check_close "levels single hi" 0.7 hi;
+  let lo, hi = Cml_wave.Measure.levels empty ~t_from:0.0 in
+  Alcotest.(check bool) "levels empty nan" true (Float.is_nan lo && Float.is_nan hi);
+  Alcotest.(check bool) "stability empty" true
+    (Cml_wave.Measure.time_to_stability empty = None);
+  Alcotest.(check bool) "stability single" true
+    (Cml_wave.Measure.time_to_stability single = None);
+  Alcotest.(check bool) "settling empty" true (Cml_wave.Measure.settling_time empty = None);
+  Alcotest.(check bool) "diff crossings empty" true
+    (Cml_wave.Measure.differential_crossings empty empty = [])
+
 let test_period_average () =
   (* sawtooth with period 1: average 0.5 *)
   let times = Array.init 101 (fun i -> float_of_int i /. 10.0) in
@@ -139,6 +182,96 @@ let test_period_average () =
   let avg = Cml_wave.Measure.period_average w ~freq:1.0 ~t_from:2.0 in
   Alcotest.(check bool) (Printf.sprintf "avg near 0.45-0.55, got %g" avg) true
     (avg > 0.4 && avg < 0.6)
+
+(* ------------------------------------------------------------------ *)
+(* Health *)
+
+(* a square-ish wave between [lo] and [hi], with an optional extra
+   excursion [dip] below [lo] in the middle of the low plateau *)
+let plateau_wave ?(dip = 0.0) lo hi =
+  Cml_wave.Wave.create
+    [| 0.0; 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0 |]
+    [| hi; hi; lo; lo -. dip; lo; hi; hi; hi |]
+
+let test_health_profile_heals () =
+  let nominal_low = 3.05 and nominal_high = 3.3 in
+  let waves =
+    [
+      ("x1", plateau_wave nominal_low nominal_high);
+      ("x2", plateau_wave ~dip:0.4 nominal_low nominal_high);  (* faulty stage *)
+      ("x3", plateau_wave ~dip:0.15 nominal_low nominal_high);  (* partially recovered *)
+      ("x4", plateau_wave nominal_low nominal_high);
+    ]
+  in
+  let p = Cml_wave.Health.profile ~nominal_low ~nominal_high ~t_from:0.0 waves in
+  Alcotest.(check bool) "x1 ok" true (List.nth p.Cml_wave.Health.stages 0).Cml_wave.Health.within;
+  Alcotest.(check bool) "x2 degraded" false
+    (List.nth p.Cml_wave.Health.stages 1).Cml_wave.Health.within;
+  check_close ~eps:1e-6 "x2 excursion" 0.4
+    (List.nth p.Cml_wave.Health.stages 1).Cml_wave.Health.excursion;
+  Alcotest.(check (option int)) "first degraded" (Some 2) p.Cml_wave.Health.first_degraded;
+  Alcotest.(check (option int)) "healed at" (Some 4) p.Cml_wave.Health.healed_at;
+  Alcotest.(check (option int)) "healing depth" (Some 2) p.Cml_wave.Health.healing_depth;
+  Alcotest.(check bool) "renders" true
+    (String.length (Cml_wave.Health.render_text p) > 0)
+
+let test_health_profile_unhealed () =
+  let nominal_low = 3.05 and nominal_high = 3.3 in
+  let waves =
+    [
+      ("x1", plateau_wave ~dip:0.4 nominal_low nominal_high);
+      ("x2", plateau_wave ~dip:0.4 nominal_low nominal_high);
+    ]
+  in
+  let p = Cml_wave.Health.profile ~nominal_low ~nominal_high ~t_from:0.0 waves in
+  Alcotest.(check (option int)) "first degraded" (Some 1) p.Cml_wave.Health.first_degraded;
+  Alcotest.(check (option int)) "never heals" None p.Cml_wave.Health.healed_at;
+  Alcotest.(check (option int)) "no depth" None p.Cml_wave.Health.healing_depth
+
+let test_health_profile_momentary_recovery () =
+  (* degraded - ok - degraded again: the healthy stage in the middle
+     must not count as healed *)
+  let nominal_low = 3.05 and nominal_high = 3.3 in
+  let waves =
+    [
+      ("x1", plateau_wave ~dip:0.4 nominal_low nominal_high);
+      ("x2", plateau_wave nominal_low nominal_high);
+      ("x3", plateau_wave ~dip:0.4 nominal_low nominal_high);
+      ("x4", plateau_wave nominal_low nominal_high);
+    ]
+  in
+  let p = Cml_wave.Health.profile ~nominal_low ~nominal_high ~t_from:0.0 waves in
+  Alcotest.(check (option int)) "first degraded" (Some 1) p.Cml_wave.Health.first_degraded;
+  Alcotest.(check (option int)) "healed only from x4" (Some 4) p.Cml_wave.Health.healed_at;
+  Alcotest.(check (option int)) "depth 3" (Some 3) p.Cml_wave.Health.healing_depth
+
+let test_health_profile_degenerate_wave_degrades () =
+  (* an empty probe reads as degraded, never as silently healthy *)
+  let p =
+    Cml_wave.Health.profile ~nominal_low:3.05 ~nominal_high:3.3 ~t_from:0.0
+      [ ("x1", Cml_wave.Wave.empty) ]
+  in
+  Alcotest.(check (option int)) "degraded" (Some 1) p.Cml_wave.Health.first_degraded
+
+let test_detector_timeline () =
+  (* detector output: quiescent 3.3, drops to a floor of 2.9 crossing
+     2.95 on the way down, then ripples slightly *)
+  let w =
+    Cml_wave.Wave.create
+      [| 0.0; 1e-9; 2e-9; 3e-9; 4e-9; 5e-9; 6e-9 |]
+      [| 3.3; 3.1; 2.9; 2.92; 2.9; 2.92; 2.9 |]
+  in
+  let t = Cml_wave.Health.detector_timeline ~quiescent:3.3 ~threshold:2.95 w in
+  (match t.Cml_wave.Health.flag_time with
+  | Some ft -> check_close ~eps:1e-12 "flag at 2.95 crossing" 1.75e-9 ft
+  | None -> Alcotest.fail "expected a flag time");
+  (match t.Cml_wave.Health.t_stability with
+  | Some ts -> check_close ~eps:1e-12 "first minimum" 2e-9 ts
+  | None -> Alcotest.fail "expected stability");
+  check_close ~eps:1e-6 "vmax after stability" 2.92 t.Cml_wave.Health.vmax;
+  check_close ~eps:1e-6 "drop" 0.4 t.Cml_wave.Health.drop;
+  Alcotest.(check bool) "renders" true
+    (String.length (Cml_wave.Health.render_timeline t) > 0)
 
 (* ------------------------------------------------------------------ *)
 (* Csv / Ascii_plot *)
@@ -187,6 +320,40 @@ let test_vcd_analog () =
      let ln = String.length needle and lv = String.length vcd in
      let rec scan i = i + ln <= lv && (String.sub vcd i ln = needle || scan (i + 1)) in
      scan 0)
+
+let test_vcd_analog_golden_multiprobe () =
+  (* exact golden dump for a two-probe trace: pins down the header
+     layout, identifier assignment, $dumpvars block and %.9g value
+     formatting that external VCD viewers depend on *)
+  let times = [| 0.0; 1e-12; 2e-12 |] in
+  let a = Cml_wave.Wave.create times [| 0.0; 0.5; 1.0 |] in
+  let b = Cml_wave.Wave.create times [| 1.0; 0.5; 0.0 |] in
+  let got = Cml_wave.Vcd_analog.to_string ~timescale_fs:1000 [ ("a", a); ("b", b) ] in
+  let expected =
+    String.concat "\n"
+      [
+        "$version cml-dft analog dump $end";
+        "$timescale 1000 fs $end";
+        "$scope module analog $end";
+        "$var real 64 ! a $end";
+        "$var real 64 \" b $end";
+        "$upscope $end";
+        "$enddefinitions $end";
+        "#0";
+        "$dumpvars";
+        "r0 !";
+        "r1 \"";
+        "$end";
+        "#1";
+        "r0.5 !";
+        "r0.5 \"";
+        "#2";
+        "r1 !";
+        "r0 \"";
+        "";
+      ]
+  in
+  Alcotest.(check string) "golden vcd" expected got
 
 let test_vcd_analog_mismatch () =
   let short = Cml_wave.Wave.create [| 0.0; 1.0 |] [| 0.0; 1.0 |] in
@@ -271,6 +438,7 @@ let () =
           Alcotest.test_case "map/combine" `Quick test_map_combine;
           Alcotest.test_case "sub_range" `Quick test_sub_range;
           Alcotest.test_case "sub_range empty" `Quick test_sub_range_empty;
+          Alcotest.test_case "empty wave totals" `Quick test_empty_wave_totals;
           Alcotest.test_case "min/max/mean" `Quick test_min_max_mean;
           Alcotest.test_case "shift" `Quick test_shift;
         ] );
@@ -287,6 +455,17 @@ let () =
           Alcotest.test_case "stability none when monotone" `Quick
             test_time_to_stability_monotone_none;
           Alcotest.test_case "period average" `Quick test_period_average;
+          Alcotest.test_case "degenerate measurements" `Quick test_degenerate_measurements;
+        ] );
+      ( "health",
+        [
+          Alcotest.test_case "profile heals" `Quick test_health_profile_heals;
+          Alcotest.test_case "profile unhealed" `Quick test_health_profile_unhealed;
+          Alcotest.test_case "momentary recovery not healed" `Quick
+            test_health_profile_momentary_recovery;
+          Alcotest.test_case "degenerate wave reads degraded" `Quick
+            test_health_profile_degenerate_wave_degrades;
+          Alcotest.test_case "detector timeline" `Quick test_detector_timeline;
         ] );
       ( "io",
         [
@@ -294,6 +473,8 @@ let () =
           Alcotest.test_case "csv mismatch" `Quick test_csv_rejects_mismatch;
           Alcotest.test_case "csv table" `Quick test_csv_table;
           Alcotest.test_case "vcd analog" `Quick test_vcd_analog;
+          Alcotest.test_case "vcd analog golden multiprobe" `Quick
+            test_vcd_analog_golden_multiprobe;
           Alcotest.test_case "vcd analog mismatch" `Quick test_vcd_analog_mismatch;
           Alcotest.test_case "ascii plot" `Quick test_ascii_plot_renders;
           Alcotest.test_case "ascii xy" `Quick test_ascii_plot_xy;
