@@ -46,7 +46,8 @@ let run_all () =
   Printf.printf "\nall experiments done in %.1f s\n" (Unix.gettimeofday () -. t0)
 
 (* Options may appear anywhere on the command line:
-     --jobs N / -j N   worker domains for parallel sections
+     --jobs N / -j N   worker domains for parallel sections (0 = one
+                       per core)
      --json FILE       append a machine-readable entry (perf only)
      --check           exit 1 when a kernel regressed > 25% vs the
                        last committed --json entry (perf only) *)
@@ -54,11 +55,11 @@ let rec parse_options json check names = function
   | [] -> (json, check, List.rev names)
   | ("--jobs" | "-j") :: v :: rest -> (
       match int_of_string_opt v with
-      | Some n when n >= 1 ->
+      | Some n when n >= 0 ->
           Cml_runtime.Pool.set_default_jobs n;
           parse_options json check names rest
       | Some _ | None ->
-          Printf.eprintf "--jobs expects a positive integer, got %S\n" v;
+          Printf.eprintf "--jobs expects an integer >= 1 (or 0 for one per core), got %S\n" v;
           exit 2)
   | [ ("--jobs" | "-j") ] ->
       Printf.eprintf "--jobs expects a value\n";

@@ -63,6 +63,14 @@ let tests () =
     Test.make ~name:"chain transient (2 ns)" (Staged.stage (fun () ->
         let sim = E.compile chain_net in
         ignore (T.run sim chain_net (T.config ~tstop:2e-9 ~max_step:10e-12 ()))));
+    Test.make ~name:"batched campaign transient (8 lanes)" (Staged.stage (fun () ->
+        (* the campaign hot loop in miniature: eight variants of the
+           chain advancing in lockstep through one batch workspace *)
+        let lanes = Array.init 8 (fun _ -> (E.compile chain_net, None)) in
+        let cfg = T.config ~tstop:2e-9 ~max_step:10e-12 ~record_every:0 () in
+        Array.iter
+          (function T.Lane_done _ -> () | T.Lane_failed _ | T.Lane_incompatible -> assert false)
+          (T.run_batch lanes chain_net cfg)));
     Test.make ~name:"crossing detection (5k samples)" (Staged.stage (fun () ->
         ignore (Cml_wave.Measure.crossings wave ~level:3.0)));
   ]
@@ -129,11 +137,12 @@ let time_campaign ~jobs defects =
 
 module J = Cml_telemetry.Json
 
-let entry_json ~jobs ~kernels ~nunk ~(stats : E.solver_stats) ~campaign =
+let entry_json ~jobs ~cores ~kernels ~nunk ~(stats : E.solver_stats) ~campaign =
   let t1, tn, ndefects, summaries_match = campaign in
   J.Obj
     [
       ("jobs", J.Num (float_of_int jobs));
+      ("cores", J.Num (float_of_int cores));
       ( "kernels",
         J.List
           (List.map
@@ -192,14 +201,26 @@ let entry_kernels entry =
 
 let regression_limit = 1.25
 
-(* kernels of the new run that got more than 25% slower than the last
-   committed history entry: [(name, old_ns, new_ns)] *)
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* The batched-campaign kernel is a whole 8-lane workload (eight
+   compiles, eight DC solves, a shared macro grid) rather than a tight
+   inner loop, so its run-to-run spread is closer to the campaign
+   probe's than to the other kernels'; gate it at the campaign limit. *)
+let kernel_limit name =
+  if contains_sub name "batched campaign" then 1.5 else regression_limit
+
+(* kernels of the new run that got slower than their per-kernel limit
+   allows vs the last committed history entry: [(name, old_ns, new_ns)] *)
 let regressions ~baseline ~kernels =
   let old_kernels = entry_kernels baseline in
   List.filter_map
     (fun (name, ns) ->
       match List.assoc_opt name old_kernels with
-      | Some old_ns when old_ns > 0.0 && ns > regression_limit *. old_ns ->
+      | Some old_ns when old_ns > 0.0 && ns > kernel_limit name *. old_ns ->
           Some (name, old_ns, ns)
       | Some _ | None -> None)
     kernels
@@ -285,9 +306,10 @@ let run ?json ?(check = false) () =
     (stats.E.numeric_refactorizations > 10 * max 1 stats.E.symbolic_factorizations)
     "symbolic analysis is amortised across Newton iterations";
   let jobs = Cml_runtime.Pool.default_jobs () in
+  let cores = Domain.recommended_domain_count () in
   let defects = campaign_defects () in
-  Printf.printf "\ncampaign scaling (%d defects, jobs = 1 vs %d):\n%!"
-    (List.length defects) jobs;
+  Printf.printf "\ncampaign scaling (%d defects, jobs = 1 vs %d, %d cores):\n%!"
+    (List.length defects) jobs cores;
   (* interleaved best-of-two wall clocks: background load on a shared
      host drifts over seconds, and alternating the two settings keeps
      that drift from being misread as a scaling difference *)
@@ -296,17 +318,28 @@ let run ?json ?(check = false) () =
   let t1b, _ = time_campaign ~jobs:1 defects in
   let tnb, _ = time_campaign ~jobs defects in
   let t1 = Float.min t1a t1b and tn = Float.min tna tnb in
-  Printf.printf "  jobs = 1   %8.2f s\n" t1;
-  Printf.printf "  jobs = %-3d %8.2f s  (%.2fx)\n" jobs tn (if tn > 0.0 then t1 /. tn else 0.0);
+  let speedup = if tn > 0.0 then t1 /. tn else 0.0 in
+  (* per-core efficiency: speedup per domain actually running the
+     batches — at jobs > cores the pool never runs more than [cores] *)
+  let efficiency = speedup /. float_of_int (max 1 (min jobs cores)) in
+  Printf.printf "  %-10s %10s %9s %10s\n" "setting" "wall (s)" "speedup" "eff/core";
+  Printf.printf "  jobs = 1   %10.2f %8.2fx %9.0f%%\n" t1 1.0 100.0;
+  Printf.printf "  jobs = %-3d %10.2f %8.2fx %9.0f%%\n" jobs tn speedup (100.0 *. efficiency);
   let summaries_match = s1 = sn in
   Util.verdict summaries_match "parallel summary is byte-identical to sequential";
+  if cores = 1 then
+    print_endline
+      "  single-core host: parallel-speedup gate skipped (jobs = N cannot beat jobs = 1)"
+  else
+    Util.verdict (speedup >= 1.0)
+      (Printf.sprintf "campaign scales: jobs = %d is no slower than jobs = 1" jobs);
   let failed_check =
     match json with
     | None -> false
     | Some path ->
         let history = load_history path in
         let entry =
-          entry_json ~jobs ~kernels ~nunk ~stats
+          entry_json ~jobs ~cores ~kernels ~nunk ~stats
             ~campaign:(t1, tn, List.length defects, summaries_match)
         in
         write_history path (history @ [ entry ]);
@@ -335,8 +368,11 @@ let run ?json ?(check = false) () =
                 camp_regs;
               let kernels_ok = regs = [] and campaign_ok = camp_regs = [] in
               Util.verdict kernels_ok
-                (Printf.sprintf "no kernel regressed more than %.0f%% vs last entry"
-                   ((regression_limit -. 1.0) *. 100.0));
+                (Printf.sprintf
+                   "no kernel regressed more than %.0f%% vs last entry (%.0f%% for the \
+                    batched-campaign kernel)"
+                   ((regression_limit -. 1.0) *. 100.0)
+                   ((kernel_limit "batched campaign" -. 1.0) *. 100.0));
               Util.verdict campaign_ok
                 (Printf.sprintf "campaign probe within %.0f%% of last entry"
                    ((campaign_limit -. 1.0) *. 100.0));

@@ -27,16 +27,16 @@ let csv_arg =
 
 let jobs_arg =
   let doc =
-    "Worker domains for parallel simulation batches (default: $(b,CML_DFT_JOBS), then \
-     available cores - 1)."
+    "Worker domains for parallel simulation batches; $(b,0) means one per core (default: \
+     $(b,CML_DFT_JOBS), then available cores - 1)."
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let apply_jobs = function
   | None -> ()
-  | Some n when n >= 1 -> Cml_runtime.Pool.set_default_jobs n
+  | Some n when n >= 0 -> Cml_runtime.Pool.set_default_jobs n
   | Some n ->
-      Printf.eprintf "cmldft: --jobs must be a positive integer (got %d)\n" n;
+      Printf.eprintf "cmldft: --jobs must be >= 1, or 0 for one job per core (got %d)\n" n;
       exit 2
 
 let pipe_option pipe = if pipe > 0.0 then Some pipe else None
@@ -297,7 +297,14 @@ let campaign_cmd =
   let dut_arg =
     Arg.(value & opt string "x3" & info [ "dut" ] ~docv:"INST" ~doc:"Instance to attack.")
   in
-  let run freq dut jobs no_warm_start trace metrics manifest =
+  let no_batch_arg =
+    let doc =
+      "Simulate one transient per defect instead of the variant-lockstep batch scheduler; \
+       an escape hatch for isolating batch-scheduling interactions."
+    in
+    Arg.(value & flag & info [ "no-batch" ] ~doc)
+  in
+  let run freq dut jobs no_warm_start no_batch trace metrics manifest =
     apply_jobs jobs;
     with_telemetry ~trace ~metrics @@ fun () ->
     let golden = Cml_cells.Chain.build ~stages:8 ~freq () in
@@ -305,10 +312,12 @@ let campaign_cmd =
       Cml_defects.Sites.enumerate golden.Cml_cells.Chain.builder.B.net ~prefix:dut
         ~pipe_values:[ 1e3; 4e3 ]
     in
-    Printf.printf "running %d defects on %s (%d jobs)...\n%!" (List.length defects) dut
-      (Cml_runtime.Pool.default_jobs ());
+    Printf.printf "running %d defects on %s (%d jobs%s)...\n%!" (List.length defects) dut
+      (Cml_runtime.Pool.default_jobs ())
+      (if no_batch then ", unbatched" else "");
     let c =
-      Cml_defects.Campaign.run ~freq ~warm_start:(not no_warm_start) ?manifest ~defects ()
+      Cml_defects.Campaign.run ~freq ~warm_start:(not no_warm_start) ~batch:(not no_batch)
+        ?manifest ~defects ()
     in
     List.iter
       (fun e ->
@@ -329,8 +338,8 @@ let campaign_cmd =
   in
   let info = Cmd.info "campaign" ~doc:"Defect-injection campaign (paper section 5)." in
   Cmd.v info
-    Term.(const run $ freq_arg $ dut_arg $ jobs_arg $ no_warm_start_arg $ trace_arg
-          $ metrics_arg $ manifest_arg)
+    Term.(const run $ freq_arg $ dut_arg $ jobs_arg $ no_warm_start_arg $ no_batch_arg
+          $ trace_arg $ metrics_arg $ manifest_arg)
 
 (* ------------------------------------------------------------------ *)
 (* diagnose: waveform-level drill-down on one defect *)

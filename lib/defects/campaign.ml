@@ -39,20 +39,11 @@ type t = {
   metrics : Cml_telemetry.Metrics.snapshot;
 }
 
-(* As [measure_chain], but also hands back the raw trajectory (so the
-   campaign can use the fault-free run as a warm-start guide for every
-   variant) and the robust plateau levels of the chain output (the
-   nominal levels the healing profiler measures variants against).
-
-   Every measurement is taken from streaming observers, which sample
-   each accepted step regardless of [record_every] — so variants can
-   thin the dense trajectory ([record_every > 1]) without aliasing the
-   excursion minimum the classifier keys on.  [nominal] (the reference
-   run's chain-output levels) enables the per-stage healing profile. *)
-let measure_chain_full ?guide ?breakpoints ?(record_every = 1) ?nominal chain net ~freq ~tstop
-    ~dut =
-  let sim = E.compile net in
-  let cfg = T.config ~tstop ~max_step:10e-12 ~record_every () in
+(* The probe set every chain measurement samples: both outputs of each
+   stage, the input pair and (when present) the rail supply branch.
+   Built against a specific compiled sim because the branch index
+   comes from its unknown layout. *)
+let chain_probes chain sim =
   let stages = Array.length chain.Cml_cells.Chain.stages in
   let input = chain.Cml_cells.Chain.input in
   let stage_probes =
@@ -65,15 +56,18 @@ let measure_chain_full ?guide ?breakpoints ?(record_every = 1) ?nominal chain ne
              (name ^ ".n", E.node_unknown d.Cml_cells.Builder.n);
            ]))
   in
-  let probes =
-    ("in.p", E.node_unknown input.Cml_cells.Builder.p)
-    :: ("in.n", E.node_unknown input.Cml_cells.Builder.n)
-    :: (match E.branch_unknown sim "vdd" with
-       | exception Not_found -> stage_probes
-       | br -> ("i(vdd)", br) :: stage_probes)
-  in
-  let obs = T.observers probes in
-  let r = T.run ?guide ?breakpoints ~observers:obs sim net cfg in
+  ("in.p", E.node_unknown input.Cml_cells.Builder.p)
+  :: ("in.n", E.node_unknown input.Cml_cells.Builder.n)
+  :: (match E.branch_unknown sim "vdd" with
+     | exception Not_found -> stage_probes
+     | br -> ("i(vdd)", br) :: stage_probes)
+
+(* Extract the measurement (and the robust chain-output plateau
+   levels) from a finished run's streamed probes.  Everything the
+   classifier needs comes from the observers, never from the dense
+   trajectory — which is what lets batch variants run with
+   [record_every = 0]. *)
+let analyze_probes ?nominal obs ~stages ~freq ~tstop ~dut =
   let wave name =
     let times, values = T.probe_samples obs name in
     Cml_wave.Wave.create times values
@@ -134,8 +128,17 @@ let measure_chain_full ?guide ?breakpoints ?(record_every = 1) ?nominal chain ne
       degraded_at;
       healing_depth;
     },
-    r,
     Cml_wave.Measure.levels wp_fin ~t_from )
+
+let measure_chain_full ?guide ?breakpoints ?(record_every = 1) ?nominal chain net ~freq ~tstop
+    ~dut =
+  let sim = E.compile net in
+  let cfg = T.config ~tstop ~max_step:10e-12 ~record_every () in
+  let obs = T.observers (chain_probes chain sim) in
+  let r = T.run ?guide ?breakpoints ~observers:obs sim net cfg in
+  let stages = Array.length chain.Cml_cells.Chain.stages in
+  let m, levels = analyze_probes ?nominal obs ~stages ~freq ~tstop ~dut in
+  (m, r, levels)
 
 let measure_chain ?guide ?breakpoints ?record_every ?nominal chain net ~freq ~tstop ~dut =
   let m, _, _ =
@@ -254,7 +257,7 @@ let to_manifest ?seed ?(options = []) t =
     ~variants:t.variants ~metrics:t.metrics ~spans ~kind:"campaign" ()
 
 let run ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?(stages = 8) ?dut ?tstop ?jobs
-    ?(preflight = true) ?(warm_start = true) ?manifest ~defects () =
+    ?(preflight = true) ?(warm_start = true) ?(batch = true) ?manifest ~defects () =
   let dut = match dut with Some d -> d | None -> Cml_cells.Chain.dut_stage in
   let tstop = match tstop with Some t -> t | None -> 2.0 /. freq in
   let snap0 = Cml_telemetry.Metrics.snapshot () in
@@ -303,10 +306,82 @@ let run ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?(stages = 8) ?dut ?
       "variant" tok;
     (entry, variant_of_entry entry ~seconds ~stats)
   in
+  (* Batch scheduling: a contiguous slice of defects becomes one
+     lockstep lane batch ({!Cml_spice.Transient.run_batch}) — lanes
+     advance through the shared macro grid together, diverging lanes
+     retire early, and each lane's classification still reads its own
+     streamed probes.  Lanes are grouped by unknown layout inside a
+     slice because a batch shares one flat state plane (an
+     Open_terminal variant adds a node and gets its own group).
+     Variants keep no dense trajectory at all ([record_every = 0]):
+     classification is pure probe work.  Per-variant [v_seconds] is
+     the batch wall time amortised over its lanes. *)
+  let stages_count = Array.length chain.Cml_cells.Chain.stages in
+  let cfg_batch = T.config ~tstop ~max_step:10e-12 ~record_every:0 () in
+  let run_slice (defs : Defect.t array) =
+    let n = Array.length defs in
+    let tok = Cml_telemetry.Trace.start () in
+    let t0 = Cml_telemetry.Clock.now_ns () in
+    let sims =
+      Array.map
+        (fun defect ->
+          match Inject.apply golden defect with
+          | exception (Not_found | Invalid_argument _) -> None
+          | faulty -> Some (E.compile faulty))
+        defs
+    in
+    let entries =
+      Array.map (fun defect -> { defect; outcome = Failed "injection failed" }) defs
+    in
+    let statsv = Array.make n None in
+    let groups = Hashtbl.create 4 in
+    Array.iteri
+      (fun i sim ->
+        match sim with
+        | None -> ()
+        | Some s ->
+            let w = E.unknown_count s in
+            Hashtbl.replace groups w (i :: Option.value ~default:[] (Hashtbl.find_opt groups w)))
+      sims;
+    Hashtbl.iter
+      (fun _w rev_idxs ->
+        let idxs = Array.of_list (List.rev rev_idxs) in
+        let obs =
+          Array.map (fun i -> T.observers (chain_probes chain (Option.get sims.(i)))) idxs
+        in
+        let lanes = Array.mapi (fun k i -> (Option.get sims.(i), Some obs.(k))) idxs in
+        let results = T.run_batch ?guide ~breakpoints lanes golden cfg_batch in
+        Array.iteri
+          (fun k i ->
+            let defect = defs.(i) in
+            match results.(k) with
+            | T.Lane_done r ->
+                let m, _ = analyze_probes ~nominal obs.(k) ~stages:stages_count ~freq ~tstop ~dut in
+                entries.(i) <- { defect; outcome = Measured (m, classify ~proc ~reference m) };
+                statsv.(i) <- Some r.T.stats
+            | T.Lane_failed msg -> entries.(i) <- { defect; outcome = Failed msg }
+            | T.Lane_incompatible ->
+                (* unreachable: lanes are grouped by layout above *)
+                entries.(i) <- { defect; outcome = Failed "incompatible lane layout" })
+          idxs)
+      groups;
+    let seconds = Cml_telemetry.Clock.ns_to_s (Int64.sub (Cml_telemetry.Clock.now_ns ()) t0) in
+    Cml_telemetry.Trace.finish ~cat:"campaign"
+      ~args:(if tok >= 0L then [ ("lanes", Cml_telemetry.Trace.I n) ] else [])
+      "variant_batch" tok;
+    let per_lane = seconds /. float_of_int (max 1 n) in
+    Array.mapi (fun i e -> (e, variant_of_entry e ~seconds:per_lane ~stats:statsv.(i))) entries
+  in
   (* one compiled sim per defect ([Inject.apply] copies the netlist,
      [measure_chain_full] compiles its own engine), so tasks share
      only read-only state and can run on worker domains *)
-  let results = Cml_runtime.Pool.parallel_list_map ?jobs run_one defects in
+  let results =
+    if batch then
+      Array.to_list
+        (Cml_runtime.Pool.parallel_map_batches ?jobs ~max_batch:16 run_slice
+           (Array.of_list defects))
+    else Cml_runtime.Pool.parallel_list_map ?jobs run_one defects
+  in
   Cml_telemetry.Trace.finish ~cat:"campaign" "campaign" span;
   let metrics = Cml_telemetry.Metrics.diff snap0 (Cml_telemetry.Metrics.snapshot ()) in
   let t =
@@ -327,6 +402,7 @@ let run ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?(stages = 8) ?dut ?
           ("dut", string_of_int dut);
           ("tstop", Printf.sprintf "%g" tstop);
           ("warm_start", string_of_bool warm_start);
+          ("batch", string_of_bool batch);
           ("defects", string_of_int (List.length defects));
         ]
       in

@@ -86,6 +86,7 @@ val run :
   ?jobs:int ->
   ?preflight:bool ->
   ?warm_start:bool ->
+  ?batch:bool ->
   ?manifest:string ->
   defects:Defect.t list ->
   unit ->
@@ -109,6 +110,18 @@ val run :
     nominal snapshot); classification results are unaffected — a
     variant that rejects the nominal seed falls back to cold
     seeding.
+
+    Unless [batch] is [false], variants run through the
+    variant-lockstep batch scheduler
+    ({!Cml_spice.Transient.run_batch}): contiguous slices of the
+    defect list advance through a shared macro time grid as lanes of
+    one batch (grouped by unknown layout within a slice), with
+    diverging lanes retiring early.  Classification results match the
+    scalar path — both read the same streamed probes — but variant
+    trajectories are not bit-identical step for step, and per-variant
+    [v_seconds] telemetry is the batch wall time amortised over its
+    lanes.  [batch = false] keeps the classic one-transient-per-defect
+    path (the parity oracle in tests).
 
     [manifest] writes a {!Cml_telemetry.Manifest} JSON document to the
     given path after the run (options, per-variant classification and

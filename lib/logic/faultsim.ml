@@ -70,8 +70,14 @@ let detects c ~initial ~patterns fault =
 let coverage ?jobs c ~initial ~patterns =
   let faults = Array.of_list (all_faults c) in
   (* good/faulty machine pairs are rebuilt per fault; the circuit and
-     pattern list are only read, so faults fan out over domains *)
-  let hits = Cml_runtime.Pool.parallel_map ?jobs (detects c ~initial ~patterns) faults in
+     pattern list are only read, so faults fan out over domains — in
+     contiguous slices, since a single fault is far too small a task
+     to pay the pool handoff for *)
+  let hits =
+    Cml_runtime.Pool.parallel_map_batches ?jobs
+      (Array.map (detects c ~initial ~patterns))
+      faults
+  in
   let detected = Array.fold_left (fun n hit -> if hit then n + 1 else n) 0 hits in
   let total = Array.length faults in
   (float_of_int detected /. float_of_int (max 1 total), detected, total)

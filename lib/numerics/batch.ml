@@ -1,0 +1,81 @@
+(* Structure-of-arrays batch workspace for variant-lockstep solving.
+
+   A campaign advances K variants ("lanes") of one circuit through the
+   same analysis; each lane's committed state is a vector of [width]
+   unknowns.  Keeping those vectors as K separate OCaml float arrays
+   puts K live heap blocks in front of the GC and scatters them across
+   the minor/major heaps; this module instead packs them into one flat
+   Bigarray plane (lane-major, so a lane's vector is contiguous) that
+   the GC never scans and that survives sharing across domains without
+   copying.  Lane bookkeeping — which lanes are still being advanced,
+   and why the others stopped — lives alongside the plane so schedulers
+   can retire lanes without compacting the storage. *)
+
+type reason =
+  | Done
+  | Diverged
+  | Incompatible
+
+type plane =
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  lanes : int;
+  width : int;
+  data : plane;
+  status : reason option array;  (* [None] while the lane is live *)
+  mutable n_live : int;
+}
+
+let create ~lanes ~width =
+  if lanes < 1 then invalid_arg "Batch.create: lanes must be >= 1";
+  if width < 0 then invalid_arg "Batch.create: negative width";
+  let data = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (lanes * width) in
+  Bigarray.Array1.fill data 0.0;
+  { lanes; width; data; status = Array.make lanes None; n_live = lanes }
+
+let lanes t = t.lanes
+
+let width t = t.width
+
+let live_count t = t.n_live
+
+let is_live t lane = t.status.(lane) = None
+
+let status t lane = t.status.(lane)
+
+let retire t lane reason =
+  if lane < 0 || lane >= t.lanes then invalid_arg "Batch.retire: lane out of range";
+  match t.status.(lane) with
+  | Some _ -> ()  (* first retirement wins; a Done after a Diverged is not an upgrade *)
+  | None ->
+      t.status.(lane) <- Some reason;
+      t.n_live <- t.n_live - 1
+
+let get t lane i = Bigarray.Array1.unsafe_get t.data ((lane * t.width) + i)
+
+let set t lane i v = Bigarray.Array1.unsafe_set t.data ((lane * t.width) + i) v
+
+let read_lane t lane dst =
+  if Array.length dst <> t.width then invalid_arg "Batch.read_lane: width mismatch";
+  let base = lane * t.width in
+  for i = 0 to t.width - 1 do
+    Array.unsafe_set dst i (Bigarray.Array1.unsafe_get t.data (base + i))
+  done
+
+let write_lane t lane src =
+  if Array.length src <> t.width then invalid_arg "Batch.write_lane: width mismatch";
+  let base = lane * t.width in
+  for i = 0 to t.width - 1 do
+    Bigarray.Array1.unsafe_set t.data (base + i) (Array.unsafe_get src i)
+  done
+
+let iter_live f t =
+  for lane = 0 to t.lanes - 1 do
+    if t.status.(lane) = None then f lane
+  done
+
+let retired_count t reason =
+  Array.fold_left
+    (fun n s -> if s = Some reason then n + 1 else n)
+    0 t.status

@@ -1,0 +1,54 @@
+(** Structure-of-arrays batch workspace for variant-lockstep solving.
+
+    A batch holds one [width]-wide float vector per lane (campaign
+    variant) in a single flat Bigarray plane, lane-major, plus the
+    live/retired bookkeeping a lockstep scheduler needs to let lanes
+    drop out early without compacting the storage.  The plane is
+    allocated outside the OCaml heap, so the GC never scans it and
+    domains can share it without copying. *)
+
+type reason =
+  | Done  (** the lane ran to completion *)
+  | Diverged  (** Newton failed below the minimum step *)
+  | Incompatible  (** the lane's unknown layout did not match the batch *)
+
+type t
+
+val create : lanes:int -> width:int -> t
+(** Fresh zero-filled batch of [lanes] vectors of [width] floats each;
+    all lanes start live.
+    @raise Invalid_argument when [lanes < 1] or [width < 0]. *)
+
+val lanes : t -> int
+val width : t -> int
+
+val live_count : t -> int
+(** Lanes not yet retired. *)
+
+val is_live : t -> int -> bool
+val status : t -> int -> reason option
+
+val retire : t -> int -> reason -> unit
+(** Mark a lane retired.  The first retirement wins: retiring an
+    already-retired lane is a no-op, so a scheduler can safely sweep.
+    @raise Invalid_argument on a lane outside [0, lanes). *)
+
+val get : t -> int -> int -> float
+(** [get t lane i] — unchecked access, lane plane offset [i]. *)
+
+val set : t -> int -> int -> float -> unit
+
+val read_lane : t -> int -> float array -> unit
+(** Blit a lane's vector into a caller array of exactly [width].
+    @raise Invalid_argument on a width mismatch. *)
+
+val write_lane : t -> int -> float array -> unit
+(** Blit a caller array of exactly [width] into a lane's vector.
+    @raise Invalid_argument on a width mismatch. *)
+
+val iter_live : (int -> unit) -> t -> unit
+(** Apply to each live lane index in increasing order.  Retiring the
+    current lane from inside the callback is allowed. *)
+
+val retired_count : t -> reason -> int
+(** How many lanes retired with the given reason. *)

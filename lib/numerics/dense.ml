@@ -100,9 +100,9 @@ let ws n = { wm = create n; wperm = Array.make n 0 }
    Going through [get]/[set] costs a non-inlined call plus a bounds
    check per element (no flambda), which profiles as ~60% of the
    whole transient loop. *)
-let solve_ws m ws b out =
+let factor_ws m ws =
   let n = m.n in
-  assert (ws.wm.n = n && Array.length b = n && Array.length out = n && not (b == out));
+  assert (ws.wm.n = n);
   let a = ws.wm.a and perm = ws.wperm in
   Array.blit m.a 0 a 0 (n * n);
   for i = 0 to n - 1 do
@@ -141,7 +141,17 @@ let solve_ws m ws b out =
             (Array.unsafe_get a (im + j) -. (factor *. Array.unsafe_get a (kn + j)))
         done
     done
-  done;
+  done
+
+(* Permuted forward/back substitution against the factor left in the
+   workspace by [factor_ws].  Splitting this out lets a caller whose
+   matrix is bit-identical to the previous load (all junction stamps
+   replayed from cache, same integration coefficients) skip the
+   O(n^3) elimination and pay only the O(n^2) triangular sweeps. *)
+let resolve_ws ws b out =
+  let n = ws.wm.n in
+  assert (Array.length b = n && Array.length out = n && not (b == out));
+  let a = ws.wm.a and perm = ws.wperm in
   for i = 0 to n - 1 do
     out.(i) <- b.(perm.(i))
   done;
@@ -161,6 +171,10 @@ let solve_ws m ws b out =
     done;
     Array.unsafe_set out i (!s /. Array.unsafe_get a (im + i))
   done
+
+let solve_ws m ws b out =
+  factor_ws m ws;
+  resolve_ws ws b out
 
 let lu_solve { lu_mat = w; perm } b =
   let n = w.n in

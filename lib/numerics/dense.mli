@@ -60,5 +60,18 @@ val ws : int -> ws
 val solve_ws : t -> ws -> float array -> float array -> unit
 (** [solve_ws m ws b out] solves [m x = b] into [out] using the
     workspace for the factorisation — zero allocation.  [out] must not
-    be [b] (checked).  The input matrix is not modified.
+    be [b] (checked).  The input matrix is not modified.  Equivalent
+    to {!factor_ws} followed by {!resolve_ws}.
     @raise Singular like {!lu}. *)
+
+val factor_ws : t -> ws -> unit
+(** Factorise [m] into the workspace (copy + pivoted elimination)
+    without solving.  The factor stays valid until the next
+    [factor_ws]/[solve_ws] on the same workspace.
+    @raise Singular like {!lu}. *)
+
+val resolve_ws : ws -> float array -> float array -> unit
+(** Triangular solve against the factor currently in the workspace —
+    the O(n²) tail of {!solve_ws}, for callers that know the matrix
+    has not changed since the last {!factor_ws}.  [out] must not be
+    [b] (checked). *)

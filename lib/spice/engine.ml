@@ -117,6 +117,25 @@ type sim = {
   mutable n_newton_iters : int;
   mutable n_device_loads : int;
   mutable n_bypassed : int;
+  (* Jacobian-reuse tracking.  A load whose junction devices all
+     replayed cached stamps, with the same integration coefficient and
+     gshunt as the previous load, assembled a matrix bit-identical to
+     the previous one — so the previous factorization can be reused,
+     and if time/srcscale/trap also match within one Newton call, the
+     whole linear system is identical and the solve can be skipped. *)
+  mutable n_full_evals : int;  (** junction full evaluations in the last load *)
+  mutable rt_loaded : bool;  (** at least one [load] since compile / invalidation *)
+  mutable rt_have_factor : bool;
+      (** the backend factor matches the matrix of the last factored load *)
+  mutable rt_matrix_unchanged : bool;  (** last load's matrix = previous load's *)
+  mutable rt_system_identical : bool;  (** last load's matrix {e and} RHS = previous load's *)
+  mutable rt_geq : float;  (** [Dcop] is encoded as 0.0; a [Tran] geq is always > 0 *)
+  mutable rt_gshunt : float;
+  mutable rt_time : float;
+  mutable rt_srcscale : float;
+  mutable rt_trap : bool;
+  mutable n_reused_factors : int;
+  mutable n_skipped_solves : int;
 }
 
 type integ = Dcop | Tran of { geq : float; trap : bool }
@@ -262,6 +281,18 @@ let compile ?(options = default_options) net =
     n_newton_iters = 0;
     n_device_loads = 0;
     n_bypassed = 0;
+    n_full_evals = 0;
+    rt_loaded = false;
+    rt_have_factor = false;
+    rt_matrix_unchanged = false;
+    rt_system_identical = false;
+    rt_geq = nan;
+    rt_gshunt = nan;
+    rt_time = nan;
+    rt_srcscale = nan;
+    rt_trap = false;
+    n_reused_factors = 0;
+    n_skipped_solves = 0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -311,6 +342,7 @@ let assemble sim ~x ~time ~integ ~srcscale ~gshunt ~bypass ~stamp =
   let gmin = opts.gmin in
   let nvt = Models.boltzmann_vt in
   sim.junction_error <- 0.0;
+  sim.n_full_evals <- 0;
   (* gshunt diagonal for every node unknown: also guarantees a
      structurally non-empty diagonal for the sparse pattern *)
   for i = 0 to sim.nv - 1 do
@@ -341,6 +373,7 @@ let assemble sim ~x ~time ~integ ~srcscale ~gshunt ~bypass ~stamp =
           inject rhs k (-.dc.d_ieq)
         end
         else begin
+          sim.n_full_evals <- sim.n_full_evals + 1;
           let n_nvt = m.Models.d_n *. nvt in
           let vlim =
             Models.pnjlim ~vnew ~vold:js.v_last ~nvt:n_nvt
@@ -384,6 +417,7 @@ let assemble sim ~x ~time ~integ ~srcscale ~gshunt ~bypass ~stamp =
           inject rhs e bc.i_e
         end
         else begin
+          sim.n_full_evals <- sim.n_full_evals + 1;
           let vcrit = Models.vcrit ~is:m.Models.q_is ~nvt in
           let vbe =
             let v = Models.pnjlim ~vnew:vbe_new ~vold:jbe.v_last ~nvt ~vcrit in
@@ -481,7 +515,7 @@ let load sim ~x ~time ~integ ~srcscale ~gshunt =
         sp.sstamp
   in
   assemble sim ~x ~time ~integ ~srcscale ~gshunt ~bypass:sim.opts.bypass ~stamp;
-  match sim.backend with
+  (match sim.backend with
   | BDense _ -> ()
   | BSparse sp -> begin
       match sp.pat with
@@ -495,30 +529,72 @@ let load sim ~x ~time ~integ ~srcscale ~gshunt =
                 sp.count <- sp.count + 1
               end)
       | Some pat -> Cml_numerics.Sparse.refill pat sp.trip
-    end
+    end);
+  (* Jacobian-reuse bookkeeping.  The matrix depends only on the fixed
+     linear stamps, the integration coefficient (geq * C for caps; 0.0
+     encodes DC and a transient geq is always positive), gshunt and
+     the junction stamps — so when every junction device replayed its
+     cache ([n_full_evals] = 0) and geq/gshunt match the previous
+     load, the assembled matrix is bit-identical to the previous one.
+     The RHS additionally depends on time, srcscale, trap and the
+     capacitor companion states; the latter only change between Newton
+     calls, which is why [newton] limits the solve-skip to consecutive
+     iterations of one call. *)
+  let geq, trap = match integ with Dcop -> (0.0, false) | Tran { geq; trap } -> (geq, trap) in
+  let matrix_unchanged =
+    sim.rt_loaded && sim.n_full_evals = 0 && geq = sim.rt_geq && gshunt = sim.rt_gshunt
+  in
+  sim.rt_matrix_unchanged <- matrix_unchanged;
+  sim.rt_system_identical <-
+    matrix_unchanged && time = sim.rt_time && srcscale = sim.rt_srcscale && trap = sim.rt_trap;
+  sim.rt_loaded <- true;
+  sim.rt_geq <- geq;
+  sim.rt_gshunt <- gshunt;
+  sim.rt_time <- time;
+  sim.rt_srcscale <- srcscale;
+  sim.rt_trap <- trap
 
 let solve_linear_into sim out =
+  let reuse = sim.rt_matrix_unchanged && sim.rt_have_factor in
   match sim.backend with
-  | BDense { m; dws; _ } -> Cml_numerics.Dense.solve_ws m dws sim.rhs out
-  | BSparse ({ pat = Some pat; _ } as sp) ->
-      let a = Cml_numerics.Sparse.csc_of_pattern pat in
-      (* the pattern of an MNA Jacobian is fixed across Newton
-         iterations and timesteps, so the symbolic work (DFS reach,
-         pivot order, fill pattern, buffer allocation) is done once
-         and only the numeric elimination repeats; a degraded pivot
-         falls back to a full factorization with a fresh pivot order *)
-      let f =
-        match sp.lu with
-        | Some f when Cml_numerics.Sparse_lu.refactorize f a ->
-            sp.numeric <- sp.numeric + 1;
-            f
-        | Some _ | None ->
-            let f = Cml_numerics.Sparse_lu.factorize a in
-            sp.lu <- Some f;
-            sp.symbolic <- sp.symbolic + 1;
-            f
-      in
-      Cml_numerics.Sparse_lu.solve_into f sim.rhs out
+  | BDense { m; dws; _ } ->
+      if reuse then begin
+        sim.n_reused_factors <- sim.n_reused_factors + 1;
+        Cml_numerics.Dense.resolve_ws dws sim.rhs out
+      end
+      else begin
+        sim.rt_have_factor <- false;
+        Cml_numerics.Dense.factor_ws m dws;
+        sim.rt_have_factor <- true;
+        Cml_numerics.Dense.resolve_ws dws sim.rhs out
+      end
+  | BSparse ({ pat = Some pat; _ } as sp) -> begin
+      match sp.lu with
+      | Some f when reuse ->
+          sim.n_reused_factors <- sim.n_reused_factors + 1;
+          Cml_numerics.Sparse_lu.solve_into f sim.rhs out
+      | _ ->
+          sim.rt_have_factor <- false;
+          let a = Cml_numerics.Sparse.csc_of_pattern pat in
+          (* the pattern of an MNA Jacobian is fixed across Newton
+             iterations and timesteps, so the symbolic work (DFS reach,
+             pivot order, fill pattern, buffer allocation) is done once
+             and only the numeric elimination repeats; a degraded pivot
+             falls back to a full factorization with a fresh pivot order *)
+          let f =
+            match sp.lu with
+            | Some f when Cml_numerics.Sparse_lu.refactorize f a ->
+                sp.numeric <- sp.numeric + 1;
+                f
+            | Some _ | None ->
+                let f = Cml_numerics.Sparse_lu.factorize a in
+                sp.lu <- Some f;
+                sp.symbolic <- sp.symbolic + 1;
+                f
+          in
+          sim.rt_have_factor <- true;
+          Cml_numerics.Sparse_lu.solve_into f sim.rhs out
+    end
   | BSparse { pat = None; _ } -> assert false
 
 type solver_stats = {
@@ -527,6 +603,8 @@ type solver_stats = {
   newton_iters : int;
   device_loads : int;
   bypassed_loads : int;
+  reused_factorizations : int;
+  skipped_solves : int;
 }
 
 let solver_stats sim =
@@ -541,6 +619,8 @@ let solver_stats sim =
     newton_iters = sim.n_newton_iters;
     device_loads = sim.n_device_loads;
     bypassed_loads = sim.n_bypassed;
+    reused_factorizations = sim.n_reused_factors;
+    skipped_solves = sim.n_skipped_solves;
   }
 
 let zero_stats =
@@ -550,6 +630,8 @@ let zero_stats =
     newton_iters = 0;
     device_loads = 0;
     bypassed_loads = 0;
+    reused_factorizations = 0;
+    skipped_solves = 0;
   }
 
 let lu_fill sim =
@@ -569,6 +651,8 @@ let m_symbolic = M.counter "solver.symbolic_factorizations"
 let m_numeric = M.counter "solver.numeric_refactorizations"
 let m_device_loads = M.counter "engine.device_loads"
 let m_bypassed = M.counter "engine.bypassed_loads"
+let m_reused = M.counter "solver.reused_factorizations"
+let m_skipped = M.counter "solver.skipped_solves"
 let m_lu_fill = M.gauge "solver.lu_fill_nnz"
 
 let publish_metrics ?(since = zero_stats) sim =
@@ -578,6 +662,8 @@ let publish_metrics ?(since = zero_stats) sim =
   M.add m_numeric (now.numeric_refactorizations - since.numeric_refactorizations);
   M.add m_device_loads (now.device_loads - since.device_loads);
   M.add m_bypassed (now.bypassed_loads - since.bypassed_loads);
+  M.add m_reused (now.reused_factorizations - since.reused_factorizations);
+  M.add m_skipped (now.skipped_solves - since.skipped_solves);
   match lu_fill sim with
   | Some (nl, nu) -> M.set m_lu_fill (float_of_int (nl + nu))
   | None -> ()
@@ -620,16 +706,30 @@ let newton sim ~time ~integ ?(srcscale = 1.0) ?(gshunt = 0.0) x0 =
     else begin
       load sim ~x ~time ~integ ~srcscale ~gshunt;
       sim.n_newton_iters <- sim.n_newton_iters + 1;
-      match solve_linear_into sim xn with
-      | exception (Cml_numerics.Dense.Singular _ | Cml_numerics.Sparse_lu.Singular _) -> None
-      | () ->
-          let junctions_settled = sim.junction_error <= sim.opts.vntol +. (sim.opts.reltol *. 1.0) in
-          if iter > 0 && junctions_settled && converged sim x xn then
-            Some (Cml_numerics.Vec.copy xn, iter)
-          else begin
-            Array.blit xn 0 x 0 sim.nunk;
-            iterate (iter + 1)
-          end
+      (* Identical-system acceptance: for [iter > 0] the previous
+         iteration solved the system the previous load assembled, and
+         its solution is the current iterate [x].  When this load
+         produced a bit-identical system (every junction bypassed,
+         same geq/gshunt/time/srcscale/trap; capacitor states cannot
+         move inside one Newton call), solving again would return [x]
+         exactly — a zero-delta, junction-settled, converged accept.
+         Skip the solve and accept [x] directly; this is bit-exact
+         with the unskipped path. *)
+      if iter > 0 && sim.rt_system_identical then begin
+        sim.n_skipped_solves <- sim.n_skipped_solves + 1;
+        Some (Cml_numerics.Vec.copy x, iter)
+      end
+      else
+        match solve_linear_into sim xn with
+        | exception (Cml_numerics.Dense.Singular _ | Cml_numerics.Sparse_lu.Singular _) -> None
+        | () ->
+            let junctions_settled = sim.junction_error <= sim.opts.vntol +. (sim.opts.reltol *. 1.0) in
+            if iter > 0 && junctions_settled && converged sim x xn then
+              Some (Cml_numerics.Vec.copy xn, iter)
+            else begin
+              Array.blit xn 0 x 0 sim.nunk;
+              iterate (iter + 1)
+            end
     end
   in
   let result = iterate 0 in
@@ -719,6 +819,11 @@ let update_capacitor_states sim x ~h ~trap =
 
 let ac_system sim x =
   set_junction_states sim x;
+  (* this assembly full-evaluates every junction into a side triplet,
+     refreshing the bypass caches without touching the backend matrix:
+     the factor and the previous-load fingerprint are both stale now *)
+  sim.rt_loaded <- false;
+  sim.rt_have_factor <- false;
   (* collect the conductance stamps straight off the device sweep
      into a triplet (compression sums duplicates), instead of probing
      every cell of the assembled backend matrix — the dense backend

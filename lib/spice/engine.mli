@@ -120,6 +120,17 @@ type solver_stats = {
   bypassed_loads : int;
       (** of {!field-device_loads}, how many replayed cached stamps
           instead of re-evaluating the model *)
+  reused_factorizations : int;
+      (** linear solves that reused the previous factorization
+          outright because the assembled matrix was bit-identical to
+          the previous load's (every junction bypassed, same
+          integration coefficient and gshunt) — dense: triangular
+          substitution only; sparse: no numeric refactorization *)
+  skipped_solves : int;
+      (** Newton iterations accepted without a linear solve because
+          the whole system (matrix {e and} RHS) was bit-identical to
+          the one the previous iteration just solved — the solution is
+          the current iterate, exactly *)
 }
 
 val solver_stats : sim -> solver_stats
@@ -138,6 +149,7 @@ val publish_metrics : ?since:solver_stats -> sim -> unit
     sim) into the global {!Cml_telemetry.Metrics} registry
     ([solver.newton_iters], [engine.device_loads],
     [engine.bypassed_loads], [solver.*_refactorizations],
+    [solver.reused_factorizations], [solver.skipped_solves],
     [solver.lu_fill_nnz]).  Called at run boundaries, never inside the
     Newton loop. *)
 

@@ -171,7 +171,49 @@ let nearest_index times t =
   done;
   if Float.abs (times.(!hi) -. t) < Float.abs (times.(!lo) -. t) then !hi else !lo
 
-let run ?x0 ?guide ?breakpoints ?observers sim net cfg =
+(* ------------------------------------------------------------------ *)
+(* The resumable stepper.
+
+   The step loop is written against an explicit state record instead
+   of loop-local refs so that a caller can advance a simulation to an
+   intermediate target time, hand control elsewhere, and resume — the
+   primitive the variant-lockstep batch scheduler is built on.  A
+   classic [run] is [stepper_create] + one [stepper_advance] to
+   [tstop] + [stepper_finish], and is bit-identical to the former
+   monolithic loop because the breakpoint schedule always ends at
+   [tstop]: the target never clips a step the breakpoints would not
+   have clipped. *)
+
+type stepper = {
+  st_sim : Engine.sim;
+  st_cfg : config;
+  st_opts : Engine.options;
+  st_nunk : int;
+  st_breakpoints : float array;
+  st_guide : (float array * float array array) option;
+  st_observers : observers option;
+  st_stats0 : Engine.solver_stats;
+  st_t_begin : int64;
+  st_span : int64;  (** Trace.start token *)
+  st_times : Cml_numerics.Fbuf.t;
+  st_rec : recorder option;  (** [None] when [record_every = 0]: probes only *)
+  mutable st_nsnap : int;
+  mutable st_accepted : int;
+  mutable st_rejected : int;
+  mutable st_lte : int;
+  mutable st_guided : int;
+  mutable st_cold : int;
+  mutable st_x_n : float array;  (** last committed solution *)
+  mutable st_x_nm1 : float array;
+  st_xpred : float array;
+  mutable st_h_prev : float;
+  mutable st_t : float;
+  mutable st_h : float;
+  mutable st_bp_index : int;
+  mutable st_force_be : bool;
+}
+
+let stepper_create ?x0 ?guide ?breakpoints ?observers sim net cfg =
   let opts = Engine.options sim in
   let nunk = Engine.unknown_count sim in
   let breakpoints =
@@ -193,11 +235,7 @@ let run ?x0 ?guide ?breakpoints ?observers sim net cfg =
   let stats0 = Engine.solver_stats sim in
   let t_begin = Cml_telemetry.Clock.now_ns () in
   let span = Cml_telemetry.Trace.start () in
-  let accepted_steps = ref 0
-  and rejected_steps = ref 0
-  and lte_rejections = ref 0
-  and guided_seeds = ref 0
-  and cold_fallbacks = ref 0 in
+  let guided_seeds = ref 0 and cold_fallbacks = ref 0 in
   let x_start =
     match x0 with
     | Some x -> x
@@ -216,74 +254,121 @@ let run ?x0 ?guide ?breakpoints ?observers sim net cfg =
         | None -> Engine.dc_operating_point ~time:0.0 sim)
   in
   Engine.init_capacitor_states sim x_start;
-  let times = Cml_numerics.Fbuf.create () in
-  let rec_ = recorder_create nunk in
-  let nsnap = ref 0 in
-  let record t x =
-    (* observers see every accepted step; [record_every] only thins
-       the dense matrix below *)
-    observe observers t x;
-    if !nsnap mod cfg.record_every = 0 then begin
-      Cml_numerics.Fbuf.push times t;
-      recorder_push rec_ x
-    end;
-    incr nsnap
+  let st =
+    {
+      st_sim = sim;
+      st_cfg = cfg;
+      st_opts = opts;
+      st_nunk = nunk;
+      st_breakpoints = breakpoints;
+      st_guide = guide;
+      st_observers = observers;
+      st_stats0 = stats0;
+      st_t_begin = t_begin;
+      st_span = span;
+      st_times = Cml_numerics.Fbuf.create ();
+      st_rec = (if cfg.record_every > 0 then Some (recorder_create nunk) else None);
+      st_nsnap = 0;
+      st_accepted = 0;
+      st_rejected = 0;
+      st_lte = 0;
+      st_guided = !guided_seeds;
+      st_cold = !cold_fallbacks;
+      st_x_n = x_start;
+      st_x_nm1 = x_start;
+      st_xpred = Array.make nunk 0.0;
+      st_h_prev = 0.0;
+      st_t = 0.0;
+      st_h = cfg.max_step /. 10.0;
+      st_bp_index = 0;
+      st_force_be = true;
+    }
   in
-  record 0.0 x_start;
-  (* state for the predictor *)
-  let x_n = ref x_start and x_nm1 = ref x_start in
-  let xpred = Array.make nunk 0.0 in
-  let h_prev = ref 0.0 in
-  let t = ref 0.0 in
-  let h = ref (cfg.max_step /. 10.0) in
-  let bp_index = ref 0 in
-  let force_be = ref true in
   (* skip any breakpoint at or before t = 0 *)
-  while !bp_index < Array.length breakpoints && breakpoints.(!bp_index) <= 0.0 do
-    incr bp_index
+  while
+    st.st_bp_index < Array.length st.st_breakpoints
+    && st.st_breakpoints.(st.st_bp_index) <= 0.0
+  do
+    st.st_bp_index <- st.st_bp_index + 1
   done;
-  while !t < cfg.tstop -. (1e-12 *. cfg.tstop) do
+  st
+
+(* observers see every accepted step; [record_every] only thins the
+   dense matrix *)
+let stepper_record st t x =
+  observe st.st_observers t x;
+  (match st.st_rec with
+  | Some r ->
+      if st.st_nsnap mod st.st_cfg.record_every = 0 then begin
+        Cml_numerics.Fbuf.push st.st_times t;
+        recorder_push r x
+      end
+  | None -> ());
+  st.st_nsnap <- st.st_nsnap + 1
+
+(* Advance committed time to [target] (clamped to [tstop]).  A stop at
+   a source breakpoint keeps the classic semantics (force a BE restart
+   with a cautious step); a stop that is only the caller's target is a
+   plain clamp — the step commits normally and the step size keeps
+   growing, so re-syncing a batch lane at a macro grid point does not
+   poison its local step control.
+   @raise Engine.No_convergence when a step fails at [min_step]. *)
+let stepper_advance st target =
+  let cfg = st.st_cfg and sim = st.st_sim in
+  let target = Float.min target cfg.tstop in
+  while st.st_t < target -. (1e-12 *. cfg.tstop) do
     let next_bp =
-      if !bp_index < Array.length breakpoints then breakpoints.(!bp_index) else cfg.tstop
+      if st.st_bp_index < Array.length st.st_breakpoints then
+        st.st_breakpoints.(st.st_bp_index)
+      else cfg.tstop
     in
-    let hitting_bp = !t +. !h >= next_bp -. (0.01 *. !h) in
-    let t_next = if hitting_bp then next_bp else !t +. !h in
-    let h_step = t_next -. !t in
-    let trap = (not !force_be) && !h_prev > 0.0 in
+    let next_stop, is_bp = if next_bp <= target then (next_bp, true) else (target, false) in
+    let hitting = st.st_t +. st.st_h >= next_stop -. (0.01 *. st.st_h) in
+    let t_next = if hitting then next_stop else st.st_t +. st.st_h in
+    let h_step = t_next -. st.st_t in
+    let trap = (not st.st_force_be) && st.st_h_prev > 0.0 in
     let geq = if trap then 2.0 /. h_step else 1.0 /. h_step in
     let integ = Engine.Tran { geq; trap } in
-    (* [attempt_guided] travels alongside the solution so [guided_seeds]
-       only counts *accepted* guided steps: an LTE rejection retries
-       the same instant with a smaller step, and counting each retry
-       used to overstate how much work the guide saved *)
+    (* Seed order matters for speed, not correctness.  The previous
+       accepted point is this trajectory's own best predictor: it keeps
+       the junction voltages within the bypass window, so most device
+       loads replay their caches and Newton converges in the minimum
+       number of iterations.  Seeding from the guide instead (the
+       nominal trajectory of a defect campaign) re-settles every
+       junction against a foreign operating point each step — measured
+       2.4x slower over a defect campaign — so the guide is demoted to
+       a rescue: it only seeds a retry after the own-point seed failed,
+       where a known-good nearby solution genuinely helps.
+       [attempt_guided] travels alongside the solution so
+       [guided_seeds] only counts *accepted* guide-rescued steps: an
+       LTE rejection retries the same instant with a smaller step, and
+       counting each retry would overstate the guide's contribution. *)
     let attempt, attempt_guided =
-      match guide with
-      | Some (gtimes, gdata) -> begin
-          let seed = gdata.(nearest_index gtimes t_next) in
-          match Engine.newton sim ~time:t_next ~integ seed with
-          | Some _ as ok -> (ok, true)
-          | None ->
-              (* nominal trajectory too far from this variant at this
-                 instant: fall back to the classic cold seed (the
-                 previous accepted point) before giving up the step *)
-              incr cold_fallbacks;
-              (Engine.newton sim ~time:t_next ~integ !x_n, false)
+      match Engine.newton sim ~time:t_next ~integ st.st_x_n with
+      | Some _ as ok -> (ok, false)
+      | None -> begin
+          match st.st_guide with
+          | Some (gtimes, gdata) ->
+              st.st_cold <- st.st_cold + 1;
+              let seed = gdata.(nearest_index gtimes t_next) in
+              (Engine.newton sim ~time:t_next ~integ seed, true)
+          | None -> (None, false)
         end
-      | None -> (Engine.newton sim ~time:t_next ~integ !x_n, false)
     in
     let accepted =
       match attempt with
       | None -> None
       | Some (x, _iters) ->
-          if cfg.lte_control && !h_prev > 0.0 && not !force_be then begin
-            let scale = h_step /. !h_prev in
-            let xn = !x_n and xnm1 = !x_nm1 in
-            for i = 0 to nunk - 1 do
+          if cfg.lte_control && st.st_h_prev > 0.0 && not st.st_force_be then begin
+            let scale = h_step /. st.st_h_prev in
+            let xn = st.st_x_n and xnm1 = st.st_x_nm1 in
+            let xpred = st.st_xpred in
+            for i = 0 to st.st_nunk - 1 do
               xpred.(i) <- xn.(i) +. ((xn.(i) -. xnm1.(i)) *. scale)
             done;
-            if lte_ok opts xpred x then Some x
+            if lte_ok st.st_opts xpred x then Some x
             else begin
-              incr lte_rejections;
+              st.st_lte <- st.st_lte + 1;
               None
             end
           end
@@ -291,49 +376,180 @@ let run ?x0 ?guide ?breakpoints ?observers sim net cfg =
     in
     match accepted with
     | Some x ->
-        if attempt_guided then incr guided_seeds;
+        if attempt_guided then st.st_guided <- st.st_guided + 1;
         Engine.update_capacitor_states sim x ~h:h_step ~trap;
-        x_nm1 := !x_n;
-        x_n := x;
-        h_prev := h_step;
-        t := t_next;
-        incr accepted_steps;
-        record !t x;
-        if hitting_bp then begin
-          incr bp_index;
-          force_be := true;
+        st.st_x_nm1 <- st.st_x_n;
+        st.st_x_n <- x;
+        st.st_h_prev <- h_step;
+        st.st_t <- t_next;
+        st.st_accepted <- st.st_accepted + 1;
+        stepper_record st st.st_t x;
+        if hitting && is_bp then begin
+          st.st_bp_index <- st.st_bp_index + 1;
+          st.st_force_be <- true;
           (* restart cautiously after a slope discontinuity *)
-          h := Float.max cfg.min_step (Float.min !h (cfg.max_step /. 10.0))
+          st.st_h <- Float.max cfg.min_step (Float.min st.st_h (cfg.max_step /. 10.0))
         end
         else begin
-          force_be := false;
-          h := Float.min cfg.max_step (!h *. 1.4)
+          st.st_force_be <- false;
+          st.st_h <- Float.min cfg.max_step (st.st_h *. 1.4)
         end
     | None ->
-        incr rejected_steps;
+        st.st_rejected <- st.st_rejected + 1;
         let h' = h_step /. 4.0 in
         if h' < cfg.min_step then
           raise
             (Engine.No_convergence
-               (Printf.sprintf "transient step failed at t = %.6g s (h = %.3g)" !t h_step));
-        h := h';
-        force_be := true
-  done;
-  let stats1 = Engine.solver_stats sim in
+               (Printf.sprintf "transient step failed at t = %.6g s (h = %.3g)" st.st_t h_step));
+        st.st_h <- h';
+        st.st_force_be <- true
+  done
+
+let stepper_finish st =
+  let stats1 = Engine.solver_stats st.st_sim in
+  let stats0 = st.st_stats0 in
   let stats =
     {
-      accepted_steps = !accepted_steps;
-      rejected_steps = !rejected_steps;
-      lte_rejections = !lte_rejections;
+      accepted_steps = st.st_accepted;
+      rejected_steps = st.st_rejected;
+      lte_rejections = st.st_lte;
       newton_iters = stats1.Engine.newton_iters - stats0.Engine.newton_iters;
       device_loads = stats1.Engine.device_loads - stats0.Engine.device_loads;
       bypassed_loads = stats1.Engine.bypassed_loads - stats0.Engine.bypassed_loads;
-      guided_seeds = !guided_seeds;
-      cold_fallbacks = !cold_fallbacks;
+      guided_seeds = st.st_guided;
+      cold_fallbacks = st.st_cold;
     }
   in
-  publish_run ~stats0 ~t_begin sim stats span;
-  { times = Cml_numerics.Fbuf.to_array times; data = recorder_rows rec_; sim; stats }
+  publish_run ~stats0 ~t_begin:st.st_t_begin st.st_sim stats st.st_span;
+  {
+    times = Cml_numerics.Fbuf.to_array st.st_times;
+    data = (match st.st_rec with Some r -> recorder_rows r | None -> [||]);
+    sim = st.st_sim;
+    stats;
+  }
+
+let run ?x0 ?guide ?breakpoints ?observers sim net cfg =
+  let st = stepper_create ?x0 ?guide ?breakpoints ?observers sim net cfg in
+  stepper_record st 0.0 st.st_x_n;
+  stepper_advance st cfg.tstop;
+  stepper_finish st
+
+(* ------------------------------------------------------------------ *)
+(* Variant-lockstep batch runs.
+
+   K lanes (variant sims of one stimulus) advance through a shared
+   macro time grid; between grid points each lane sub-steps with its
+   own adaptive control, and at each grid point the committed lane
+   states are staged through a flat Bigarray batch plane.  Lanes that
+   fail Newton below [min_step] retire from the batch without
+   stalling the others. *)
+
+type lane_result =
+  | Lane_done of result
+  | Lane_failed of string
+  | Lane_incompatible
+
+let m_batch_runs = M.counter "transient.batch_runs"
+let m_batch_lanes = M.counter "transient.batch_lanes"
+let m_batch_macro_steps = M.counter "transient.batch_macro_steps"
+let m_batch_diverged = M.counter "transient.batch_retired_diverged"
+let m_batch_incompatible = M.counter "transient.batch_retired_incompatible"
+let m_batch_size = M.histogram "transient.batch_size"
+
+(* The macro grid the lanes re-synchronise on: a thinned copy of the
+   guide's accepted instants when warm-starting (a re-sync point per
+   accepted step would force every lane to clamp at instants it would
+   not otherwise visit — measured a few percent of extra steps over a
+   campaign — and retiring a lane a few steps later is cheap),
+   otherwise the source breakpoints padded with a coarse uniform
+   grid. *)
+let macro_sync_stride = 16
+
+let macro_grid ?guide ~breakpoints cfg =
+  let interior t = t > 0.0 && t < cfg.tstop in
+  let pts =
+    match guide with
+    | Some g when Array.length g.times > 1 ->
+        List.filteri (fun i _ -> i mod macro_sync_stride = 0)
+          (List.filter interior (Array.to_list g.times))
+    | _ ->
+        let coarse = ref [] in
+        let step = 16.0 *. cfg.max_step in
+        let t = ref step in
+        while !t < cfg.tstop do
+          coarse := !t :: !coarse;
+          t := !t +. step
+        done;
+        List.filter interior (Array.to_list breakpoints) @ !coarse
+  in
+  Array.of_list (List.sort_uniq compare (cfg.tstop :: pts))
+
+let run_batch ?guide ?breakpoints lanes net cfg =
+  let module Batch = Cml_numerics.Batch in
+  let n = Array.length lanes in
+  if n = 0 then [||]
+  else begin
+    let breakpoints =
+      match breakpoints with
+      | Some bps -> bps
+      | None -> collect_breakpoints net ~tstop:cfg.tstop
+    in
+    let grid = macro_grid ?guide ~breakpoints cfg in
+    let width = Engine.unknown_count (fst lanes.(0)) in
+    let batch = Batch.create ~lanes:n ~width in
+    M.incr m_batch_runs;
+    M.add m_batch_lanes n;
+    M.observe m_batch_size (float_of_int n);
+    let steppers = Array.make n None in
+    let failures = Array.make n "" in
+    Array.iteri
+      (fun lane (sim, observers) ->
+        if Engine.unknown_count sim <> width then
+          Batch.retire batch lane Batch.Incompatible
+        else
+          match stepper_create ?guide ~breakpoints ?observers sim net cfg with
+          | st ->
+              stepper_record st 0.0 st.st_x_n;
+              Batch.write_lane batch lane st.st_x_n;
+              steppers.(lane) <- Some st
+          | exception Engine.No_convergence msg ->
+              failures.(lane) <- msg;
+              Batch.retire batch lane Batch.Diverged)
+      lanes;
+    Array.iter
+      (fun target ->
+        if Batch.live_count batch > 0 then begin
+          M.incr m_batch_macro_steps;
+          Batch.iter_live
+            (fun lane ->
+              match steppers.(lane) with
+              | None -> ()
+              | Some st -> (
+                  try
+                    stepper_advance st target;
+                    Batch.write_lane batch lane st.st_x_n
+                  with Engine.No_convergence msg ->
+                    failures.(lane) <- msg;
+                    Batch.retire batch lane Batch.Diverged))
+            batch
+        end)
+      grid;
+    let results =
+      Array.init n (fun lane ->
+          match Batch.status batch lane with
+          | Some Batch.Diverged -> Lane_failed failures.(lane)
+          | Some Batch.Incompatible -> Lane_incompatible
+          | Some Batch.Done | None -> (
+              match steppers.(lane) with
+              | Some st ->
+                  Batch.retire batch lane Batch.Done;
+                  Lane_done (stepper_finish st)
+              | None -> assert false))
+    in
+    M.add m_batch_diverged (Batch.retired_count batch Batch.Diverged);
+    M.add m_batch_incompatible (Batch.retired_count batch Batch.Incompatible);
+    results
+  end
 
 let node_trace r nd =
   let idx = Engine.node_unknown nd in

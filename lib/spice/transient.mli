@@ -8,7 +8,10 @@ type config = {
   max_step : float;  (** largest accepted step *)
   min_step : float;  (** below this a Newton failure is fatal *)
   lte_control : bool;  (** enable predictor-corrector step control *)
-  record_every : int;  (** keep one sample out of this many (1 = all) *)
+  record_every : int;
+      (** keep one sample out of this many (1 = all; 0 = record
+          nothing: [times]/[data] stay empty and measurements come
+          from the streaming observers alone) *)
 }
 
 val config : ?max_step:float -> ?min_step:float -> ?lte_control:bool -> ?record_every:int ->
@@ -31,15 +34,16 @@ type stats = {
       (** of [device_loads], how many replayed cached stamps
           ({!Engine.options.bypass}) *)
   guided_seeds : int;
-      (** accepted steps whose Newton solve was seeded from the
-          [?guide] trajectory (0 when no guide was given).  Retries of
-          a rejected instant do not inflate this count; the work spent
-          when a guide seed diverges shows up in [cold_fallbacks]
-          instead. *)
+      (** Newton solves rescued by the [?guide] trajectory: the warm DC
+          start, plus accepted steps whose own-point seed diverged and
+          whose guide-seeded retry converged (0 when no guide was
+          given).  Retries of a rejected instant do not inflate this
+          count. *)
   cold_fallbacks : int;
-      (** guide-seeded Newton solves (including the initial DC solve)
-          that diverged and fell back to the cold seed / homotopy
-          ladder *)
+      (** seeds that diverged and triggered the next fallback: steps
+          whose own-point seed failed (a guide-seeded retry follows
+          when a guide is present), plus a guided DC start that fell
+          back to the homotopy ladder *)
 }
 
 type result = {
@@ -112,11 +116,13 @@ val run :
     [guide] warm-starts the run from a previously computed trajectory
     of a layout-compatible sim (same unknown count — checked, silently
     ignored otherwise): the DC solve is seeded from the guide's first
-    point and every step's Newton solve from the guide sample nearest
-    in time, falling back to the previous accepted point (and then to
-    the usual step halving) when the seed does not converge.  Results
-    are bit-identical in structure to an unguided run; only Newton
-    iteration counts change.
+    point, and a step whose own-point Newton seed diverges is retried
+    from the guide sample nearest in time before the usual step
+    halving.  The previous accepted point stays the primary per-step
+    seed — it keeps the junction voltages inside the device-bypass
+    window, which a foreign (nominal) seed would evict every step.
+    Results are bit-identical in structure to an unguided run; only
+    Newton iteration counts change.
 
     [breakpoints] overrides breakpoint collection with a precomputed
     schedule from {!collect_breakpoints}.
@@ -131,6 +137,43 @@ val run :
     hooks in [make telemetry-overhead]).
 
     @raise Engine.No_convergence when a step fails at [min_step]. *)
+
+type lane_result =
+  | Lane_done of result  (** the lane ran to [tstop] *)
+  | Lane_failed of string
+      (** the lane's Newton solve failed at [min_step] (the
+          {!Engine.No_convergence} message) or its DC start diverged *)
+  | Lane_incompatible
+      (** the lane's unknown count differs from lane 0's, so it could
+          not share the batch workspace — run it scalar instead *)
+
+val run_batch :
+  ?guide:result ->
+  ?breakpoints:float array ->
+  (Engine.sim * observers option) array ->
+  Netlist.t ->
+  config ->
+  lane_result array
+(** Advance every lane (a compiled variant of one stimulus, plus its
+    probe set) through the transient in lockstep: the lanes share one
+    macro time grid — the guide's accepted instants when [guide] is
+    given, else source breakpoints padded with a coarse uniform grid —
+    and between grid points each lane sub-steps under its own adaptive
+    control, re-synchronising at each grid point through a flat
+    {!Cml_numerics.Batch} plane.  A lane that diverges retires from
+    the batch immediately ([Lane_failed]) without stalling the rest;
+    the others never see its failure.
+
+    Lane 0's unknown count fixes the batch width; lanes with a
+    different layout are reported [Lane_incompatible] without running.
+    [guide] seeds each compatible lane exactly like {!run} (and is
+    ignored, per lane, on a layout mismatch).
+
+    Because a lane's steps are clamped to the macro grid, its time
+    points are not bit-identical to a scalar {!run} of the same sim —
+    classification-level results (probe measurements, convergence
+    outcome) are what batch and scalar runs share.  Results are
+    returned in lane order. *)
 
 val node_trace : result -> Netlist.node -> float array
 (** Voltage samples of a node, aligned with [times]. *)

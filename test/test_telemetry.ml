@@ -104,10 +104,15 @@ let test_campaign_merge_determinism () =
   let s2, par = campaign_spans ~jobs:2 defects in
   let _, par' = campaign_spans ~jobs:2 defects in
   Alcotest.(check (list (pair string int))) "summaries agree" s1 s2;
-  Alcotest.(check (list (pair string int))) "same span population at jobs=1 and jobs=2" seq par;
+  (* one "variant_batch" span is emitted per slice, and the slice count
+     is a function of the job count — drop it before comparing the
+     jobs=1 and jobs=2 populations *)
+  let drop_batch = List.filter (fun (name, _) -> name <> "variant_batch") in
+  Alcotest.(check (list (pair string int)))
+    "same span population at jobs=1 and jobs=2" (drop_batch seq) (drop_batch par);
   Alcotest.(check (list (pair string int))) "parallel trace is repeatable" par par';
   Alcotest.(check bool) "campaign spans recorded" true
-    (List.mem_assoc "newton_solve" par && List.mem_assoc "variant" par)
+    (List.mem_assoc "newton_solve" par && List.mem_assoc "variant_batch" par)
 
 (* ------------------------------------------------------------------ *)
 (* metrics registry: a warm-started transient reports the same
