@@ -5,7 +5,7 @@
 DUNE ?= dune
 LINT := $(DUNE) exec --no-build bin/cmldft.exe -- lint
 
-.PHONY: all build test fmt lint-examples report-examples telemetry-overhead diagnose-smoke fixtures check perf clean
+.PHONY: all build test fmt lint-examples lint-fixtures plan-smoke report-examples telemetry-overhead diagnose-smoke fixtures check perf clean
 
 all: build
 
@@ -26,6 +26,31 @@ fmt:
 
 lint-examples: build
 	$(LINT) --fail-on error examples/netlists/*.cir examples/netlists/*.bench
+
+# Every committed fixture must stay error-free under the full rule
+# set, and the pass must stay interactive-fast even on the largest
+# fixture (the c432-class surrogate): the whole run is budgeted at
+# one second.
+lint-fixtures: build
+	@start=$$(date +%s%N); \
+	$(LINT) --fail-on error examples/netlists/* >/dev/null || exit 1; \
+	elapsed_ms=$$((($$(date +%s%N) - start) / 1000000)); \
+	echo "lint-fixtures: OK ($${elapsed_ms} ms)"; \
+	if [ $$elapsed_ms -ge 1000 ]; then \
+	  echo "lint-fixtures: FAILED time budget (>= 1000 ms)"; exit 1; \
+	fi
+
+# End-to-end smoke of the placement pipeline: derate the sharing
+# limit, optimize both built-in scenarios, realize them on the
+# transistor netlists (audited), write the plan JSON and render it
+# back with `cmldft report`.
+plan-smoke: build
+	$(eval PLAN_DIR := $(shell mktemp -d))
+	$(DUNE) exec --no-build bin/cmldft.exe -- plan --scenario chain --derate \
+	  --json $(PLAN_DIR)/plan_chain8.json
+	$(DUNE) exec --no-build bin/cmldft.exe -- plan --scenario adder --derate --budget 0.7
+	$(DUNE) exec --no-build bin/cmldft.exe -- report $(PLAN_DIR)/plan_chain8.json
+	rm -rf $(PLAN_DIR)
 
 # The committed run manifests must stay parseable by `cmldft report`
 # (they are the documented example of the manifest schema).
@@ -68,7 +93,7 @@ PERF_JOBS ?= 4
 perf: build
 	$(DUNE) exec bench/main.exe -- perf --jobs $(PERF_JOBS) --json BENCH_spice.json --check
 
-check: build test fmt lint-examples report-examples diagnose-smoke telemetry-overhead
+check: build test fmt lint-examples lint-fixtures plan-smoke report-examples diagnose-smoke telemetry-overhead
 ifeq ($(CHECK_PERF),1)
 	$(MAKE) perf
 endif

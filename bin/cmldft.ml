@@ -586,7 +586,8 @@ let lint_cmd =
     Arg.(value & opt level A.Diagnostic.Error & info [ "fail-on" ] ~docv:"LEVEL" ~doc)
   in
   let rules_arg =
-    Arg.(value & flag & info [ "rules" ] ~doc:"Print the rule catalog and exit.")
+    Arg.(value & flag
+         & info [ "rules"; "list-rules" ] ~doc:"Print the full rule catalog and exit.")
   in
   let max_share_arg =
     let doc = "Safe sharing limit for the DFT-coverage audit (paper section 6.4)." in
@@ -614,11 +615,6 @@ let lint_cmd =
       ("builtin:s27.bench", A.Lint.circuit (Cml_logic.Bench_format.s27 ()));
     ]
   in
-  let lint_file path =
-    if Filename.check_suffix path ".bench" then
-      A.Lint.circuit (Cml_logic.Bench_format.read_file ~path)
-    else A.Lint.netlist (Cml_spice.Netlist_io.read_file ~path)
-  in
   let json_escape s =
     let b = Buffer.create (String.length s) in
     String.iter
@@ -635,8 +631,7 @@ let lint_cmd =
     if rules then (print_rules (); 0)
     else
       match
-        if files = [] then builtin_targets max_share
-        else List.map (fun f -> (f, lint_file f)) files
+        if files = [] then builtin_targets max_share else A.Lint.files files
       with
       | exception Cml_spice.Netlist_io.Parse_error { line; message } ->
           Printf.eprintf "cmldft lint: netlist parse error at line %d: %s\n" line message;
@@ -669,14 +664,210 @@ let lint_cmd =
           let all = List.concat_map snd targets in
           if A.Lint.fails ~fail_on all then 1 else 0
   in
-  let run files json fail_on rules max_share =
+  let run files json fail_on rules max_share jobs =
+    apply_jobs jobs;
     let code = lint_code files json fail_on rules max_share in
     if code <> 0 then exit code
   in
-  let doc = "Static analysis: electrical rules, DFT-coverage audit and SCOAP testability." in
+  let doc =
+    "Static analysis: electrical rules, DFT-coverage audit and the SCOAP/COP/distance \
+     testability metrics."
+  in
   let info = Cmd.info "lint" ~doc in
   Cmd.v info
-    Term.(const run $ files_arg $ json_arg $ fail_on_arg $ rules_arg $ max_share_arg)
+    Term.(const run $ files_arg $ json_arg $ fail_on_arg $ rules_arg $ max_share_arg
+          $ jobs_arg)
+
+(* ------------------------------------------------------------------ *)
+(* plan: COP/SCOAP-guided detector placement *)
+
+let plan_cmd =
+  let module A = Cml_analysis in
+  let module P = Dft.Placement in
+  let file_arg =
+    let doc =
+      "ISCAS-style $(b,.bench) circuit to plan detectors for (one detector site per \
+       non-input net).  Mutually exclusive with $(b,--scenario)."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE.bench" ~doc)
+  in
+  let scenario_arg =
+    let doc = "Built-in scenario: $(b,chain) (the paper's buffer chain) or $(b,adder) \
+               (the instrumented ripple-carry adder).  The plan is realized on the \
+               transistor-level circuit and audited (DFT001-004)." in
+    Arg.(value & opt (some (enum [ ("chain", `Chain); ("adder", `Adder) ])) None
+         & info [ "scenario" ] ~docv:"NAME" ~doc)
+  in
+  let stages_arg =
+    Arg.(value & opt int 8 & info [ "n"; "stages" ] ~docv:"N" ~doc:"Chain length.")
+  in
+  let bits_arg =
+    Arg.(value & opt int 4 & info [ "bits" ] ~docv:"N" ~doc:"Adder operand width.")
+  in
+  let limit_arg =
+    let doc = "Nominal per-group detector limit (the paper's margin budget)." in
+    Arg.(value & opt int Dft.Derate.nominal_group_limit & info [ "limit" ] ~docv:"N" ~doc)
+  in
+  let derate_arg =
+    let doc =
+      "Derate $(b,--limit) for process spread: Monte-Carlo sample the sensor-droop and \
+       comparator-offset distributions of the default variation spec and plan against the \
+       group size 99.9% of process samples still share safely (about 15 at the nominal 45)."
+    in
+    Arg.(value & flag & info [ "derate" ] ~doc)
+  in
+  let samples_arg =
+    Arg.(value & opt int 2000 & info [ "samples" ] ~docv:"N" ~doc:"Derating MC samples.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Derating RNG seed.")
+  in
+  let budget_arg =
+    let doc = "Fail (exit 1) when the plan's DFT-transistor overhead exceeds this fraction \
+               of the functional transistors, e.g. $(b,0.6)." in
+    Arg.(value & opt (some float) None & info [ "budget" ] ~docv:"FRACTION" ~doc)
+  in
+  let json_arg =
+    let doc = "Write the plan as JSON (schema $(b,cml-dft-plan/1), renderable by \
+               $(b,cmldft report)); $(b,-) prints it on stdout instead of the text report." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let bench_sites path =
+    let c = Cml_logic.Bench_format.read_file ~path in
+    let module C = Cml_logic.Circuit in
+    let name_of net =
+      match List.find_opt (fun (_, n) -> n = net) c.C.outputs with
+      | Some (name, _) -> name
+      | None -> Printf.sprintf "n%d" net
+    in
+    let cells = ref [] in
+    Array.iteri
+      (fun net g -> match g with C.Input _ -> () | _ -> cells := (name_of net, net) :: !cells)
+      c.C.gates;
+    (c, List.rev !cells)
+  in
+  let build_adder bits =
+    let b = B.create () in
+    let operand name v =
+      Array.init bits (fun k ->
+          B.diff_dc_input b ~name:(Printf.sprintf "%s%d" name k) ~value:((v lsr k) land 1 = 1))
+    in
+    let a = operand "a" 11 and bv = operand "b" 6 in
+    let cin = B.diff_dc_input b ~name:"cin" ~value:false in
+    let _ = Cml_cells.Adder.ripple_carry b ~name:"add" ~a ~b:bv ~cin in
+    b
+  in
+  let plan_code file scenario stages bits limit derate samples seed budget json =
+    if limit < 1 then begin
+      Printf.eprintf "cmldft plan: --limit must be >= 1 (got %d)\n" limit;
+      2
+    end
+    else
+      let target =
+        match (file, scenario) with
+        | Some _, Some _ ->
+            Printf.eprintf "cmldft plan: give either FILE.bench or --scenario, not both\n";
+            exit 2
+        | Some path, None -> `File path
+        | None, Some s -> `Scenario s
+        | None, None -> `Scenario `Chain
+      in
+      let effective, derated =
+        if derate then begin
+          let model =
+            Dft.Derate.of_spec ~nominal_limit:limit Cml_defects.Variation.default_spec
+          in
+          let r = Dft.Derate.effective_limit ~samples ~seed model in
+          (r.Dft.Derate.effective, Some r)
+        end
+        else (limit, None)
+      in
+      match
+        match target with
+        | `File path ->
+            let circuit, cells = bench_sites path in
+            (circuit, cells, None)
+        | `Scenario `Chain ->
+            let circuit, cells = P.chain_twin ~stages in
+            let realize groups =
+              let chain = Cml_cells.Chain.build_dc ~stages ~value:true () in
+              let b = chain.Cml_cells.Chain.builder in
+              (Dft.Insertion.instrument_groups ~groups b, b)
+            in
+            (circuit, cells, Some realize)
+        | `Scenario `Adder ->
+            let circuit, cells = P.adder_twin ~bits in
+            let realize groups =
+              let b = build_adder bits in
+              (Dft.Insertion.instrument_groups ~groups b, b)
+            in
+            (circuit, cells, Some realize)
+      with
+      | exception Cml_logic.Bench_format.Parse_error { line; message } ->
+          Printf.eprintf "cmldft plan: bench parse error at line %d: %s\n" line message;
+          2
+      | exception Sys_error msg ->
+          Printf.eprintf "cmldft plan: %s\n" msg;
+          2
+      | circuit, cells, realize ->
+          let plan =
+            P.optimize ~nominal_limit:limit ~limit:effective (P.sites ~circuit ~cells)
+          in
+          let diags =
+            P.check plan
+            @
+            match realize with
+            | None -> []
+            | Some f ->
+                let iplan, b = f (P.to_groups plan) in
+                Dft.Audit.check ~max_safe_share:effective iplan b
+          in
+          let diags = A.Diagnostic.sort diags in
+          if json = Some "-" then
+            print_string (Cml_telemetry.Json.to_string (P.to_json plan))
+          else begin
+            (match derated with
+            | None -> ()
+            | Some r ->
+                Printf.printf "derated limit: %d -> %d (%d MC samples, %.1f%% confidence)\n"
+                  limit r.Dft.Derate.effective r.Dft.Derate.samples
+                  (100.0 *. r.Dft.Derate.model.Dft.Derate.confidence));
+            print_string (P.render_text plan);
+            if diags <> [] then print_string (A.Diagnostic.render_text diags)
+          end;
+          (match json with
+          | None | Some "-" -> ()
+          | Some path ->
+              P.write_json ~path plan;
+              Printf.printf "wrote %s\n" path);
+          let over_budget =
+            match budget with
+            | Some b when plan.P.area_overhead > b ->
+                Printf.printf "area overhead %.1f%% exceeds the budget %.1f%%\n"
+                  (100.0 *. plan.P.area_overhead) (100.0 *. b);
+                true
+            | _ -> false
+          in
+          if over_budget || A.Lint.fails ~fail_on:A.Diagnostic.Error diags then 1 else 0
+  in
+  let run file scenario stages bits limit derate samples seed budget json jobs trace metrics =
+    apply_jobs jobs;
+    let code =
+      with_telemetry ~trace ~metrics @@ fun () ->
+      plan_code file scenario stages bits limit derate samples seed budget json
+    in
+    if code <> 0 then exit code
+  in
+  let doc =
+    "Optimize detector placement: full-coverage sensor groups under the (optionally \
+     process-derated) sharing limit, depth-balanced to minimise read-out area, with \
+     COP/SCOAP hardest-net ranking and a machine-readable plan."
+  in
+  let info = Cmd.info "plan" ~doc in
+  Cmd.v info
+    Term.(const run $ file_arg $ scenario_arg $ stages_arg $ bits_arg $ limit_arg
+          $ derate_arg $ samples_arg $ seed_arg $ budget_arg $ json_arg $ jobs_arg
+          $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* report: render manifests / metrics files for humans *)
@@ -702,14 +893,18 @@ let report_cmd =
            snapshot *)
         match Dft.Diagnose.of_json j with
         | d -> print_string (Dft.Diagnose.render_text d)
-        | exception Dft.Diagnose.Bad_diagnosis _ ->
-            let snap = Tel.Metrics.of_json j in
-            if snap = [] then
-              failwith "not a run manifest, diagnosis record or metrics snapshot"
-            else begin
-              Printf.printf "metrics snapshot: %s\n" path;
-              print_string (Tel.Metrics.render_text snap)
-            end)
+        | exception Dft.Diagnose.Bad_diagnosis _ -> (
+            match Dft.Placement.of_json j with
+            | p -> print_string (Dft.Placement.render_text p)
+            | exception Dft.Placement.Bad_plan _ ->
+                let snap = Tel.Metrics.of_json j in
+                if snap = [] then
+                  failwith
+                    "not a run manifest, diagnosis record, placement plan or metrics snapshot"
+                else begin
+                  Printf.printf "metrics snapshot: %s\n" path;
+                  print_string (Tel.Metrics.render_text snap)
+                end))
   in
   let run files top =
     let fail = ref false in
@@ -740,7 +935,7 @@ let main_cmd =
   Cmd.group info
     [
       chain_cmd; detector_cmd; sharing_cmd; campaign_cmd; diagnose_cmd; area_cmd; mc_cmd;
-      logic_cmd; export_cmd; op_cmd; lint_cmd; report_cmd;
+      logic_cmd; export_cmd; op_cmd; lint_cmd; plan_cmd; report_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -26,8 +26,12 @@ let () =
     Cml_dft.Insertion.instrument instrumented.Cml_cells.Chain.builder
   in
   write_deck "instrumented_chain8.cir" instrumented.Cml_cells.Chain.builder.B.net;
-  let path = Filename.concat dir "s27.bench" in
-  let oc = open_out path in
-  output_string oc (Cml_logic.Bench_format.to_string (Cml_logic.Bench_format.s27 ()));
-  close_out oc;
-  Printf.printf "wrote %s\n" path
+  let write_bench name circuit =
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    output_string oc (Cml_logic.Bench_format.to_string circuit);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  in
+  write_bench "s27.bench" (Cml_logic.Bench_format.s27 ());
+  write_bench "c432_surrogate.bench" (Cml_logic.Bench_circuits.c432_surrogate ())

@@ -1,0 +1,214 @@
+module C = Cml_logic.Circuit
+module D = Diagnostic
+
+type correction = { stem : int; meet : int; naive : float; corrected : float }
+
+type metrics = {
+  p1 : float array;
+  obs : float array;
+  passes : int;
+  corrections : correction list;
+}
+
+let m_fixpoint_iters = Cml_telemetry.Metrics.counter "analysis.cop_fixpoint_iters"
+
+let fanins = function
+  | C.Input _ -> []
+  | C.And (a, b) | C.Or (a, b) | C.Xor (a, b) -> [ a; b ]
+  | C.Not a | C.Buf a -> [ a ]
+  | C.Mux { sel; a; b } -> [ sel; a; b ]
+  | C.Dff { d } -> [ d ]
+
+let consumers (c : C.t) =
+  let n = Array.length c.C.gates in
+  let cons = Array.make n [] in
+  Array.iteri
+    (fun i g -> List.iter (fun f -> cons.(f) <- i :: cons.(f)) (fanins g))
+    c.C.gates;
+  Array.map (List.sort_uniq Stdlib.compare) cons
+
+let tolerance = 1e-12
+
+let max_passes = 1000
+
+(* Forward signal-probability fixpoint.  [pins] force selected nets to
+   a fixed probability (the Shannon-expansion conditioning used by the
+   reconvergence correction below).  Flip-flop transfers are damped by
+   averaging with the previous value so oscillating sequential loops
+   (an inverter through a flip-flop) converge instead of flapping. *)
+let probabilities ?(pins = []) (c : C.t) =
+  let n = Array.length c.C.gates in
+  let p = Array.make n 0.5 in
+  let pinned = Array.make n None in
+  List.iter (fun (i, v) -> pinned.(i) <- Some v) pins;
+  let value i = p.(i) in
+  let gate_p1 i =
+    match c.C.gates.(i) with
+    | C.Input _ -> 0.5
+    | C.And (a, b) -> value a *. value b
+    | C.Or (a, b) -> value a +. value b -. (value a *. value b)
+    | C.Xor (a, b) -> (value a *. (1.0 -. value b)) +. (value b *. (1.0 -. value a))
+    | C.Not a -> 1.0 -. value a
+    | C.Buf a -> value a
+    | C.Mux { sel; a; b } -> (value sel *. value a) +. ((1.0 -. value sel) *. value b)
+    | C.Dff { d } -> 0.5 *. (p.(i) +. value d)
+  in
+  let passes = ref 0 in
+  let delta = ref 1.0 in
+  while !delta > tolerance && !passes < max_passes do
+    delta := 0.0;
+    let relax i =
+      let next = match pinned.(i) with Some v -> v | None -> gate_p1 i in
+      delta := Float.max !delta (Float.abs (next -. p.(i)));
+      p.(i) <- next
+    in
+    Array.iter relax c.C.order;
+    Array.iter relax c.C.dffs;
+    incr passes
+  done;
+  (p, !passes)
+
+(* Correlation-aware correction: the independence assumption is exact
+   except across reconvergent fanout, where both gate inputs depend on
+   the same stem.  For every (stem, meet) pair found by the SCOAP
+   reconvergence scan, condition on the stem (Shannon expansion):
+   P(meet) = P(stem) P(meet | stem=1) + (1-P(stem)) P(meet | stem=0),
+   where the conditional circuit probabilities come from re-running the
+   fixpoint with the stem pinned.  Corrected meets stay pinned for
+   later corrections so cascaded reconvergence sees corrected values. *)
+let correct c (p, passes0) =
+  let stems = Scoap.reconvergent_stems c in
+  (* correct shallow meets first so downstream corrections build on them *)
+  let topo_rank =
+    let n = Array.length c.C.gates in
+    let rank = Array.make n 0 in
+    Array.iteri (fun k i -> rank.(i) <- k) c.C.order;
+    rank
+  in
+  let stems =
+    List.stable_sort (fun (_, m1) (_, m2) -> compare topo_rank.(m1) topo_rank.(m2)) stems
+  in
+  let pins = ref [] in
+  let passes = ref passes0 in
+  let corrections = ref [] in
+  List.iter
+    (fun (stem, meet) ->
+      let ps = p.(stem) in
+      let conditional v =
+        let cond, used = probabilities ~pins:((stem, v) :: !pins) c in
+        passes := !passes + used;
+        cond.(meet)
+      in
+      let corrected = (ps *. conditional 1.0) +. ((1.0 -. ps) *. conditional 0.0) in
+      if Float.abs (corrected -. p.(meet)) > tolerance then begin
+        corrections := { stem; meet; naive = p.(meet); corrected } :: !corrections;
+        pins := (meet, corrected) :: !pins
+      end)
+    stems;
+  let p, final_passes =
+    if !pins = [] then (p, 0) else probabilities ~pins:!pins c
+  in
+  passes := !passes + final_passes;
+  (p, !passes, List.rev !corrections)
+
+(* Backward observability fixpoint over the corrected probabilities.
+   obs(n) is the probability that a value change on [n] propagates to
+   some primary output; fanout takes the best branch (a lower bound —
+   simultaneous propagation along several branches only helps).
+   Starting from zero the relaxation is monotone non-decreasing and
+   bounded by one, so it converges without damping, flip-flop loops
+   included. *)
+let observabilities (c : C.t) p1 =
+  let n = Array.length c.C.gates in
+  let cons = consumers c in
+  let obs = Array.make n 0.0 in
+  List.iter (fun (_, id) -> obs.(id) <- 1.0) c.C.outputs;
+  let is_output = Array.make n false in
+  List.iter (fun (_, id) -> is_output.(id) <- true) c.C.outputs;
+  let transfer g i =
+    (* probability that a change on input [i] of gate [g] reaches g's
+       output, times g's own observability *)
+    let og = obs.(g) in
+    match c.C.gates.(g) with
+    | C.Input _ -> 0.0
+    | C.And (a, b) -> og *. (if i = a then p1.(b) else p1.(a))
+    | C.Or (a, b) -> og *. (if i = a then 1.0 -. p1.(b) else 1.0 -. p1.(a))
+    | C.Xor _ | C.Not _ | C.Buf _ | C.Dff _ -> og
+    | C.Mux { sel; a; b } ->
+        if i = sel then
+          og *. ((p1.(a) *. (1.0 -. p1.(b))) +. (p1.(b) *. (1.0 -. p1.(a))))
+        else if i = a then og *. p1.(sel)
+        else og *. (1.0 -. p1.(sel))
+  in
+  let passes = ref 0 in
+  let changed = ref true in
+  while !changed && !passes < max_passes do
+    changed := false;
+    let relax i =
+      let base = if is_output.(i) then 1.0 else 0.0 in
+      let next = List.fold_left (fun acc g -> Float.max acc (transfer g i)) base cons.(i) in
+      if next -. obs.(i) > tolerance then begin
+        obs.(i) <- next;
+        changed := true
+      end
+    in
+    for k = Array.length c.C.order - 1 downto 0 do
+      relax c.C.order.(k)
+    done;
+    Array.iter relax c.C.dffs;
+    incr passes
+  done;
+  (obs, !passes)
+
+let compute c =
+  let p, passes, corrections = correct c (probabilities c) in
+  let obs, obs_passes = observabilities c p in
+  let passes = passes + obs_passes in
+  Cml_telemetry.Metrics.add m_fixpoint_iters passes;
+  { p1 = p; obs; passes; corrections }
+
+(* ------------------------------------------------------------------ *)
+
+type config = { p_skew : float; obs_floor : float; correction_note : float }
+
+let default_config = { p_skew = 0.01; obs_floor = 0.01; correction_note = 0.05 }
+
+let check ?(config = default_config) (c : C.t) =
+  let m = compute c in
+  let cons = consumers c in
+  let is_output = Array.make (Array.length c.C.gates) false in
+  List.iter (fun (_, id) -> is_output.(id) <- true) c.C.outputs;
+  let out = ref [] in
+  for i = Array.length c.C.gates - 1 downto 0 do
+    (match c.C.gates.(i) with
+    | C.Input _ -> ()
+    | _ ->
+        if m.p1.(i) < config.p_skew || m.p1.(i) > 1.0 -. config.p_skew then
+          out :=
+            D.make ~rule:Rules.cop_skewed_probability D.Warning (D.Gate i)
+              "signal probability P(1) = %.4f is outside [%.2f, %.2f]; random patterns \
+               rarely exercise this net"
+              m.p1.(i) config.p_skew
+              (1.0 -. config.p_skew)
+            :: !out);
+    (* nets with no path to an output at all are SCOAP001's business *)
+    if (cons.(i) <> [] || is_output.(i)) && m.obs.(i) > 0.0 && m.obs.(i) < config.obs_floor
+    then
+      out :=
+        D.make ~rule:Rules.cop_low_observability D.Warning (D.Gate i)
+          "change-propagation probability %.5f is below %.2f; faults here are \
+           random-pattern resistant"
+          m.obs.(i) config.obs_floor
+        :: !out
+  done;
+  List.iter
+    (fun cor ->
+      if Float.abs (cor.corrected -. cor.naive) > config.correction_note then
+        out :=
+          D.make ~rule:Rules.cop_correlation D.Info (D.Gate cor.meet)
+            "reconvergence of stem %d shifts P(1) from %.4f (independence) to %.4f \
+             (conditioned); independence-based metrics are unreliable here"
+            cor.stem cor.naive cor.corrected
+          :: !out)
+    m.corrections;
+  List.rev !out

@@ -1,0 +1,48 @@
+(** COP (Controllability/Observability Probability) testability
+    metrics: the probability that a net carries a 1 under uniform
+    random primary inputs, and the probability that a value change on
+    a net propagates to some primary output.
+
+    Unlike SCOAP's additive effort counts ({!Scoap}), COP values are
+    probabilities in [0, 1] — directly comparable with random-pattern
+    test lengths (a net with P(1) = 0.001 needs ~1000 patterns per
+    exercise).  Gate transfer functions assume independent inputs; the
+    one place that assumption breaks, reconvergent fanout, is repaired
+    by conditioning on each reconvergent stem (Shannon expansion,
+    stems found by {!Scoap.reconvergent_stems}).  Flip-flop feedback
+    is resolved by a damped fixpoint; the total pass count feeds the
+    [analysis.cop_fixpoint_iters] metrics counter. *)
+
+type correction = {
+  stem : int;  (** the reconvergent fanout stem *)
+  meet : int;  (** the net where its branches meet again *)
+  naive : float;  (** P(1) under the independence assumption *)
+  corrected : float;  (** P(1) after conditioning on the stem *)
+}
+
+type metrics = {
+  p1 : float array;  (** per net, probability the net is 1 *)
+  obs : float array;  (** per net, change-propagation probability *)
+  passes : int;  (** total fixpoint passes (forward + conditional + backward) *)
+  corrections : correction list;  (** applied reconvergence corrections *)
+}
+
+val compute : Cml_logic.Circuit.t -> metrics
+(** Forward probability fixpoint, reconvergence correction, backward
+    observability fixpoint.  Publishes the pass count to the
+    [analysis.cop_fixpoint_iters] counter. *)
+
+type config = {
+  p_skew : float;  (** P(1) outside [p_skew, 1-p_skew] is flagged *)
+  obs_floor : float;  (** observability below this is flagged *)
+  correction_note : float;
+      (** corrections moving P(1) by more than this are reported *)
+}
+
+val default_config : config
+(** [p_skew = 0.01], [obs_floor = 0.01], [correction_note = 0.05]. *)
+
+val check : ?config:config -> Cml_logic.Circuit.t -> Diagnostic.t list
+(** COP001 skewed signal probability (warning), COP002 low
+    change-propagation probability (warning), COP003 material
+    reconvergence correction (info). *)

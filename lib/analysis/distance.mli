@@ -1,0 +1,38 @@
+(** Path-distance testability metrics: logic depth from the primary
+    inputs, logic depth to the primary outputs, flip-flop-to-flip-flop
+    segment depth and sequential distance (flip-flop crossings), per
+    net.  Depth counts real gate levels (buffers and flip-flop
+    transfers are free, matching {!Cml_logic.Timing}); detector
+    placement uses these to keep sharing groups depth-balanced so one
+    group's sensors flag within a bounded settling window. *)
+
+type metrics = {
+  from_inputs : int array;
+      (** longest combinational path from any segment source (primary
+          input or flip-flop output) *)
+  to_outputs : int array;
+      (** longest combinational path to any segment sink (primary
+          output or flip-flop data input); [-1] = drives nothing *)
+  seq_depth : int array;
+      (** minimum flip-flop crossings from a primary input;
+          {!unreachable} = no primary-input ancestry *)
+  comb_depth : int;  (** deepest combinational segment in the circuit *)
+  ff_to_ff : int;
+      (** deepest combinational segment from a flip-flop output to a
+          flip-flop data input; [-1] = no such segment *)
+  output_depths : (string * int) list;  (** per output, declaration order *)
+}
+
+val unreachable : int
+(** Sentinel for "no path"; safe to add without overflow. *)
+
+val compute : Cml_logic.Circuit.t -> metrics
+
+type config = { depth_warn : int  (** segments deeper than this are flagged *) }
+
+val default_config : config
+(** [depth_warn = 48]. *)
+
+val check : ?config:config -> Cml_logic.Circuit.t -> Diagnostic.t list
+(** DIST001 over-deep input-to-output or flip-flop segment (warning),
+    DIST002 depth summary (info). *)

@@ -2,7 +2,25 @@ exception Preflight_failed of string
 
 let netlist ?erc net = Diagnostic.sort (Erc.check ?config:erc net)
 
-let circuit ?scoap c = Diagnostic.sort (Scoap.check ?config:scoap c)
+let circuit ?scoap ?cop ?distance c =
+  Diagnostic.sort
+    (Scoap.check ?config:scoap c
+    @ Cop.check ?config:cop c
+    @ Distance.check ?config:distance c)
+
+let file path =
+  if Filename.check_suffix path ".bench" then
+    circuit (Cml_logic.Bench_format.read_file ~path)
+  else netlist (Cml_spice.Netlist_io.read_file ~path)
+
+(* Parsing and rule evaluation are independent per file, so files lint
+   in parallel; [Pool.parallel_map] keeps slot [i] = [f files.(i)], so
+   the report (and its JSON rendering) is byte-identical at any job
+   count.  Exceptions surface from the lowest failing index, also
+   deterministically. *)
+let files ?jobs paths =
+  Array.to_list
+    (Cml_runtime.Pool.parallel_map ?jobs (fun path -> (path, file path)) (Array.of_list paths))
 
 let fails ~fail_on ds =
   List.exists (fun d -> Diagnostic.severity_ge d.Diagnostic.severity fail_on) ds

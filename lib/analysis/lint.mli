@@ -16,8 +16,28 @@ exception Preflight_failed of string
 val netlist : ?erc:Erc.config -> Cml_spice.Netlist.t -> Diagnostic.t list
 (** All electrical and CML rules, sorted. *)
 
-val circuit : ?scoap:Scoap.config -> Cml_logic.Circuit.t -> Diagnostic.t list
-(** All SCOAP rules, sorted. *)
+val circuit :
+  ?scoap:Scoap.config ->
+  ?cop:Cop.config ->
+  ?distance:Distance.config ->
+  Cml_logic.Circuit.t ->
+  Diagnostic.t list
+(** All gate-level testability rules — SCOAP, COP probabilities and
+    path-distance metrics — merged and sorted. *)
+
+val file : string -> Diagnostic.t list
+(** Lint one file by extension: [.bench] circuits get the gate-level
+    rules, anything else parses as a SPICE-flavoured deck and gets the
+    electrical + CML rules.
+    @raise Cml_logic.Bench_format.Parse_error
+    @raise Cml_spice.Netlist_io.Parse_error
+    @raise Sys_error on IO failure. *)
+
+val files : ?jobs:int -> string list -> (string * Diagnostic.t list) list
+(** {!file} over many paths in parallel ([jobs] resolves as in
+    {!Cml_runtime.Pool}).  Results keep the input order and each
+    report is sorted, so the output — and any rendering of it — is
+    byte-identical at every job count. *)
 
 val fails : fail_on:Diagnostic.severity -> Diagnostic.t list -> bool
 (** True when any diagnostic is at least as severe as [fail_on]. *)

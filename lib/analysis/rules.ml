@@ -28,6 +28,18 @@ let scoap_hard_control = "SCOAP003"
 let scoap_reconvergent = "SCOAP004"
 let scoap_output_summary = "SCOAP005"
 
+let cop_skewed_probability = "COP001"
+let cop_low_observability = "COP002"
+let cop_correlation = "COP003"
+
+let dist_deep_path = "DIST001"
+let dist_summary = "DIST002"
+
+let place_over_limit = "PLACE001"
+let place_uncovered_weak_net = "PLACE002"
+let place_unbalanced_depth = "PLACE003"
+let place_redundant_detector = "PLACE004"
+
 let all =
   [
     { id = erc_floating_node; family = "erc"; severity = Diagnostic.Error;
@@ -68,6 +80,24 @@ let all =
       title = "fanout stem reconverges downstream" };
     { id = scoap_output_summary; family = "scoap"; severity = Diagnostic.Info;
       title = "hardest-to-observe net in an output cone" };
+    { id = cop_skewed_probability; family = "cop"; severity = Diagnostic.Warning;
+      title = "signal probability too skewed for random patterns" };
+    { id = cop_low_observability; family = "cop"; severity = Diagnostic.Warning;
+      title = "change-propagation probability below the floor" };
+    { id = cop_correlation; family = "cop"; severity = Diagnostic.Info;
+      title = "reconvergence correction materially shifts a probability" };
+    { id = dist_deep_path; family = "dist"; severity = Diagnostic.Warning;
+      title = "combinational segment deeper than the threshold" };
+    { id = dist_summary; family = "dist"; severity = Diagnostic.Info;
+      title = "input-to-output and flip-flop segment depth summary" };
+    { id = place_over_limit; family = "place"; severity = Diagnostic.Error;
+      title = "sharing group exceeds the derated safe limit" };
+    { id = place_uncovered_weak_net; family = "place"; severity = Diagnostic.Error;
+      title = "low-observability net has no detector" };
+    { id = place_unbalanced_depth; family = "place"; severity = Diagnostic.Warning;
+      title = "sharing group spans too wide a logic-depth range" };
+    { id = place_redundant_detector; family = "place"; severity = Diagnostic.Warning;
+      title = "detector duplicates coverage of an already-monitored net" };
   ]
 
 let find id = List.find_opt (fun r -> r.id = id) all

@@ -5,7 +5,9 @@
 
 type info = {
   id : string;
-  family : string;  (** ["erc"], ["cml"], ["dft"] or ["scoap"] *)
+  family : string;
+      (** ["erc"], ["cml"], ["dft"], ["scoap"], ["cop"], ["dist"] or
+          ["place"] *)
   severity : Diagnostic.severity;  (** default severity *)
   title : string;
 }
@@ -40,6 +42,24 @@ val scoap_hard_observe : string (* SCOAP002 *)
 val scoap_hard_control : string (* SCOAP003 *)
 val scoap_reconvergent : string (* SCOAP004 *)
 val scoap_output_summary : string (* SCOAP005 *)
+
+(* COP probability metrics on a gate-level circuit. *)
+
+val cop_skewed_probability : string (* COP001 *)
+val cop_low_observability : string (* COP002 *)
+val cop_correlation : string (* COP003 *)
+
+(* Path-distance metrics on a gate-level circuit. *)
+
+val dist_deep_path : string (* DIST001 *)
+val dist_summary : string (* DIST002 *)
+
+(* Detector-placement plan checks (emitted by [Cml_dft.Placement]). *)
+
+val place_over_limit : string (* PLACE001 *)
+val place_uncovered_weak_net : string (* PLACE002 *)
+val place_unbalanced_depth : string (* PLACE003 *)
+val place_redundant_detector : string (* PLACE004 *)
 
 val all : info list
 (** Every rule, in catalog order. *)

@@ -1,0 +1,50 @@
+(** Process-spread derating of the sensor-sharing group limit.
+
+    The nominal limit — 45 sensors per read-out, from the paper's
+    margin budget — assumes typical devices.  Under process variation
+    each sensor's droop on the shared vtest rail spreads, and the
+    read-out comparator picks up an input-referred offset, so the
+    margin that nominally absorbs 45 sensors absorbs fewer in the
+    spread corners.  This module derates the limit {e statically}: it
+    Monte-Carlo samples offset and droop distributions derived from a
+    {!Cml_defects.Variation.spec} (no transient simulation) and
+    reports the group size that a [confidence] fraction of process
+    samples can still share safely.
+
+    At {!Cml_defects.Variation.default_spec} the derated limit lands
+    near 15 — the working point the placement optimizer budgets
+    against — while a tight spec recovers most of the nominal 45. *)
+
+type model = {
+  nominal_limit : int;  (** group size the margin budget assumes at typicals *)
+  droop_mv : float;  (** nominal margin consumed per extra sensor, mV *)
+  sigma_droop : float;  (** relative (lognormal) spread of per-sensor droop *)
+  sigma_offset_mv : float;  (** comparator input-referred offset sigma, mV *)
+  confidence : float;
+      (** fraction of process samples that must still share safely *)
+}
+
+val nominal_group_limit : int
+(** 45, the paper's nominal margin budget. *)
+
+val of_spec :
+  ?nominal_limit:int -> ?confidence:float -> Cml_defects.Variation.spec -> model
+(** Map a process spread onto the offset/droop model.  Defaults:
+    [nominal_limit = 45], [confidence = 0.999]. *)
+
+val default : model
+(** [of_spec Cml_defects.Variation.default_spec]. *)
+
+type result = {
+  model : model;
+  samples : int;
+  limits : int array;  (** per-sample safe group sizes, sorted ascending *)
+  effective : int;  (** the derated limit: low [confidence]-quantile, >= 1 *)
+  mean_limit : float;
+}
+
+val effective_limit : ?samples:int -> ?seed:int -> ?jobs:int -> model -> result
+(** Deterministic at any job count (each sample reseeds from its own
+    index).  Defaults: [samples = 2000], [seed = 42].  Publishes
+    [derate.samples] and the [derate.effective_limit] gauge.
+    @raise Invalid_argument on [samples < 1]. *)

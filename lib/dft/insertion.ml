@@ -22,8 +22,7 @@ let chunk ~size xs =
   in
   go [] [] 0 xs
 
-let instrument ?(max_share = 45) ?(multi_emitter = true) ?(config = Readout.default_config)
-    ?vtest builder =
+let attach ~multi_emitter ~config ?vtest builder member_groups =
   let proc = builder.Cml_cells.Builder.proc in
   let vtest_value = match vtest with Some v -> v | None -> Detector.vtest_test proc in
   let vtest_node = Detector.ensure_vtest builder vtest_value in
@@ -43,9 +42,25 @@ let instrument ?(max_share = 45) ?(multi_emitter = true) ?(config = Readout.defa
               ~outputs ~vtest:vtest_node ~vout:readout.Readout.vout ~multi_emitter)
           members;
         { index; readout; members })
-      (chunk ~size:max_share (Cml_cells.Builder.cells builder))
+      member_groups
   in
   { groups; vtest_node; decision = (lo +. hi) /. 2.0 }
+
+let instrument ?(max_share = 45) ?(multi_emitter = true) ?(config = Readout.default_config)
+    ?vtest builder =
+  attach ~multi_emitter ~config ?vtest builder
+    (chunk ~size:max_share (Cml_cells.Builder.cells builder))
+
+let instrument_groups ?(multi_emitter = true) ?(config = Readout.default_config) ?vtest ~groups
+    builder =
+  let cells = Cml_cells.Builder.cells builder in
+  let lookup name =
+    match List.assoc_opt name cells with
+    | Some outputs -> (name, outputs)
+    | None ->
+        invalid_arg (Printf.sprintf "Insertion.instrument_groups: unknown cell %S" name)
+  in
+  attach ~multi_emitter ~config ?vtest builder (List.map (List.map lookup) groups)
 
 let device_overhead plan net =
   let added =

@@ -29,6 +29,18 @@ val instrument :
     cells.  [vtest] defaults to the test-mode level.  Instrument once,
     after the functional circuit is complete. *)
 
+val instrument_groups :
+  ?multi_emitter:bool ->
+  ?config:Readout.config ->
+  ?vtest:float ->
+  groups:string list list ->
+  Cml_cells.Builder.t ->
+  plan
+(** Like {!instrument} but with an explicit grouping by cell instance
+    name — how a {!Placement} plan's groups are realized in the
+    netlist.  @raise Invalid_argument on a name not registered in the
+    builder. *)
+
 val device_overhead : plan -> Cml_spice.Netlist.t -> float
 (** Added devices as a fraction of the functional circuit's devices
     (supply/bias/stimulus sources excluded from neither side — a

@@ -1,0 +1,388 @@
+module A = Cml_analysis
+module D = Cml_analysis.Diagnostic
+module R = Cml_analysis.Rules
+module J = Cml_telemetry.Json
+module C = Cml_logic.Circuit
+module Tel = Cml_telemetry
+
+let schema = "cml-dft-plan/1"
+
+exception Bad_plan of string
+
+type site = {
+  cell : string;
+  net : int;
+  depth : int;
+  p1 : float;
+  obs : float;
+  co : int;
+  score : float;
+}
+
+(* Hardness of a net for the random-pattern + detector flow: low COP
+   observability and a skewed signal probability both starve the
+   sensors of activity, and a large SCOAP CO means many nets must
+   cooperate before a fault shows at an output.  The scale is only
+   used to rank, so the weights just need to keep each term O(1). *)
+let hardness ~p1 ~obs ~co =
+  (1.0 -. obs)
+  +. (2.0 *. Float.abs (p1 -. 0.5))
+  +. (float_of_int (min co 100) /. 50.0)
+
+let sites ~circuit ~cells =
+  let cop = A.Cop.compute circuit in
+  let sc = A.Scoap.compute circuit in
+  let dist = A.Distance.compute circuit in
+  List.map
+    (fun (cell, net) ->
+      if net < 0 || net >= C.num_nets circuit then
+        invalid_arg (Printf.sprintf "Placement.sites: cell %s maps to bad net %d" cell net);
+      let p1 = cop.A.Cop.p1.(net) and obs = cop.A.Cop.obs.(net) in
+      let co = sc.A.Scoap.co.(net) in
+      {
+        cell;
+        net;
+        depth = dist.A.Distance.from_inputs.(net);
+        p1;
+        obs;
+        co;
+        score = hardness ~p1 ~obs ~co;
+      })
+    cells
+
+let ranking sites =
+  List.sort
+    (fun a b ->
+      match compare b.score a.score with 0 -> compare a.cell b.cell | c -> c)
+    sites
+
+type group = { g_index : int; g_members : site list }
+
+let depth_span g =
+  match g.g_members with
+  | [] -> 0
+  | s :: rest ->
+      let lo, hi =
+        List.fold_left (fun (lo, hi) m -> (min lo m.depth, max hi m.depth)) (s.depth, s.depth) rest
+      in
+      hi - lo
+
+type t = {
+  limit : int;
+  nominal_limit : int;
+  groups : group list;
+  ranking : site list;
+  sensor_bjts : int;
+  readout_bjts : int;
+  area_overhead : float;
+}
+
+let m_groups = Tel.Metrics.gauge "plan.groups"
+let m_overhead = Tel.Metrics.gauge "plan.area_overhead"
+
+let publish plan =
+  Tel.Metrics.set m_groups (float_of_int (List.length plan.groups));
+  Tel.Metrics.set m_overhead plan.area_overhead
+
+let area_of ~n_cells ~n_groups =
+  let sens = Area.v3_sensors ~multi_emitter:true in
+  let ro = Area.v3_readout () in
+  let sensor_bjts = n_cells * sens.Area.bjts in
+  let readout_bjts = n_groups * ro.Area.bjts in
+  let functional = n_cells * (Area.buffer_gate ()).Area.bjts in
+  ( sensor_bjts,
+    readout_bjts,
+    float_of_int (sensor_bjts + readout_bjts) /. float_of_int (max 1 functional) )
+
+let of_groups ?(nominal_limit = Derate.nominal_group_limit) ~limit member_groups =
+  if limit < 1 then invalid_arg "Placement: limit < 1";
+  let groups = List.mapi (fun g_index g_members -> { g_index; g_members }) member_groups in
+  let all = List.concat member_groups in
+  let sensor_bjts, readout_bjts, area_overhead =
+    area_of ~n_cells:(List.length all) ~n_groups:(List.length groups)
+  in
+  let plan =
+    {
+      limit;
+      nominal_limit;
+      groups;
+      ranking = ranking all;
+      sensor_bjts;
+      readout_bjts;
+      area_overhead;
+    }
+  in
+  publish plan;
+  plan
+
+(* Minimum group count at full coverage, members depth-sorted and cut
+   into contiguous balanced chunks: balancing leaves every group the
+   same margin slack, and contiguous depth-order cuts minimise each
+   group's depth span (any other partition into the same sizes can
+   only widen some group's span). *)
+let optimize ?nominal_limit ~limit sites =
+  if limit < 1 then invalid_arg "Placement.optimize: limit < 1";
+  let ordered =
+    List.sort
+      (fun a b -> match compare a.depth b.depth with 0 -> compare a.cell b.cell | c -> c)
+      sites
+  in
+  let n = List.length ordered in
+  let member_groups =
+    if n = 0 then []
+    else begin
+      let g = (n + limit - 1) / limit in
+      let base = n / g and rem = n mod g in
+      let rec cut i xs =
+        if i >= g then []
+        else begin
+          let size = base + if i < rem then 1 else 0 in
+          let rec take k acc xs =
+            if k = 0 then (List.rev acc, xs)
+            else
+              match xs with
+              | [] -> (List.rev acc, [])
+              | x :: rest -> take (k - 1) (x :: acc) rest
+          in
+          let chunk, rest = take size [] xs in
+          chunk :: cut (i + 1) rest
+        end
+      in
+      cut 0 ordered
+    end
+  in
+  of_groups ?nominal_limit ~limit member_groups
+
+type config = { depth_window : int; weak_obs : float }
+
+let default_config = { depth_window = 12; weak_obs = 0.05 }
+
+let check ?(config = default_config) plan =
+  let covered = Hashtbl.create 64 in
+  let dups = ref [] in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun s ->
+          if Hashtbl.mem covered s.cell then dups := (s.cell, g.g_index) :: !dups
+          else Hashtbl.add covered s.cell g.g_index)
+        g.g_members)
+    plan.groups;
+  let over_limit =
+    List.concat_map
+      (fun g ->
+        let n = List.length g.g_members in
+        if n > plan.limit then
+          [
+            D.make ~rule:R.place_over_limit D.Error (D.Group g.g_index)
+              "group has %d detectors; the derated safe limit is %d" n plan.limit;
+          ]
+        else [])
+      plan.groups
+  in
+  let uncovered =
+    List.concat_map
+      (fun s ->
+        if s.obs < config.weak_obs && not (Hashtbl.mem covered s.cell) then
+          [
+            D.make ~rule:R.place_uncovered_weak_net D.Error (D.Cell s.cell)
+              "net observability %.3f is below %.2f and no detector monitors it" s.obs
+              config.weak_obs;
+          ]
+        else [])
+      plan.ranking
+  in
+  let unbalanced =
+    List.concat_map
+      (fun g ->
+        let span = depth_span g in
+        if span > config.depth_window then
+          [
+            D.make ~rule:R.place_unbalanced_depth D.Warning (D.Group g.g_index)
+              "group spans %d logic levels; the settling window budgets %d" span
+              config.depth_window;
+          ]
+        else [])
+      plan.groups
+  in
+  let redundant =
+    List.rev_map
+      (fun (cell, g_index) ->
+        D.make ~rule:R.place_redundant_detector D.Warning (D.Cell cell)
+          "cell already has a detector in an earlier group (duplicate in group %d)" g_index)
+      !dups
+  in
+  D.sort (over_limit @ uncovered @ unbalanced @ redundant)
+
+let to_groups plan = List.map (fun g -> List.map (fun s -> s.cell) g.g_members) plan.groups
+
+(* {2 JSON} *)
+
+let site_to_json s =
+  J.Obj
+    [
+      ("cell", J.Str s.cell);
+      ("net", J.Num (float_of_int s.net));
+      ("depth", J.Num (float_of_int s.depth));
+      ("p1", J.Num s.p1);
+      ("obs", J.Num s.obs);
+      ("co", J.Num (float_of_int s.co));
+      ("score", J.Num s.score);
+    ]
+
+let to_json plan =
+  J.Obj
+    [
+      ("schema", J.Str schema);
+      ("limit", J.Num (float_of_int plan.limit));
+      ("nominal_limit", J.Num (float_of_int plan.nominal_limit));
+      ( "groups",
+        J.List
+          (List.map
+             (fun g ->
+               J.Obj
+                 [
+                   ("index", J.Num (float_of_int g.g_index));
+                   ("depth_span", J.Num (float_of_int (depth_span g)));
+                   ("members", J.List (List.map site_to_json g.g_members));
+                 ])
+             plan.groups) );
+      ( "area",
+        J.Obj
+          [
+            ("sensor_bjts", J.Num (float_of_int plan.sensor_bjts));
+            ("readout_bjts", J.Num (float_of_int plan.readout_bjts));
+            ("overhead", J.Num plan.area_overhead);
+          ] );
+      ("ranking", J.List (List.map site_to_json plan.ranking));
+    ]
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Bad_plan m)) fmt
+
+let req_member name j =
+  match J.member name j with Some v -> v | None -> fail "missing field %S" name
+
+let req_num name j =
+  match J.to_float (req_member name j) with
+  | Some v -> v
+  | None -> fail "field %S is not a number" name
+
+let req_int name j = int_of_float (req_num name j)
+
+let req_str name j =
+  match J.to_str (req_member name j) with
+  | Some v -> v
+  | None -> fail "field %S is not a string" name
+
+let req_list name j =
+  match J.to_list (req_member name j) with
+  | Some v -> v
+  | None -> fail "field %S is not a list" name
+
+let site_of_json j =
+  {
+    cell = req_str "cell" j;
+    net = req_int "net" j;
+    depth = req_int "depth" j;
+    p1 = req_num "p1" j;
+    obs = req_num "obs" j;
+    co = req_int "co" j;
+    score = req_num "score" j;
+  }
+
+let of_json j =
+  let s = req_str "schema" j in
+  if s <> schema then fail "schema %S is not %S" s schema;
+  let groups =
+    List.map
+      (fun gj ->
+        { g_index = req_int "index" gj; g_members = List.map site_of_json (req_list "members" gj) })
+      (req_list "groups" j)
+  in
+  let area = req_member "area" j in
+  {
+    limit = req_int "limit" j;
+    nominal_limit = req_int "nominal_limit" j;
+    groups;
+    ranking = List.map site_of_json (req_list "ranking" j);
+    sensor_bjts = req_int "sensor_bjts" area;
+    readout_bjts = req_int "readout_bjts" area;
+    area_overhead = req_num "overhead" area;
+  }
+
+let write_json ~path plan = J.write_file path (to_json plan)
+
+let render_text plan =
+  let b = Buffer.create 1024 in
+  let cells = List.length plan.ranking in
+  Buffer.add_string b
+    (Printf.sprintf "detector placement: %d cells in %d group(s), limit %d (nominal %d)\n" cells
+       (List.length plan.groups) plan.limit plan.nominal_limit);
+  Buffer.add_string b
+    (Printf.sprintf "area: %d sensor + %d read-out BJTs (%.0f%% of the functional transistors)\n"
+       plan.sensor_bjts plan.readout_bjts (100.0 *. plan.area_overhead));
+  List.iter
+    (fun g ->
+      Buffer.add_string b
+        (Printf.sprintf "  group %d (%d cells, depth span %d): %s\n" g.g_index
+           (List.length g.g_members) (depth_span g)
+           (String.concat " " (List.map (fun s -> s.cell) g.g_members))))
+    plan.groups;
+  let top = List.filteri (fun i _ -> i < 5) plan.ranking in
+  if top <> [] then begin
+    Buffer.add_string b "hardest nets first:\n";
+    List.iter
+      (fun s ->
+        Buffer.add_string b
+          (Printf.sprintf "  %-20s score %.2f  (p1 %.3f, obs %.3f, CO %d, depth %d)\n" s.cell
+             s.score s.p1 s.obs s.co s.depth))
+      top
+  end;
+  Buffer.contents b
+
+(* {2 Logic twins of the canonical analog scenarios}
+
+   The detector placement reasons at gate level; these twins mirror
+   the two transistor-level scenarios the rest of the repo uses
+   (the paper's buffer chain, the instrumented 4-bit adder) with
+   matching cell instance names so a plan's groups can be realized
+   directly by {!Insertion.instrument_groups}. *)
+
+let chain_twin ~stages =
+  if stages < 1 then invalid_arg "Placement.chain_twin: stages < 1";
+  let bld = C.create () in
+  let va = C.input bld "va" in
+  let cells = ref [] in
+  let last = ref va in
+  for k = 1 to stages do
+    let n = C.buf bld !last in
+    cells := (Cml_cells.Chain.stage_name k, n) :: !cells;
+    last := n
+  done;
+  C.output bld "y" !last;
+  (C.finalize bld, List.rev !cells)
+
+let adder_twin ~bits =
+  if bits < 1 then invalid_arg "Placement.adder_twin: bits < 1";
+  let bld = C.create () in
+  let operand name = Array.init bits (fun k -> C.input bld (Printf.sprintf "%s%d" name k)) in
+  let a = operand "a" and bv = operand "b" in
+  let cin = C.input bld "cin" in
+  let cells = ref [] in
+  let carry = ref cin in
+  for k = 0 to bits - 1 do
+    let name fmt = Printf.sprintf "add.fa%d.%s" k fmt in
+    let cell n net =
+      cells := (name n, net) :: !cells;
+      net
+    in
+    let axb = cell "axb" (C.xor2 bld a.(k) bv.(k)) in
+    let sum = cell "sum" (C.xor2 bld axb !carry) in
+    let g = cell "g" (C.and2 bld a.(k) bv.(k)) in
+    let p = cell "p" (C.and2 bld axb !carry) in
+    let cout = cell "cout" (C.or2 bld g p) in
+    C.output bld (Printf.sprintf "sum%d" k) sum;
+    carry := cout
+  done;
+  C.output bld "cout" !carry;
+  (C.finalize bld, List.rev !cells)

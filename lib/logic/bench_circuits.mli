@@ -32,5 +32,12 @@ val parity_pipeline : stages:int -> Circuit.t
 (** A pipelined parity tree: [stages] flip-flop stages each XOR-ing a
     fresh input bit into the running parity. *)
 
+val c432_surrogate : unit -> Circuit.t
+(** A c432-class combinational surrogate: 36 inputs, 7 outputs,
+    ~150 gates of nand/xor ranks feeding a priority chain, with
+    reconvergent fanout throughout — the committed
+    [examples/netlists/c432_surrogate.bench] lint fixture.  Every net
+    is observable (no error-level SCOAP findings). *)
+
 val all : unit -> (string * Circuit.t) list
 (** The benchmark suite with printable names. *)

@@ -352,6 +352,177 @@ let test_scoap_check_summary_info () =
     (List.length (List.filter (fun (d : D.t) -> d.D.rule = A.Rules.scoap_output_summary) ds))
 
 (* ------------------------------------------------------------------ *)
+(* COP probability metrics *)
+
+(* golden_circuit, by hand:
+   p1(a) = p1(b) = p1(c) = 1/2
+   p1(d) = p1(a) p1(b) = 1/4
+   p1(e) = p1(d) + p1(c) - p1(d) p1(c) = 5/8
+   p1(f) = 1 - p1(e) = 3/8
+   p1(g) = p1(d)(1-p1(c)) + p1(c)(1-p1(d)) = 1/2
+   obs(f) = obs(g) = 1 (outputs); obs(e) = obs(f) = 1
+   obs(d) = max(obs(e)(1-p1(c)), obs(g)) = max(1/2, 1) = 1
+   obs(c) = max(obs(e)(1-p1(d)), obs(g)) = max(3/4, 1) = 1
+   obs(a) = obs(d) p1(b) = 1/2, obs(b) = obs(d) p1(a) = 1/2 *)
+let test_cop_golden () =
+  let m = A.Cop.compute (golden_circuit ()) in
+  Alcotest.(check (array (float 1e-9)))
+    "p1" [| 0.5; 0.5; 0.5; 0.25; 0.625; 0.375; 0.5 |] m.A.Cop.p1;
+  Alcotest.(check (array (float 1e-9)))
+    "obs" [| 0.5; 0.5; 1.0; 1.0; 1.0; 1.0; 1.0 |] m.A.Cop.obs;
+  Alcotest.(check bool) "no corrections in a tree" true (m.A.Cop.corrections = [])
+
+let test_cop_correction () =
+  (* y = s AND (NOT s): independence says 1/4, the truth is 0 *)
+  let b = C.create () in
+  let s = C.input b "s" in
+  let x = C.not1 b s in
+  let y = C.and2 b s x in
+  C.output b "y" y;
+  let t = C.finalize b in
+  let m = A.Cop.compute t in
+  Alcotest.(check (float 1e-9)) "corrected p1(y)" 0.0 m.A.Cop.p1.(y);
+  (match List.filter (fun c -> c.A.Cop.meet = y) m.A.Cop.corrections with
+  | [ c ] ->
+      Alcotest.(check int) "stem" s c.A.Cop.stem;
+      Alcotest.(check (float 1e-9)) "naive" 0.25 c.A.Cop.naive;
+      Alcotest.(check (float 1e-9)) "corrected" 0.0 c.A.Cop.corrected
+  | cs -> Alcotest.failf "expected one correction at the meet, got %d" (List.length cs));
+  let ds = A.Lint.circuit t in
+  check_rule "skew warning" A.Rules.cop_skewed_probability ds;
+  check_rule "correction note" A.Rules.cop_correlation ds
+
+let test_cop_s27_sequential () =
+  let m = A.Cop.compute (Cml_logic.Bench_format.s27 ()) in
+  let in_unit arr = Array.for_all (fun v -> v >= 0.0 && v <= 1.0) arr in
+  Alcotest.(check bool) "p1 in [0,1]" true (in_unit m.A.Cop.p1);
+  Alcotest.(check bool) "obs in [0,1]" true (in_unit m.A.Cop.obs);
+  Alcotest.(check bool) "flip-flop fixpoint iterated" true (m.A.Cop.passes > 1)
+
+(* random DAG of 2-input gates; every sink becomes an output so no
+   net is trivially dead *)
+let build_random_circuit (n_in, choices) =
+  let b = C.create () in
+  let nets = ref [] in
+  let consumed = Hashtbl.create 64 in
+  for k = 0 to n_in - 1 do
+    nets := C.input b (Printf.sprintf "i%d" k) :: !nets
+  done;
+  List.iter
+    (fun (kind, f1, f2) ->
+      let arr = Array.of_list (List.rev !nets) in
+      let pick f = arr.(f mod Array.length arr) in
+      let a = pick f1 and c = pick f2 in
+      let eat n = Hashtbl.replace consumed n () in
+      let id =
+        match kind mod 5 with
+        | 0 -> eat a; eat c; C.and2 b a c
+        | 1 -> eat a; eat c; C.or2 b a c
+        | 2 -> eat a; eat c; C.xor2 b a c
+        | 3 -> eat a; C.not1 b a
+        | _ -> eat a; C.buf b a
+      in
+      nets := id :: !nets)
+    choices;
+  List.iteri
+    (fun i id ->
+      if not (Hashtbl.mem consumed id) then C.output b (Printf.sprintf "o%d" i) id)
+    !nets;
+  C.finalize b
+
+let prop_cop_probabilities =
+  QCheck2.Test.make ~name:"COP stays in [0,1]; single-consumer obs is monotone" ~count:100
+    QCheck2.Gen.(
+      pair (int_range 1 4)
+        (list_size (int_range 1 25) (triple (int_range 0 4) nat nat)))
+    (fun spec ->
+      let t = build_random_circuit spec in
+      let m = A.Cop.compute t in
+      let in_unit v = v >= -1e-9 && v <= 1.0 +. 1e-9 in
+      Array.for_all in_unit m.A.Cop.p1
+      && Array.for_all in_unit m.A.Cop.obs
+      &&
+      (* fanout-free composition: a net consumed by exactly one gate
+         can never be more observable than that gate *)
+      let consumers = Array.make (C.num_nets t) [] in
+      Array.iteri
+        (fun g gate ->
+          let feed n = consumers.(n) <- g :: consumers.(n) in
+          match gate with
+          | C.Input _ -> ()
+          | C.And (a, b) | C.Or (a, b) | C.Xor (a, b) -> feed a; feed b
+          | C.Not a | C.Buf a | C.Dff { d = a } -> feed a
+          | C.Mux { sel; a; b } -> feed sel; feed a; feed b)
+        t.C.gates;
+      let ok = ref true in
+      Array.iteri
+        (fun n cs ->
+          match cs with
+          | [ g ] -> if m.A.Cop.obs.(n) > m.A.Cop.obs.(g) +. 1e-9 then ok := false
+          | _ -> ())
+        consumers;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* path-distance metrics *)
+
+(* golden_circuit: gates d,e,f,g cost one level each, inputs are free.
+   from_inputs = a,b,c:0  d:1  e:2  f:3  g:2
+   to_outputs  = f,g:0  e:1  d:2 (via e->f)  c:2  a,b:3 *)
+let test_distance_golden () =
+  let m = A.Distance.compute (golden_circuit ()) in
+  Alcotest.(check (array int)) "from_inputs" [| 0; 0; 0; 1; 2; 3; 2 |] m.A.Distance.from_inputs;
+  Alcotest.(check (array int)) "to_outputs" [| 3; 3; 2; 2; 1; 0; 0 |] m.A.Distance.to_outputs;
+  Alcotest.(check int) "comb depth" 3 m.A.Distance.comb_depth;
+  Alcotest.(check int) "no ff segment" (-1) m.A.Distance.ff_to_ff;
+  Alcotest.(check (list (pair string int)))
+    "output depths" [ ("f", 3); ("g", 2) ] m.A.Distance.output_depths
+
+let test_distance_s27 () =
+  let m = A.Distance.compute (Cml_logic.Bench_format.s27 ()) in
+  Alcotest.(check int) "deepest output segment" 8 (List.assoc "G17" m.A.Distance.output_depths);
+  Alcotest.(check int) "deepest ff-to-ff segment" 9 m.A.Distance.ff_to_ff;
+  Alcotest.(check bool) "every net has a sequential distance" true
+    (Array.for_all (fun d -> d < A.Distance.unreachable) m.A.Distance.seq_depth)
+
+let test_distance_deep_path_warning () =
+  let b = C.create () in
+  let a = C.input b "a" in
+  let n = ref a in
+  for _ = 1 to 50 do
+    n := C.not1 b !n
+  done;
+  C.output b "y" !n;
+  let ds = A.Lint.circuit (C.finalize b) in
+  check_rule "deep path flagged" A.Rules.dist_deep_path ds;
+  check_rule "summary present" A.Rules.dist_summary ds
+
+(* ------------------------------------------------------------------ *)
+(* multi-file lint determinism *)
+
+let test_lint_files_parallel_parity () =
+  let write_bench name c =
+    let path = Filename.temp_file name ".bench" in
+    let oc = open_out path in
+    output_string oc (Cml_logic.Bench_format.to_string c);
+    close_out oc;
+    path
+  in
+  let big = write_bench "c432" (Cml_logic.Bench_circuits.c432_surrogate ()) in
+  let small = write_bench "s27" (Cml_logic.Bench_format.s27 ()) in
+  let paths = [ big; small; big ] in
+  let render rs =
+    String.concat "\n" (List.map (fun (p, ds) -> p ^ "\n" ^ D.render_json ds) rs)
+  in
+  let seq = render (A.Lint.files ~jobs:1 paths) in
+  let par = render (A.Lint.files ~jobs:4 paths) in
+  let order = List.map fst (A.Lint.files ~jobs:3 [ small; big ]) in
+  Sys.remove big;
+  Sys.remove small;
+  Alcotest.(check bool) "reports keep input order" true (order = [ small; big ]);
+  Alcotest.(check string) "byte-identical at any job count" seq par
+
+(* ------------------------------------------------------------------ *)
 (* lint façade and the pre-flight gate *)
 
 let test_fails_thresholds () =
@@ -439,6 +610,21 @@ let () =
           Alcotest.test_case "s27 fixpoint finite" `Quick test_scoap_s27_fixpoint_finite;
           Alcotest.test_case "per-output summary" `Quick test_scoap_check_summary_info;
         ] );
+      ( "cop",
+        [
+          Alcotest.test_case "golden probabilities" `Quick test_cop_golden;
+          Alcotest.test_case "reconvergence correction" `Quick test_cop_correction;
+          Alcotest.test_case "s27 sequential fixpoint" `Quick test_cop_s27_sequential;
+          QCheck_alcotest.to_alcotest prop_cop_probabilities;
+        ] );
+      ( "distance",
+        [
+          Alcotest.test_case "golden depths" `Quick test_distance_golden;
+          Alcotest.test_case "s27 segments" `Quick test_distance_s27;
+          Alcotest.test_case "deep path warning" `Quick test_distance_deep_path_warning;
+        ] );
+      ( "lint-files",
+        [ Alcotest.test_case "parallel parity" `Quick test_lint_files_parallel_parity ] );
       ( "preflight",
         [
           Alcotest.test_case "fails thresholds" `Quick test_fails_thresholds;

@@ -329,6 +329,121 @@ let test_delay_escape_paper_example () =
     (Dft.Baselines.delay_test_escape ~gate_delay:53e-12 ~stages:10 ~tolerance:0.1
        ~extra_delay:500e-12)
 
+module D = Cml_analysis.Diagnostic
+
+(* ------------------------------------------------------------------ *)
+(* process-spread derating of the sharing limit *)
+
+let test_derate_default_near_fifteen () =
+  let r = Dft.Derate.effective_limit Dft.Derate.default in
+  Alcotest.(check bool)
+    (Printf.sprintf "derated limit %d within 13..17" r.Dft.Derate.effective)
+    true
+    (r.Dft.Derate.effective >= 13 && r.Dft.Derate.effective <= 17);
+  Alcotest.(check bool) "well below the nominal 45" true
+    (r.Dft.Derate.effective < Dft.Derate.nominal_group_limit);
+  Alcotest.(check bool) "mean above the quantile" true
+    (r.Dft.Derate.mean_limit > float_of_int r.Dft.Derate.effective)
+
+let test_derate_tight_spec_recovers () =
+  let tight =
+    Dft.Derate.effective_limit (Dft.Derate.of_spec Cml_defects.Variation.tight_spec)
+  in
+  let default = Dft.Derate.effective_limit Dft.Derate.default in
+  Alcotest.(check bool) "tight process shares more" true
+    (tight.Dft.Derate.effective > default.Dft.Derate.effective)
+
+let test_derate_deterministic_across_jobs () =
+  let m = Dft.Derate.default in
+  let a = Dft.Derate.effective_limit ~jobs:1 m in
+  let b = Dft.Derate.effective_limit ~jobs:4 m in
+  Alcotest.(check (array int)) "sample-for-sample identical" a.Dft.Derate.limits
+    b.Dft.Derate.limits
+
+(* ------------------------------------------------------------------ *)
+(* detector-placement optimization *)
+
+module P = Dft.Placement
+
+let adder_sites () =
+  let circuit, cells = P.adder_twin ~bits:4 in
+  P.sites ~circuit ~cells
+
+let test_placement_chain_single_group () =
+  let circuit, cells = P.chain_twin ~stages:8 in
+  let plan = P.optimize ~limit:15 (P.sites ~circuit ~cells) in
+  Alcotest.(check int) "one group suffices" 1 (List.length plan.P.groups);
+  Alcotest.(check (list (list string))) "members in stage order"
+    [ [ "x1"; "x2"; "x3"; "x4"; "x5"; "x6"; "x7"; "x8" ] ]
+    (P.to_groups plan);
+  Alcotest.(check (list string)) "clean" [] (List.map D.to_string (P.check plan))
+
+let test_placement_adder_beats_hand_plan () =
+  let sites = adder_sites () in
+  let plan = P.optimize ~limit:15 sites in
+  Alcotest.(check int) "two groups of ten" 2 (List.length plan.P.groups);
+  List.iter
+    (fun g -> Alcotest.(check int) "balanced" 10 (List.length g.P.g_members))
+    plan.P.groups;
+  (* the hand-written plan: first 15 cells in construction order, then
+     the remaining 5 — same coverage, same group count, so the
+     optimizer must not cost more area *)
+  let rec split k xs =
+    if k = 0 then ([], xs)
+    else match xs with [] -> ([], []) | x :: r -> let h, t = split (k - 1) r in (x :: h, t)
+  in
+  let g1, g2 = split 15 sites in
+  let hand = P.of_groups ~limit:15 [ g1; g2 ] in
+  Alcotest.(check bool)
+    (Printf.sprintf "area %.3f <= hand %.3f" plan.P.area_overhead hand.P.area_overhead)
+    true
+    (plan.P.area_overhead <= hand.P.area_overhead +. 1e-12);
+  Alcotest.(check (list string)) "optimized plan audits clean" []
+    (List.map D.to_string (P.check plan))
+
+let test_placement_realizes_and_audits () =
+  let circuit, cells = P.adder_twin ~bits:4 in
+  let plan = P.optimize ~limit:15 (P.sites ~circuit ~cells) in
+  let b = B.create () in
+  let operand name v =
+    Array.init 4 (fun k ->
+        B.diff_dc_input b ~name:(Printf.sprintf "%s%d" name k) ~value:((v lsr k) land 1 = 1))
+  in
+  let a = operand "a" 11 and bv = operand "b" 6 in
+  let cin = B.diff_dc_input b ~name:"cin" ~value:false in
+  let _ = Cml_cells.Adder.ripple_carry b ~name:"add" ~a ~b:bv ~cin in
+  let iplan = Dft.Insertion.instrument_groups ~groups:(P.to_groups plan) b in
+  Alcotest.(check (list string)) "DFT001-004 clean" []
+    (List.map D.to_string (Dft.Audit.check ~max_safe_share:plan.P.limit iplan b))
+
+let test_placement_rules_fire () =
+  let sites = adder_sites () in
+  (* every cell in one oversized group, with one duplicated member *)
+  let dup = List.hd sites in
+  let bad = P.of_groups ~limit:15 [ sites; [ dup ] ] in
+  let ds = P.check bad in
+  Alcotest.(check bool) "PLACE001 over limit" true
+    (List.exists (fun (d : D.t) -> d.D.rule = Cml_analysis.Rules.place_over_limit) ds);
+  Alcotest.(check bool) "PLACE004 duplicate" true
+    (List.exists (fun (d : D.t) -> d.D.rule = Cml_analysis.Rules.place_redundant_detector) ds);
+  (* a weak net left out of every group *)
+  let weak = { dup with P.obs = 0.001 } in
+  let uncovered = { (P.of_groups ~limit:15 [ List.tl sites ]) with P.ranking = [ weak ] } in
+  Alcotest.(check bool) "PLACE002 uncovered weak net" true
+    (List.exists
+       (fun (d : D.t) -> d.D.rule = Cml_analysis.Rules.place_uncovered_weak_net)
+       (P.check uncovered))
+
+let test_placement_json_round_trip () =
+  let plan = P.optimize ~limit:15 (adder_sites ()) in
+  let once = P.of_json (Cml_telemetry.Json.parse (Cml_telemetry.Json.to_string (P.to_json plan))) in
+  (* the writer quantizes floats to 6 significant digits, so a single
+     round trip is lossy but idempotent *)
+  let twice = P.of_json (Cml_telemetry.Json.parse (Cml_telemetry.Json.to_string (P.to_json once))) in
+  Alcotest.(check bool) "stable after one round" true (once = twice);
+  Alcotest.(check (list (list string))) "grouping survives" (P.to_groups plan) (P.to_groups once);
+  Alcotest.(check int) "limit survives" plan.P.limit once.P.limit
+
 let () =
   Alcotest.run "dft"
     [
@@ -375,5 +490,21 @@ let () =
           Alcotest.test_case "overhead ordering" `Quick test_overhead_ordering;
           Alcotest.test_case "baseline detection models" `Quick test_baseline_detection_models;
           Alcotest.test_case "delay escape example" `Quick test_delay_escape_paper_example;
+        ] );
+      ( "derate",
+        [
+          Alcotest.test_case "default spec lands near 15" `Quick test_derate_default_near_fifteen;
+          Alcotest.test_case "tight spec recovers" `Quick test_derate_tight_spec_recovers;
+          Alcotest.test_case "deterministic across jobs" `Quick
+            test_derate_deterministic_across_jobs;
+        ] );
+      ( "placement",
+        [
+          Alcotest.test_case "chain fits one group" `Quick test_placement_chain_single_group;
+          Alcotest.test_case "adder beats the hand plan" `Quick
+            test_placement_adder_beats_hand_plan;
+          Alcotest.test_case "realizes and audits clean" `Quick test_placement_realizes_and_audits;
+          Alcotest.test_case "place rules fire" `Quick test_placement_rules_fire;
+          Alcotest.test_case "json round trip" `Quick test_placement_json_round_trip;
         ] );
     ]
