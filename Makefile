@@ -5,7 +5,7 @@
 DUNE ?= dune
 LINT := $(DUNE) exec --no-build bin/cmldft.exe -- lint
 
-.PHONY: all build test fmt lint-examples lint-fixtures plan-smoke report-examples telemetry-overhead diagnose-smoke fixtures check perf clean
+.PHONY: all build test fmt lint-examples lint-fixtures plan-smoke report-examples telemetry-overhead diagnose-smoke compile-smoke fixtures check perf clean
 
 all: build
 
@@ -75,6 +75,25 @@ diagnose-smoke: build
 	$(DUNE) exec --no-build bin/cmldft.exe -- report $(SMOKE_DIR)/diagnosis.json
 	rm -rf $(SMOKE_DIR)
 
+# End-to-end smoke of the .bench->CML compiler on the largest
+# committed fixture: lint the gate-level netlist clean, derate a DFT
+# plan for it, then compile the ~950-unknown transistor netlist and
+# converge a DC operating point (exercising the fill-reducing LU
+# ordering).  Budgeted at five seconds so the compile+solve path
+# stays interactive.
+compile-smoke: build
+	@start=$$(date +%s%N); \
+	$(LINT) --fail-on error examples/netlists/c432_surrogate.bench >/dev/null || exit 1; \
+	$(DUNE) exec --no-build bin/cmldft.exe -- plan examples/netlists/c432_surrogate.bench \
+	  --derate >/dev/null || exit 1; \
+	$(DUNE) exec --no-build bin/cmldft.exe -- op --bench examples/netlists/c432_surrogate.bench \
+	  || exit 1; \
+	elapsed_ms=$$((($$(date +%s%N) - start) / 1000000)); \
+	echo "compile-smoke: OK ($${elapsed_ms} ms)"; \
+	if [ $$elapsed_ms -ge 5000 ]; then \
+	  echo "compile-smoke: FAILED time budget (>= 5000 ms)"; exit 1; \
+	fi
+
 # Regenerate the committed decks in examples/netlists/ from the cell
 # library (they are kept in git so `lint-examples` needs no codegen).
 fixtures: build
@@ -93,7 +112,7 @@ PERF_JOBS ?= 4
 perf: build
 	$(DUNE) exec bench/main.exe -- perf --jobs $(PERF_JOBS) --json BENCH_spice.json --check
 
-check: build test fmt lint-examples lint-fixtures plan-smoke report-examples diagnose-smoke telemetry-overhead
+check: build test fmt lint-examples lint-fixtures plan-smoke report-examples diagnose-smoke compile-smoke telemetry-overhead
 ifeq ($(CHECK_PERF),1)
 	$(MAKE) perf
 endif

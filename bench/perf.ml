@@ -35,6 +35,26 @@ let dense_system n =
   done;
   m
 
+(* The compiled c432-class design: the .bench->CML compiler's output
+   is the first workload whose MNA system is big enough (~950
+   unknowns) that the sparse-LU column ordering dominates the solve
+   time.  The Jacobian pattern is extracted at the DC operating point;
+   built once and shared across bechamel passes and the ordering
+   probe. *)
+let c432 =
+  lazy
+    (let design =
+       Cml_cells.Compile.compile ~freq:200e6 (Cml_logic.Bench_circuits.c432_surrogate ())
+     in
+     let net = Cml_cells.Compile.netlist design in
+     let sim = E.compile net in
+     let x = E.dc_operating_point sim in
+     let g, _ = E.ac_system sim x in
+     let n = E.unknown_count sim in
+     let tr = Cml_numerics.Sparse.triplet_create n in
+     List.iter (fun (i, j, v) -> Cml_numerics.Sparse.add tr i j v) g;
+     (net, Cml_numerics.Sparse.csc_of_pattern (Cml_numerics.Sparse.compress tr), n))
+
 let tests () =
   let open Bechamel in
   let a200 = sparse_system 200 in
@@ -42,6 +62,8 @@ let tests () =
   let rhs200 = Array.init 200 (fun i -> sin (float_of_int i)) in
   let rhs100 = Array.init 100 (fun i -> cos (float_of_int i)) in
   let refactor200 = Cml_numerics.Sparse_lu.factorize a200 in
+  let c432_net, c432_a, c432_n = Lazy.force c432 in
+  let c432_rhs = Array.init c432_n (fun i -> sin (float_of_int i)) in
   let chain = Cml_cells.Chain.build ~stages:8 ~freq:100e6 () in
   let chain_net = chain.Cml_cells.Chain.builder.Cml_cells.Builder.net in
   let wave =
@@ -57,6 +79,16 @@ let tests () =
         ignore (Cml_numerics.Sparse_lu.solve refactor200 rhs200)));
     Test.make ~name:"dense LU factor+solve (n=100)" (Staged.stage (fun () ->
         ignore (Cml_numerics.Dense.solve d100 rhs100)));
+    (* the fill-reducing path on a design-sized Jacobian; the
+       natural-order equivalent runs ~40x longer and is measured once
+       by [ordering_probe] instead of as a kernel *)
+    Test.make ~name:"c432 LU factor+solve (amd)" (Staged.stage (fun () ->
+        ignore
+          (Cml_numerics.Sparse_lu.solve
+             (Cml_numerics.Sparse_lu.factorize ~ordering:Cml_numerics.Sparse_lu.Amd c432_a)
+             c432_rhs)));
+    Test.make ~name:"c432 DC operating point" (Staged.stage (fun () ->
+        ignore (E.dc_operating_point (E.compile c432_net))));
     Test.make ~name:"chain DC operating point" (Staged.stage (fun () ->
         let sim = E.compile chain_net in
         ignore (E.dc_operating_point sim)));
@@ -113,6 +145,50 @@ let solver_reuse () =
   ignore (T.run sim net (T.config ~tstop:2e-9 ~max_step:10e-12 ()));
   (E.unknown_count sim, E.solver_stats sim)
 
+(* Amd-vs-natural comparison on the compiled design's Jacobian: fill
+   (nnz of L+U) is deterministic, the factor+solve wall clocks are
+   best-of-2.  The natural ordering is only ever run here — it is far
+   too slow for the bechamel quota, which is the point being
+   recorded. *)
+type ordering_probe = {
+  o_unknowns : int;
+  o_nnz_a : int;
+  o_nnz_natural : int;
+  o_nnz_amd : int;
+  o_natural_ms : float;
+  o_amd_ms : float;
+}
+
+let ordering_reduction p =
+  1.0 -. (float_of_int p.o_nnz_amd /. float_of_int (max 1 p.o_nnz_natural))
+
+let ordering_probe () =
+  let _, a, n = Lazy.force c432 in
+  let rhs = Array.init n (fun i -> sin (float_of_int i)) in
+  let measure ordering =
+    let nnz = ref 0 and best = ref infinity in
+    for _ = 1 to 2 do
+      let t0 = Unix.gettimeofday () in
+      let f = Cml_numerics.Sparse_lu.factorize ~ordering a in
+      ignore (Cml_numerics.Sparse_lu.solve f rhs);
+      let dt = 1e3 *. (Unix.gettimeofday () -. t0) in
+      let l, u = Cml_numerics.Sparse_lu.lu_nnz f in
+      nnz := l + u;
+      if dt < !best then best := dt
+    done;
+    (!nnz, !best)
+  in
+  let nnz_natural, natural_ms = measure Cml_numerics.Sparse_lu.Natural in
+  let nnz_amd, amd_ms = measure Cml_numerics.Sparse_lu.Amd in
+  {
+    o_unknowns = n;
+    o_nnz_a = Cml_numerics.Sparse.nnz a;
+    o_nnz_natural = nnz_natural;
+    o_nnz_amd = nnz_amd;
+    o_natural_ms = natural_ms;
+    o_amd_ms = amd_ms;
+  }
+
 (* enough variants that a --jobs 4 run keeps every domain busy for
    several tasks (the old 4-defect batch degenerated to one task per
    domain and measured mostly the sequential reference simulation) *)
@@ -137,7 +213,7 @@ let time_campaign ~jobs defects =
 
 module J = Cml_telemetry.Json
 
-let entry_json ~jobs ~cores ~kernels ~nunk ~(stats : E.solver_stats) ~campaign =
+let entry_json ~jobs ~cores ~kernels ~nunk ~(stats : E.solver_stats) ~ordering ~campaign =
   let t1, tn, ndefects, summaries_match = campaign in
   J.Obj
     [
@@ -157,6 +233,25 @@ let entry_json ~jobs ~cores ~kernels ~nunk ~(stats : E.solver_stats) ~campaign =
             ("newton_iters", J.Num (float_of_int stats.E.newton_iters));
             ("device_loads", J.Num (float_of_int stats.E.device_loads));
             ("bypassed_loads", J.Num (float_of_int stats.E.bypassed_loads));
+            ("lu_nnz_factors", J.Num (float_of_int stats.E.lu_nnz_factors));
+            ("lu_fill_ratio", J.Num stats.E.lu_fill_ratio);
+            ("lu_ordering", J.Str stats.E.lu_ordering);
+          ] );
+      ( "ordering",
+        J.Obj
+          [
+            ("design", J.Str "c432_surrogate");
+            ("unknowns", J.Num (float_of_int ordering.o_unknowns));
+            ("nnz_a", J.Num (float_of_int ordering.o_nnz_a));
+            ("nnz_natural", J.Num (float_of_int ordering.o_nnz_natural));
+            ("nnz_amd", J.Num (float_of_int ordering.o_nnz_amd));
+            ("fill_reduction", J.Num (ordering_reduction ordering));
+            ("natural_ms", J.Num ordering.o_natural_ms);
+            ("amd_ms", J.Num ordering.o_amd_ms);
+            ( "speedup",
+              J.Num
+                (if ordering.o_amd_ms > 0.0 then ordering.o_natural_ms /. ordering.o_amd_ms
+                 else 0.0) );
           ] );
       ( "campaign",
         J.Obj
@@ -238,6 +333,21 @@ let entry_campaign entry =
       | _ -> None)
   | _ -> None
 
+(* The campaign probe's jobs=N wall clock depends on the worker count
+   and the host, so its baseline must be the last history entry
+   recorded at the same jobs AND cores — comparing a jobs=4 run
+   against a jobs=1 entry (or a 16-core entry against a 1-core one)
+   would flag a phantom regression or mask a real one.  Kernels are
+   single-threaded and keep comparing against the last entry
+   regardless of setting. *)
+let entry_setting entry =
+  match (J.member "jobs" entry, J.member "cores" entry) with
+  | Some (J.Num j), Some (J.Num c) -> Some (int_of_float j, int_of_float c)
+  | _ -> None
+
+let last_matching ~jobs ~cores history =
+  List.find_opt (fun e -> entry_setting e = Some (jobs, cores)) (List.rev history)
+
 let campaign_regressions ~baseline ~t1 ~tn =
   match entry_campaign baseline with
   | None -> []
@@ -248,10 +358,11 @@ let campaign_regressions ~baseline ~t1 ~tn =
           else None)
         [ ("campaign probe jobs=1 (s)", o1, t1); ("campaign probe jobs=N (s)", on, tn) ]
 
-(* [cmldft report]-style trajectory table: every kernel AND the
-   campaign probe against the last committed history entry, so the
-   BENCH_spice.json history surfaces more than the kernel gate. *)
-let print_trajectory ~baseline ~kernels ~t1 ~tn =
+(* [cmldft report]-style trajectory table: every kernel against the
+   last committed history entry, the campaign probe against the last
+   entry at the same jobs/cores setting, so the BENCH_spice.json
+   history surfaces more than the kernel gate. *)
+let print_trajectory ~baseline ~campaign_baseline ~kernels ~t1 ~tn =
   print_endline "\ntiming trajectory vs last recorded entry:";
   Printf.printf "  %-42s %14s %14s %7s\n" "probe" "baseline" "current" "ratio";
   let row name old_v new_v =
@@ -265,11 +376,11 @@ let print_trajectory ~baseline ~kernels ~t1 ~tn =
       | Some old_ns -> row (name ^ " (ns)") old_ns ns
       | None -> Printf.printf "  %-42s %14s %14.1f\n" (name ^ " (ns)") "-" ns)
     kernels;
-  match entry_campaign baseline with
+  match Option.bind campaign_baseline entry_campaign with
   | Some (o1, on) ->
       row "campaign probe jobs=1 (s)" o1 t1;
       row "campaign probe jobs=N (s)" on tn
-  | None -> print_endline "  (no campaign timing in last entry)"
+  | None -> print_endline "  (no campaign timing recorded at this jobs/cores setting)"
 
 (* best-of-N over full bechamel passes: the per-pass OLS estimate is
    tight, but on a shared host the whole pass can be slowed by
@@ -305,6 +416,20 @@ let run ?json ?(check = false) () =
   Util.verdict
     (stats.E.numeric_refactorizations > 10 * max 1 stats.E.symbolic_factorizations)
     "symbolic analysis is amortised across Newton iterations";
+  let ord = ordering_probe () in
+  Printf.printf "\nfill-reducing ordering on the compiled c432 surrogate (%d unknowns, nnz(A) %d):\n"
+    ord.o_unknowns ord.o_nnz_a;
+  Printf.printf "  %-10s %12s %16s\n" "ordering" "nnz(L+U)" "factor+solve";
+  Printf.printf "  %-10s %12d %13.1f ms\n" "natural" ord.o_nnz_natural ord.o_natural_ms;
+  Printf.printf "  %-10s %12d %13.1f ms\n" "amd" ord.o_nnz_amd ord.o_amd_ms;
+  let reduction = ordering_reduction ord in
+  let ordering_speedup =
+    if ord.o_amd_ms > 0.0 then ord.o_natural_ms /. ord.o_amd_ms else 0.0
+  in
+  let ordering_ok = reduction >= 0.30 in
+  Util.verdict ordering_ok
+    (Printf.sprintf "amd cuts nnz(L+U) by %.1f%% (gate: >= 30%%), factor+solve %.1fx faster"
+       (100.0 *. reduction) ordering_speedup);
   let jobs = Cml_runtime.Pool.default_jobs () in
   let cores = Domain.recommended_domain_count () in
   let defects = campaign_defects () in
@@ -339,14 +464,15 @@ let run ?json ?(check = false) () =
     | Some path ->
         let history = load_history path in
         let entry =
-          entry_json ~jobs ~cores ~kernels ~nunk ~stats
+          entry_json ~jobs ~cores ~kernels ~nunk ~stats ~ordering:ord
             ~campaign:(t1, tn, List.length defects, summaries_match)
         in
         write_history path (history @ [ entry ]);
         Printf.printf "wrote %s (%d history entries)\n" path (List.length history + 1);
+        let campaign_baseline = last_matching ~jobs ~cores history in
         (match List.rev history with
         | [] -> ()
-        | baseline :: _ -> print_trajectory ~baseline ~kernels ~t1 ~tn);
+        | baseline :: _ -> print_trajectory ~baseline ~campaign_baseline ~kernels ~t1 ~tn);
         if not check then false
         else begin
           match List.rev history with
@@ -355,7 +481,11 @@ let run ?json ?(check = false) () =
               false
           | baseline :: _ ->
               let regs = regressions ~baseline ~kernels in
-              let camp_regs = campaign_regressions ~baseline ~t1 ~tn in
+              let camp_regs =
+                match campaign_baseline with
+                | None -> []
+                | Some b -> campaign_regressions ~baseline:b ~t1 ~tn
+              in
               List.iter
                 (fun (name, old_ns, ns) ->
                   Printf.printf "  REGRESSION %-42s %.1f -> %.1f ns/run (%.2fx)\n" name old_ns
@@ -373,13 +503,21 @@ let run ?json ?(check = false) () =
                     batched-campaign kernel)"
                    ((regression_limit -. 1.0) *. 100.0)
                    ((kernel_limit "batched campaign" -. 1.0) *. 100.0));
-              Util.verdict campaign_ok
-                (Printf.sprintf "campaign probe within %.0f%% of last entry"
-                   ((campaign_limit -. 1.0) *. 100.0));
+              (match campaign_baseline with
+              | Some _ ->
+                  Util.verdict campaign_ok
+                    (Printf.sprintf
+                       "campaign probe within %.0f%% of the last entry at jobs=%d cores=%d"
+                       ((campaign_limit -. 1.0) *. 100.0)
+                       jobs cores)
+              | None ->
+                  Printf.printf
+                    "  campaign probe: no history entry at jobs=%d cores=%d, gate skipped\n"
+                    jobs cores);
               not (kernels_ok && campaign_ok)
         end
   in
-  if failed_check then exit 1
+  if failed_check || (check && not ordering_ok) then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry overhead gate.

@@ -294,8 +294,22 @@ let sharing_cmd =
 (* campaign: defect-injection campaign *)
 
 let campaign_cmd =
+  let bench_arg =
+    let doc =
+      "ISCAS-style $(b,.bench) circuit to attack instead of the built-in buffer chain.  \
+       The circuit is compiled onto the CML cell library ($(b,Cml_cells.Compile)): one \
+       series-gated cell per net, free rail-swap NOTs, master-slave flip-flops on a \
+       global clock, fanout-scaled tail currents."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE.bench" ~doc)
+  in
   let dut_arg =
-    Arg.(value & opt string "x3" & info [ "dut" ] ~docv:"INST" ~doc:"Instance to attack.")
+    let doc =
+      "Instance to attack: a chain stage like $(b,x3) (the default), or — with a \
+       $(b,.bench) target — a compiled cell name (a declared output or $(b,n)$(i,ID); \
+       default: the first gate in topological order)."
+    in
+    Arg.(value & opt (some string) None & info [ "dut" ] ~docv:"INST" ~doc)
   in
   let no_batch_arg =
     let doc =
@@ -304,21 +318,7 @@ let campaign_cmd =
     in
     Arg.(value & flag & info [ "no-batch" ] ~doc)
   in
-  let run freq dut jobs no_warm_start no_batch trace metrics manifest =
-    apply_jobs jobs;
-    with_telemetry ~trace ~metrics @@ fun () ->
-    let golden = Cml_cells.Chain.build ~stages:8 ~freq () in
-    let defects =
-      Cml_defects.Sites.enumerate golden.Cml_cells.Chain.builder.B.net ~prefix:dut
-        ~pipe_values:[ 1e3; 4e3 ]
-    in
-    Printf.printf "running %d defects on %s (%d jobs%s)...\n%!" (List.length defects) dut
-      (Cml_runtime.Pool.default_jobs ())
-      (if no_batch then ", unbatched" else "");
-    let c =
-      Cml_defects.Campaign.run ~freq ~warm_start:(not no_warm_start) ~batch:(not no_batch)
-        ?manifest ~defects ()
-    in
+  let print_entries c =
     List.iter
       (fun e ->
         let open Cml_defects.Campaign in
@@ -333,23 +333,109 @@ let campaign_cmd =
               (if f.healed then " healed" else ""))
       c.Cml_defects.Campaign.entries;
     print_newline ();
-    List.iter (fun (k, v) -> Printf.printf "%-24s %d\n" k v) (Cml_defects.Campaign.summary c);
+    List.iter (fun (k, v) -> Printf.printf "%-24s %d\n" k v) (Cml_defects.Campaign.summary c)
+  in
+  let chain_campaign ~freq ~dut ~no_warm_start ~no_batch ~manifest =
+    let golden = Cml_cells.Chain.build ~stages:8 ~freq () in
+    let defects =
+      Cml_defects.Sites.enumerate golden.Cml_cells.Chain.builder.B.net ~prefix:dut
+        ~pipe_values:[ 1e3; 4e3 ]
+    in
+    Printf.printf "running %d defects on %s (%d jobs%s)...\n%!" (List.length defects) dut
+      (Cml_runtime.Pool.default_jobs ())
+      (if no_batch then ", unbatched" else "");
+    Cml_defects.Campaign.run ~freq ~warm_start:(not no_warm_start) ~batch:(not no_batch)
+      ?manifest ~defects ()
+  in
+  let bench_campaign ~freq ~path ~dut ~no_warm_start ~no_batch ~manifest =
+    let circuit = Cml_logic.Bench_format.read_file ~path in
+    let design = Cml_cells.Compile.compile ~freq circuit in
+    let dut =
+      match dut with Some d -> d | None -> Cml_cells.Compile.default_dut design
+    in
+    let dut_out =
+      match Cml_cells.Compile.find_cell design dut with
+      | Some d -> d
+      | None ->
+          Printf.eprintf "cmldft campaign: no compiled cell %S in %s\n" dut path;
+          exit 2
+    in
+    if not (Cml_cells.Compile.physical design dut) then begin
+      Printf.eprintf
+        "cmldft campaign: cell %S is a free complement (no devices, no defect sites)\n" dut;
+      exit 2
+    end;
+    let golden = Cml_cells.Compile.netlist design in
+    let defects = Cml_defects.Sites.enumerate golden ~prefix:dut ~pipe_values:[ 1e3; 4e3 ] in
+    let out_name = Cml_cells.Compile.default_output design in
+    let final = List.assoc out_name design.Cml_cells.Compile.outputs in
+    let cells, devices = Cml_cells.Compile.stats design in
+    Printf.printf
+      "compiled %s: %d cells, %d devices; attacking %s, measuring %s (%d defects, %d jobs%s)...\n%!"
+      path cells devices dut out_name (List.length defects)
+      (Cml_runtime.Pool.default_jobs ())
+      (if no_batch then ", unbatched" else "");
+    Cml_defects.Campaign.run_design ~freq ~warm_start:(not no_warm_start)
+      ~batch:(not no_batch) ?manifest
+      ~options:[ ("bench", path); ("dut", dut) ]
+      ~golden ~input:design.Cml_cells.Compile.input ~dut:dut_out ~final ~defects ()
+  in
+  let run freq bench dut jobs no_warm_start no_batch trace metrics manifest =
+    apply_jobs jobs;
+    with_telemetry ~trace ~metrics @@ fun () ->
+    let c =
+      match bench with
+      | None ->
+          let dut = Option.value ~default:"x3" dut in
+          chain_campaign ~freq ~dut ~no_warm_start ~no_batch ~manifest
+      | Some path -> (
+          match bench_campaign ~freq ~path ~dut ~no_warm_start ~no_batch ~manifest with
+          | c -> c
+          | exception Cml_logic.Bench_format.Parse_error { line; message } ->
+              Printf.eprintf "cmldft campaign: bench parse error at line %d: %s\n" line
+                message;
+              exit 2
+          | exception Sys_error msg ->
+              Printf.eprintf "cmldft campaign: %s\n" msg;
+              exit 2)
+    in
+    print_entries c;
     match manifest with Some path -> Printf.printf "wrote %s\n" path | None -> ()
   in
-  let info = Cmd.info "campaign" ~doc:"Defect-injection campaign (paper section 5)." in
+  let info =
+    Cmd.info "campaign"
+      ~doc:
+        "Defect-injection campaign (paper section 5) on the buffer chain or a compiled \
+         $(b,.bench) design."
+  in
   Cmd.v info
-    Term.(const run $ freq_arg $ dut_arg $ jobs_arg $ no_warm_start_arg $ no_batch_arg
-          $ trace_arg $ metrics_arg $ manifest_arg)
+    Term.(const run $ freq_arg $ bench_arg $ dut_arg $ jobs_arg $ no_warm_start_arg
+          $ no_batch_arg $ trace_arg $ metrics_arg $ manifest_arg)
 
 (* ------------------------------------------------------------------ *)
 (* diagnose: waveform-level drill-down on one defect *)
 
 let diagnose_cmd =
+  let bench_arg =
+    let doc =
+      "ISCAS-style $(b,.bench) circuit to diagnose on (compiled onto the CML cell \
+       library); the health-profile rows become the attacked cell and every primary \
+       output.  Without it, the built-in buffer chain is diagnosed."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE.bench" ~doc)
+  in
   let stages_arg =
     Arg.(value & opt int 8 & info [ "n"; "stages" ] ~docv:"N" ~doc:"Chain length.")
   in
   let dut_arg =
     Arg.(value & opt int 3 & info [ "dut" ] ~docv:"STAGE" ~doc:"Stage carrying the defect.")
+  in
+  let cell_arg =
+    let doc =
+      "With a $(b,.bench) target, the compiled cell to attack (default: the first gate \
+       in topological order)."
+    in
+    Arg.(value & opt (some string) None & info [ "cell" ] ~docv:"INST" ~doc)
   in
   let pipe_arg =
     let doc = "Collector-emitter pipe resistance (ohm) injected on the DUT's Q3." in
@@ -362,23 +448,72 @@ let diagnose_cmd =
   let plot_arg =
     Arg.(value & flag & info [ "plot" ] ~doc:"Render ASCII plots of the DUT and detector waves.")
   in
-  let run freq pipe stages dut json vcd plot trace metrics =
+  let run freq pipe bench stages dut cell json vcd plot trace metrics =
     with_telemetry ~trace ~metrics @@ fun () ->
-    if dut < 1 || dut > stages then begin
-      Printf.eprintf "cmldft diagnose: --dut must be within 1..%d\n" stages;
-      exit 2
-    end;
-    let defect =
-      Cml_defects.Defect.Pipe { device = Cml_cells.Chain.stage_name dut ^ ".q3"; r = pipe }
+    let d, dut_wave_name =
+      match bench with
+      | None ->
+          if dut < 1 || dut > stages then begin
+            Printf.eprintf "cmldft diagnose: --dut must be within 1..%d\n" stages;
+            exit 2
+          end;
+          let defect =
+            Cml_defects.Defect.Pipe
+              { device = Cml_cells.Chain.stage_name dut ^ ".q3"; r = pipe }
+          in
+          (Dft.Diagnose.run ~freq ~stages ~dut ~defect (),
+           Cml_cells.Chain.stage_name dut ^ ".p")
+      | Some path -> (
+          match
+            let circuit = Cml_logic.Bench_format.read_file ~path in
+            let design = Cml_cells.Compile.compile ~freq circuit in
+            let cell =
+              match cell with
+              | Some c -> c
+              | None -> Cml_cells.Compile.default_dut design
+            in
+            (* prefer the cell's tail-source pipe (the chain default's
+               x<i>.q3 analogue); fall back to the first pipe site so
+               every gate topology resolves (a flip-flop's tails live
+               in .m/.s) *)
+            let pipes =
+              List.filter
+                (function Cml_defects.Defect.Pipe _ -> true | _ -> false)
+                (Cml_defects.Sites.enumerate
+                   (Cml_cells.Compile.netlist design)
+                   ~prefix:cell ~pipe_values:[ pipe ])
+            in
+            let is_tail = function
+              | Cml_defects.Defect.Pipe { device; _ } ->
+                  String.length device >= 3
+                  && String.sub device (String.length device - 3) 3 = ".q3"
+              | _ -> false
+            in
+            let defect =
+              match (List.find_opt is_tail pipes, pipes) with
+              | Some d, _ -> d
+              | None, d :: _ -> d
+              | None, [] ->
+                  Printf.eprintf
+                    "cmldft diagnose: cell %S has no pipe site (free complement?)\n" cell;
+                  exit 2
+            in
+            (Dft.Diagnose.run_design ~design ~dut:cell ~defect (), cell ^ ".p")
+          with
+          | r -> r
+          | exception Cml_logic.Bench_format.Parse_error { line; message } ->
+              Printf.eprintf "cmldft diagnose: bench parse error at line %d: %s\n" line
+                message;
+              exit 2
+          | exception Sys_error msg ->
+              Printf.eprintf "cmldft diagnose: %s\n" msg;
+              exit 2)
     in
-    let d = Dft.Diagnose.run ~freq ~stages ~dut ~defect () in
     print_string (Dft.Diagnose.render_text d);
     if plot then begin
-      let dut_wave = List.assoc (Cml_cells.Chain.stage_name dut ^ ".p") d.Dft.Diagnose.waves in
+      let dut_wave = List.assoc dut_wave_name d.Dft.Diagnose.waves in
       print_newline ();
-      print_string
-        (Cml_wave.Ascii_plot.render ~height:12
-           [ (Cml_cells.Chain.stage_name dut ^ ".p", dut_wave) ]);
+      print_string (Cml_wave.Ascii_plot.render ~height:12 [ (dut_wave_name, dut_wave) ]);
       print_newline ();
       print_string
         (Cml_wave.Ascii_plot.render ~height:12 [ ("det.vout", d.Dft.Diagnose.detector_wave) ])
@@ -396,13 +531,14 @@ let diagnose_cmd =
   in
   let doc =
     "Diagnose one defect at waveform level: per-stage signal health against the fault-free \
-     chain, healing depth (paper section 5) and the detector-response timeline \
-     (Figs. 7/8/10), with JSON and analog-VCD outputs."
+     circuit (the chain, or a compiled $(b,.bench) design), healing depth (paper section \
+     5) and the detector-response timeline (Figs. 7/8/10), with JSON and analog-VCD \
+     outputs."
   in
   let info = Cmd.info "diagnose" ~doc in
   Cmd.v info
-    Term.(const run $ freq_arg $ pipe_arg $ stages_arg $ dut_arg $ json_arg $ vcd_out_arg
-          $ plot_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ freq_arg $ pipe_arg $ bench_arg $ stages_arg $ dut_arg $ cell_arg
+          $ json_arg $ vcd_out_arg $ plot_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* area *)
@@ -537,26 +673,66 @@ let op_cmd =
   let stages_arg =
     Arg.(value & opt int 3 & info [ "n"; "stages" ] ~docv:"N" ~doc:"Chain length.")
   in
-  let run pipe stages =
-    let chain = Cml_cells.Chain.build_dc ~stages ~value:true () in
-    let golden = chain.Cml_cells.Chain.builder.B.net in
-    let net =
-      match pipe_option pipe with
-      | None -> golden
-      | Some r ->
-          Cml_defects.Inject.apply golden (Cml_defects.Defect.Pipe { device = "x3.q3"; r })
+  let bench_arg =
+    let doc =
+      "Compile this ISCAS-style $(b,.bench) circuit onto the CML cell library and solve \
+       its DC operating point, reporting design size, solver/ordering statistics and the \
+       primary-output levels instead of the per-transistor table."
     in
-    let sim = E.compile net in
-    let x = E.dc_operating_point sim in
-    Printf.printf "%-16s %10s %10s %12s %12s\n" "device" "VBE" "VCE" "IC" "IB";
-    List.iter
-      (fun (o : E.bjt_op) ->
-        Printf.printf "%-16s %8.3f V %8.3f V %9.3f uA %9.3f uA\n" o.E.q_name o.E.vbe o.E.vce
-          (o.E.ic *. 1e6) (o.E.ib *. 1e6))
-      (E.bjt_report sim x)
+    Arg.(value & opt (some string) None & info [ "bench" ] ~docv:"FILE.bench" ~doc)
   in
-  let info = Cmd.info "op" ~doc:"SPICE-style transistor operating-point report." in
-  Cmd.v info Term.(const run $ pipe_arg $ stages_arg)
+  let run pipe stages bench =
+    match bench with
+    | Some path -> (
+        match Cml_logic.Bench_format.read_file ~path with
+        | exception Cml_logic.Bench_format.Parse_error { line; message } ->
+            Printf.eprintf "cmldft op: bench parse error at line %d: %s\n" line message;
+            exit 2
+        | exception Sys_error msg ->
+            Printf.eprintf "cmldft op: %s\n" msg;
+            exit 2
+        | circuit ->
+            let design = Cml_cells.Compile.compile circuit in
+            let cells, devices = Cml_cells.Compile.stats design in
+            let sim = E.compile (Cml_cells.Compile.netlist design) in
+            let x = E.dc_operating_point sim in
+            let s = E.solver_stats sim in
+            Printf.printf "compiled %s: %d cells, %d devices, %d unknowns\n" path cells
+              devices (E.unknown_count sim);
+            Printf.printf
+              "solver: %d Newton iters, ordering %s, nnz(L+U) %d, fill ratio %.2f\n"
+              s.E.newton_iters
+              (if s.E.lu_ordering = "" then "dense" else s.E.lu_ordering)
+              s.E.lu_nnz_factors s.E.lu_fill_ratio;
+            Printf.printf "%-12s %10s %10s\n" "output" "true" "complement";
+            List.iter
+              (fun (nm, d) ->
+                Printf.printf "%-12s %8.3f V %8.3f V\n" nm
+                  (E.voltage x d.B.p) (E.voltage x d.B.n))
+              design.Cml_cells.Compile.outputs)
+    | None ->
+        let chain = Cml_cells.Chain.build_dc ~stages ~value:true () in
+        let golden = chain.Cml_cells.Chain.builder.B.net in
+        let net =
+          match pipe_option pipe with
+          | None -> golden
+          | Some r ->
+              Cml_defects.Inject.apply golden (Cml_defects.Defect.Pipe { device = "x3.q3"; r })
+        in
+        let sim = E.compile net in
+        let x = E.dc_operating_point sim in
+        Printf.printf "%-16s %10s %10s %12s %12s\n" "device" "VBE" "VCE" "IC" "IB";
+        List.iter
+          (fun (o : E.bjt_op) ->
+            Printf.printf "%-16s %8.3f V %8.3f V %9.3f uA %9.3f uA\n" o.E.q_name o.E.vbe
+              o.E.vce (o.E.ic *. 1e6) (o.E.ib *. 1e6))
+          (E.bjt_report sim x)
+  in
+  let info =
+    Cmd.info "op"
+      ~doc:"SPICE-style transistor operating-point report (or a compiled-design DC summary)."
+  in
+  Cmd.v info Term.(const run $ pipe_arg $ stages_arg $ bench_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lint: the unified static-analysis pass *)
@@ -735,14 +911,12 @@ let plan_cmd =
   let bench_sites path =
     let c = Cml_logic.Bench_format.read_file ~path in
     let module C = Cml_logic.Circuit in
-    let name_of net =
-      match List.find_opt (fun (_, n) -> n = net) c.C.outputs with
-      | Some (name, _) -> name
-      | None -> Printf.sprintf "n%d" net
-    in
+    (* same naming contract as the CML compiler (Circuit.net_names),
+       so a plan realized on the compiled design resolves by name *)
+    let names = C.net_names c in
     let cells = ref [] in
     Array.iteri
-      (fun net g -> match g with C.Input _ -> () | _ -> cells := (name_of net, net) :: !cells)
+      (fun net g -> match g with C.Input _ -> () | _ -> cells := (names.(net), net) :: !cells)
       c.C.gates;
     (c, List.rev !cells)
   in
@@ -786,7 +960,16 @@ let plan_cmd =
         match target with
         | `File path ->
             let circuit, cells = bench_sites path in
-            (circuit, cells, None)
+            (* realize on the compiled CML design: the compiler names
+               cells by the same output-name-or-"n<id>" contract
+               [bench_sites] uses, so the optimizer's groups resolve
+               directly *)
+            let realize groups =
+              let design = Cml_cells.Compile.compile circuit in
+              let b = design.Cml_cells.Compile.builder in
+              (Dft.Insertion.instrument_groups ~groups b, b)
+            in
+            (circuit, cells, Some realize)
         | `Scenario `Chain ->
             let circuit, cells = P.chain_twin ~stages in
             let realize groups =

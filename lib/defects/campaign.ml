@@ -409,6 +409,211 @@ let run ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?(stages = 8) ?dut ?
       Cml_telemetry.Manifest.write ~path (to_manifest ~options t));
   t
 
+(* ------------------------------------------------------------------ *)
+(* Compiled-design campaigns: the same classification machinery on an
+   arbitrary CML netlist — typically a [.bench] circuit compiled by
+   {!Cml_cells.Compile} — probing the attacked cell's output pair, one
+   primary output and the supply branch.  There is no stage chain, so
+   the healing profile is not computed ([degraded_at] and
+   [healing_depth] stay [None]). *)
+
+let design_probes ~input ~dut ~final sim =
+  let base =
+    [
+      ("in.p", E.node_unknown input.Cml_cells.Builder.p);
+      ("in.n", E.node_unknown input.Cml_cells.Builder.n);
+      ("dut.p", E.node_unknown dut.Cml_cells.Builder.p);
+      ("dut.n", E.node_unknown dut.Cml_cells.Builder.n);
+      ("fin.p", E.node_unknown final.Cml_cells.Builder.p);
+      ("fin.n", E.node_unknown final.Cml_cells.Builder.n);
+    ]
+  in
+  match E.branch_unknown sim "vdd" with
+  | exception Not_found -> base
+  | br -> ("i(vdd)", br) :: base
+
+let analyze_design_probes obs ~freq ~tstop =
+  let wave name =
+    let times, values = T.probe_samples obs name in
+    Cml_wave.Wave.create times values
+  in
+  let t_from = tstop /. 2.0 in
+  let supply_current =
+    match wave "i(vdd)" with
+    | exception Not_found -> 0.0
+    | w ->
+        let w = Cml_wave.Wave.map Float.abs w in
+        Cml_wave.Wave.mean (Cml_wave.Wave.sub_range w ~t_from ~t_to:(Cml_wave.Wave.t_end w))
+  in
+  let wp_dut = wave "dut.p" and wn_dut = wave "dut.n" in
+  let wp_fin = wave "fin.p" and wn_fin = wave "fin.n" in
+  let lo_p, hi_p = Cml_wave.Measure.extremes wp_dut ~t_from in
+  let lo_n, hi_n = Cml_wave.Measure.extremes wn_dut ~t_from in
+  let lo_fp, hi_fp = Cml_wave.Measure.extremes wp_fin ~t_from in
+  let lo_fn, hi_fn = Cml_wave.Measure.extremes wn_fin ~t_from in
+  let w_in_p = wave "in.p" and w_in_n = wave "in.n" in
+  let final_delay =
+    match
+      List.find_opt (fun t -> t >= t_from) (Cml_wave.Measure.differential_crossings w_in_p w_in_n)
+    with
+    | None -> None
+    | Some t0 -> (
+        match
+          List.find_opt (fun t -> t > t0)
+            (Cml_wave.Measure.differential_crossings wp_fin wn_fin)
+        with
+        | None -> None
+        | Some t1 when t1 -. t0 < 0.75 /. freq -> Some (t1 -. t0)
+        | Some _ -> None)
+  in
+  {
+    dut_vlow = Float.min lo_p lo_n;
+    dut_vhigh = Float.max hi_p hi_n;
+    dut_swing = hi_p -. lo_p;
+    final_vlow = Float.min lo_fp lo_fn;
+    final_vhigh = Float.max hi_fp hi_fn;
+    final_swing = hi_fp -. lo_fp;
+    final_delay;
+    supply_current;
+    degraded_at = None;
+    healing_depth = None;
+  }
+
+let measure_design_full ?guide ?breakpoints ?(record_every = 1) ~probes net ~freq ~tstop =
+  let sim = E.compile net in
+  let cfg = T.config ~tstop ~max_step:10e-12 ~record_every () in
+  let obs = T.observers (probes sim) in
+  let r = T.run ?guide ?breakpoints ~observers:obs sim net cfg in
+  (analyze_design_probes obs ~freq ~tstop, r)
+
+let run_design ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?tstop ?jobs
+    ?(preflight = true) ?(warm_start = true) ?(batch = true) ?manifest ?(options = [])
+    ~golden ~input ~dut ~final ~defects () =
+  let tstop = match tstop with Some t -> t | None -> 2.0 /. freq in
+  let snap0 = Cml_telemetry.Metrics.snapshot () in
+  let span = Cml_telemetry.Trace.start () in
+  if preflight then
+    Cml_analysis.Lint.preflight_netlist ~what:"campaign golden netlist" golden;
+  let probes = design_probes ~input ~dut ~final in
+  let breakpoints = T.collect_breakpoints golden ~tstop in
+  let reference, ref_traj = measure_design_full ~breakpoints ~probes golden ~freq ~tstop in
+  let guide = if warm_start then Some ref_traj else None in
+  let variant_record_every = 8 in
+  let run_one defect =
+    let tok = Cml_telemetry.Trace.start () in
+    let t0 = Cml_telemetry.Clock.now_ns () in
+    let entry, stats =
+      match Inject.apply golden defect with
+      | exception (Not_found | Invalid_argument _) ->
+          ({ defect; outcome = Failed "injection failed" }, None)
+      | faulty -> (
+          match
+            measure_design_full ?guide ~breakpoints ~record_every:variant_record_every
+              ~probes faulty ~freq ~tstop
+          with
+          | m, r ->
+              ({ defect; outcome = Measured (m, classify ~proc ~reference m) }, Some r.T.stats)
+          | exception E.No_convergence msg -> ({ defect; outcome = Failed msg }, None))
+    in
+    let seconds = Cml_telemetry.Clock.ns_to_s (Int64.sub (Cml_telemetry.Clock.now_ns ()) t0) in
+    Cml_telemetry.Trace.finish ~cat:"campaign"
+      ~args:
+        (if tok >= 0L then [ ("defect", Cml_telemetry.Trace.S (Defect.describe defect)) ]
+         else [])
+      "variant" tok;
+    (entry, variant_of_entry entry ~seconds ~stats)
+  in
+  (* Batched slices mirror [run]: lanes grouped by unknown layout run
+     in lockstep through one shared macro grid, and — because every
+     lane of a group shares lane 0's sparse symbolic analysis
+     ({!Cml_spice.Engine.share_symbolic}) — one column ordering and
+     one pattern analysis serve the whole group. *)
+  let cfg_batch = T.config ~tstop ~max_step:10e-12 ~record_every:0 () in
+  let run_slice (defs : Defect.t array) =
+    let n = Array.length defs in
+    let tok = Cml_telemetry.Trace.start () in
+    let t0 = Cml_telemetry.Clock.now_ns () in
+    let sims =
+      Array.map
+        (fun defect ->
+          match Inject.apply golden defect with
+          | exception (Not_found | Invalid_argument _) -> None
+          | faulty -> Some (E.compile faulty))
+        defs
+    in
+    let entries =
+      Array.map (fun defect -> { defect; outcome = Failed "injection failed" }) defs
+    in
+    let statsv = Array.make n None in
+    let groups = Hashtbl.create 4 in
+    Array.iteri
+      (fun i sim ->
+        match sim with
+        | None -> ()
+        | Some s ->
+            let w = E.unknown_count s in
+            Hashtbl.replace groups w (i :: Option.value ~default:[] (Hashtbl.find_opt groups w)))
+      sims;
+    Hashtbl.iter
+      (fun _w rev_idxs ->
+        let idxs = Array.of_list (List.rev rev_idxs) in
+        let obs = Array.map (fun i -> T.observers (probes (Option.get sims.(i)))) idxs in
+        let lanes = Array.mapi (fun k i -> (Option.get sims.(i), Some obs.(k))) idxs in
+        let results = T.run_batch ?guide ~breakpoints lanes golden cfg_batch in
+        Array.iteri
+          (fun k i ->
+            let defect = defs.(i) in
+            match results.(k) with
+            | T.Lane_done r ->
+                let m = analyze_design_probes obs.(k) ~freq ~tstop in
+                entries.(i) <- { defect; outcome = Measured (m, classify ~proc ~reference m) };
+                statsv.(i) <- Some r.T.stats
+            | T.Lane_failed msg -> entries.(i) <- { defect; outcome = Failed msg }
+            | T.Lane_incompatible ->
+                (* unreachable: lanes are grouped by layout above *)
+                entries.(i) <- { defect; outcome = Failed "incompatible lane layout" })
+          idxs)
+      groups;
+    let seconds = Cml_telemetry.Clock.ns_to_s (Int64.sub (Cml_telemetry.Clock.now_ns ()) t0) in
+    Cml_telemetry.Trace.finish ~cat:"campaign"
+      ~args:(if tok >= 0L then [ ("lanes", Cml_telemetry.Trace.I n) ] else [])
+      "variant_batch" tok;
+    let per_lane = seconds /. float_of_int (max 1 n) in
+    Array.mapi (fun i e -> (e, variant_of_entry e ~seconds:per_lane ~stats:statsv.(i))) entries
+  in
+  let results =
+    if batch then
+      Array.to_list
+        (Cml_runtime.Pool.parallel_map_batches ?jobs ~max_batch:16 run_slice
+           (Array.of_list defects))
+    else Cml_runtime.Pool.parallel_list_map ?jobs run_one defects
+  in
+  Cml_telemetry.Trace.finish ~cat:"campaign" "campaign" span;
+  let metrics = Cml_telemetry.Metrics.diff snap0 (Cml_telemetry.Metrics.snapshot ()) in
+  let t =
+    {
+      reference;
+      entries = List.map fst results;
+      variants = List.map snd results;
+      metrics;
+    }
+  in
+  (match manifest with
+  | None -> ()
+  | Some path ->
+      let options =
+        options
+        @ [
+            ("freq", Printf.sprintf "%g" freq);
+            ("tstop", Printf.sprintf "%g" tstop);
+            ("warm_start", string_of_bool warm_start);
+            ("batch", string_of_bool batch);
+            ("defects", string_of_int (List.length defects));
+          ]
+      in
+      Cml_telemetry.Manifest.write ~path (to_manifest ~options t));
+  t
+
 let summary t =
   let count p = List.length (List.filter p t.entries) in
   let flagged f = count (fun e -> match e.outcome with Measured (_, fl) -> f fl | Failed _ -> false) in

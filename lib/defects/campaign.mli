@@ -127,6 +127,38 @@ val run :
     given path after the run (options, per-variant classification and
     solver metrics, registry delta, span summary). *)
 
+val run_design :
+  ?proc:Cml_cells.Process.t ->
+  ?freq:float ->
+  ?tstop:float ->
+  ?jobs:int ->
+  ?preflight:bool ->
+  ?warm_start:bool ->
+  ?batch:bool ->
+  ?manifest:string ->
+  ?options:(string * string) list ->
+  golden:Cml_spice.Netlist.t ->
+  input:Cml_cells.Builder.diff ->
+  dut:Cml_cells.Builder.diff ->
+  final:Cml_cells.Builder.diff ->
+  defects:Defect.t list ->
+  unit ->
+  t
+(** Campaign on an arbitrary compiled CML design — typically a
+    [.bench] circuit compiled by {!Cml_cells.Compile} — instead of
+    the built-in buffer chain.  [input] is the toggling stimulus
+    pair (delay reference), [dut] the attacked cell's output pair
+    and [final] the primary output whose swing decides the stuck-at
+    class.  Semantics of [warm_start], [batch], [jobs], [preflight]
+    and [manifest] match {!run}; [options] prepends caller context
+    (e.g. the bench path) to the manifest options.  There is no
+    stage chain, so measurements carry no healing profile
+    ([degraded_at] and [healing_depth] are [None]) and the manifest's
+    healing histogram reads "clean".  Batched lanes of one layout
+    group additionally share one sparse symbolic analysis
+    ({!Cml_spice.Engine.share_symbolic}): the campaign pays for one
+    column ordering per group, not one per defect. *)
+
 val to_manifest : ?seed:int -> ?options:(string * string) list -> t -> Cml_telemetry.Manifest.t
 (** The run manifest [?manifest] writes; exposed so callers can stamp
     their own options / seed and choose the path. *)

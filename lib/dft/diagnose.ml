@@ -119,6 +119,74 @@ let run ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?(stages = 8) ?dut ?
     detector_wave;
   }
 
+(* Diagnosis of a defect on a compiled [.bench] design: the "stages"
+   of the health profile are the attacked cell followed by every
+   primary output — there is no buffer chain, but the same
+   degraded-at-the-DUT / recovered-at-the-outputs reading applies.
+   The detector attaches to the attacked cell's output pair, exactly
+   as on the chain. *)
+let run_design ?tstop ?(classes = []) ~design ~dut ~defect () =
+  let module Cp = Cml_cells.Compile in
+  let builder = design.Cp.builder in
+  let proc = builder.Cml_cells.Builder.proc in
+  let freq = design.Cp.freq in
+  let tstop = match tstop with Some t -> t | None -> 2.0 /. freq in
+  let dut_out =
+    match Cp.find_cell design dut with
+    | Some d -> d
+    | None -> invalid_arg (Printf.sprintf "Diagnose.run_design: unknown cell %S" dut)
+  in
+  let det_vout =
+    Detector.attach_v1 builder ~name:"det" ~outputs:dut_out Detector.v1_default
+  in
+  let golden = builder.Cml_cells.Builder.net in
+  let monitored =
+    (dut, dut_out) :: List.filter (fun (nm, _) -> nm <> dut) design.Cp.outputs
+  in
+  let probes =
+    ("in.p", E.node_unknown design.Cp.input.Cml_cells.Builder.p)
+    :: ("in.n", E.node_unknown design.Cp.input.Cml_cells.Builder.n)
+    :: ("det.vout", E.node_unknown det_vout)
+    :: List.concat_map
+         (fun (nm, d) ->
+           [
+             (nm ^ ".p", E.node_unknown d.Cml_cells.Builder.p);
+             (nm ^ ".n", E.node_unknown d.Cml_cells.Builder.n);
+           ])
+         monitored
+  in
+  let t_from = tstop /. 2.0 in
+  let ref_r, ref_waves = probed_run (E.compile golden) golden ~tstop ~probes in
+  let final_name = fst (List.nth monitored (List.length monitored - 1)) in
+  let nominal_low, nominal_high =
+    Cml_wave.Measure.levels (List.assoc (final_name ^ ".p") ref_waves) ~t_from
+  in
+  let monitor_waves ws = List.map (fun (nm, _) -> (nm, List.assoc (nm ^ ".p") ws)) monitored in
+  let nominal = H.profile ~nominal_low ~nominal_high ~t_from (monitor_waves ref_waves) in
+  let faulty_net = Cml_defects.Inject.apply golden defect in
+  let _, waves = probed_run ~guide:ref_r (E.compile faulty_net) faulty_net ~tstop ~probes in
+  let faulty = H.profile ~nominal_low ~nominal_high ~t_from (monitor_waves waves) in
+  let detector_wave = List.assoc "det.vout" waves in
+  let quiescent = proc.Cml_cells.Process.vgnd in
+  let timeline =
+    H.detector_timeline ~quiescent ~threshold:(quiescent -. 0.15) detector_wave
+  in
+  {
+    defect = Cml_defects.Defect.describe defect;
+    classes;
+    freq;
+    stages = List.length monitored;
+    dut = 1;
+    tstop;
+    nominal_low;
+    nominal_high;
+    nominal;
+    faulty;
+    timeline;
+    waves;
+    detector_wave;
+  }
+
 let of_entry ?proc ?freq ?stages ?dut ?tstop (entry : Cml_defects.Campaign.entry) =
   let classes =
     match entry.Cml_defects.Campaign.outcome with

@@ -49,6 +49,25 @@ val run :
     guide) and faulty.
     @raise Cml_spice.Engine.No_convergence on solver failure. *)
 
+val run_design :
+  ?tstop:float ->
+  ?classes:string list ->
+  design:Cml_cells.Compile.t ->
+  dut:string ->
+  defect:Cml_defects.Defect.t ->
+  unit ->
+  t
+(** Diagnose [defect] on a compiled [.bench] design: a variant-1
+    detector attaches to cell [dut]'s output pair, and the health
+    profile rows are the attacked cell followed by every primary
+    output (no chain, so "stage 1" is the DUT itself and healing is
+    read DUT-to-outputs).  Frequency and process come from the
+    design; [tstop] defaults to two stimulus periods.  The detector
+    devices are added to the design's netlist in place — compile a
+    fresh design per diagnosis.
+    @raise Invalid_argument when [dut] names no compiled cell.
+    @raise Cml_spice.Engine.No_convergence on solver failure. *)
+
 val of_entry :
   ?proc:Cml_cells.Process.t ->
   ?freq:float ->

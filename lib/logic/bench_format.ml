@@ -41,12 +41,40 @@ let parse_line line s =
         | op, _ -> fail line "expected INPUT/OUTPUT/assignment, got %S" op)
   end
 
+(* ISCAS .bench files in the wild wrap long argument lists over
+   several physical lines: a logical statement continues while its
+   parentheses stay unbalanced (comments stripped first), and errors
+   report the line it started on.  A statement still unbalanced at
+   EOF fails with the missing ')'. *)
+let logical_lines text =
+  let strip s = match String.index_opt s '#' with Some i -> String.sub s 0 i | None -> s in
+  let depth s =
+    String.fold_left
+      (fun d c -> if c = '(' then d + 1 else if c = ')' then d - 1 else d)
+      0 s
+  in
+  let rec go acc pending = function
+    | [] -> (
+        match pending with
+        | None -> List.rev acc
+        | Some (ln, buf, _) -> fail ln "missing ')' in %S" (String.trim buf))
+    | (ln, s) :: rest -> (
+        match pending with
+        | None ->
+            let d = depth s in
+            if d > 0 then go acc (Some (ln, s, d)) rest else go ((ln, s) :: acc) None rest
+        | Some (ln0, buf, d0) ->
+            let d = d0 + depth s in
+            let buf = buf ^ " " ^ s in
+            if d > 0 then go acc (Some (ln0, buf, d)) rest else go ((ln0, buf) :: acc) None rest)
+  in
+  go [] None (List.mapi (fun i s -> (i + 1, strip s)) (String.split_on_char '\n' text))
+
 let of_string text =
   let statements =
-    List.concat
-      (List.mapi
-         (fun i s -> match parse_line (i + 1) s with Some st -> [ (i + 1, st) ] | None -> [])
-         (String.split_on_char '\n' text))
+    List.filter_map
+      (fun (line, s) -> Option.map (fun st -> (line, st)) (parse_line line s))
+      (logical_lines text)
   in
   let b = Circuit.create () in
   let ids = Hashtbl.create 64 in

@@ -14,7 +14,10 @@
     Supported gates: AND, NAND, OR, NOR, XOR, XNOR, NOT, BUF/BUFF,
     DFF, MUX (3 inputs: sel, a, b).  Multi-input gates are expanded
     into binary trees.  Signals may be referenced before they are
-    defined; only combinational cycles are rejected. *)
+    defined; only combinational cycles are rejected.  An argument
+    list may wrap over several physical lines (the statement runs
+    until its parentheses balance); errors then report the line the
+    statement started on. *)
 
 exception Parse_error of { line : int; message : string }
 

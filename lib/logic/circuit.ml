@@ -150,3 +150,33 @@ let finalize b =
   }
 
 let num_nets t = Array.length t.gates
+
+(* Stable net names shared by the DFT planner and the CML compiler: a
+   declared primary-output name when the net has one, the input name
+   for a primary input, ["n<id>"] otherwise.  Positional names that an
+   output declaration already claims for a *different* net (common in
+   round-tripped .bench files, whose output names are themselves
+   "n<id>" under the writer's numbering) are disambiguated with
+   underscores so every net name is unique. *)
+let net_names t =
+  let n = Array.length t.gates in
+  let names = Array.make n "" in
+  let used = Hashtbl.create (2 * n) in
+  let claim i name =
+    if names.(i) = "" && not (Hashtbl.mem used name) then begin
+      names.(i) <- name;
+      Hashtbl.replace used name ()
+    end
+  in
+  List.iter (fun (name, id) -> claim id name) t.outputs;
+  Array.iteri (fun i g -> match g with Input name -> claim i name | _ -> ()) t.gates;
+  Array.iteri
+    (fun i _ ->
+      if names.(i) = "" then begin
+        let rec fresh s = if Hashtbl.mem used s then fresh (s ^ "_") else s in
+        let name = fresh (Printf.sprintf "n%d" i) in
+        names.(i) <- name;
+        Hashtbl.replace used name ()
+      end)
+    names;
+  names

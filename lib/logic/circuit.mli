@@ -55,3 +55,12 @@ val finalize : builder -> t
     net 4 (buf)"]) or every unconnected flip-flop id. *)
 
 val num_nets : t -> int
+
+val net_names : t -> string array
+(** A unique, stable name per net: the declared primary-output name
+    when the net has one, the input name for a primary input,
+    ["n<id>"] otherwise — the shared contract between [cmldft plan]
+    site names and {!Cml_cells.Compile} instance names.  A positional
+    ["n<id>"] that an output declaration already claims for a
+    different net (round-tripped [.bench] files) is suffixed with
+    underscores until unique. *)

@@ -27,10 +27,16 @@ type factor = {
   u_rowind : int array;  (* pivotal numbering; diagonal stored last *)
   u_values : float array;
   pinv : int array;  (* original row -> pivotal position *)
+  q : int array;  (* elimination step -> original column *)
+  q_identity : bool;  (* natural order: skip the output permutation *)
+  qwork : float array;  (* solve scratch when [q] is not the identity *)
+  ordering_label : string;  (* "natural" or "amd", for diagnostics *)
   a_colptr : int array;  (* the A pattern the symbolic analysis is valid for, *)
   a_rowind : int array;  (* identified physically: refill keeps these arrays *)
   work : float array;  (* dense scratch for refactorize; zero between calls *)
 }
+
+type ordering = Natural | Amd | Auto
 
 let pivot_abs_threshold = 1e-13
 
@@ -81,8 +87,46 @@ let dfs r0 ~marked ~pinv ~l_colptr ~l_rowind ~xi ~rstack ~pstack top0 =
   done;
   !top
 
-let factorize (a : Sparse.csc) =
+(* Below this size the elimination graph is too small for a
+   min-degree order to beat the permutation bookkeeping it costs. *)
+let auto_ordering_min = 16
+
+(* Below this many strict-lower fill entries the numeric factorization
+   is microseconds-cheap whatever the order, so the min-degree
+   analysis would cost more than any reduction could pay back (on the
+   banded 200-unknown perf kernel it was 5x the whole factor+solve).
+   [Auto] prices the natural order first with the O(nnz + fill)
+   elimination-tree count and only runs the quotient-graph elimination
+   past this cutoff. *)
+let auto_fill_cutoff = 20_000
+
+let choose_ordering ordering (a : Sparse.csc) =
   let n = a.Sparse.n in
+  match ordering with
+  | Natural -> (Ordering.identity n, true, "natural")
+  | Amd -> (Ordering.amd a, false, "amd")
+  | Auto ->
+      if n < auto_ordering_min then (Ordering.identity n, true, "natural")
+      else if Ordering.envelope_bound a <= auto_fill_cutoff then
+        (* banded / near-banded: even the envelope bound says the
+           factor stays small, one O(nnz) scan and we are done *)
+        (Ordering.identity n, true, "natural")
+      else begin
+        let fn = Ordering.natural_fill a in
+        if fn <= auto_fill_cutoff then (Ordering.identity n, true, "natural")
+        else begin
+          (* commit to whichever order the symbolic elimination says
+             fills less; for the structurally symmetric patterns MNA
+             produces the estimate is the exact factor size, so "amd"
+             is only ever reported when it genuinely wins *)
+          let qa, fa = Ordering.amd_with_fill a in
+          if fa < fn then (qa, false, "amd") else (Ordering.identity n, true, "natural")
+        end
+      end
+
+let factorize ?(ordering = Auto) (a : Sparse.csc) =
+  let n = a.Sparse.n in
+  let q, q_identity, ordering_label = choose_ordering ordering a in
   let lbuf = buf_create () and ubuf = buf_create () in
   let l_colptr = Array.make (n + 1) 0 in
   let u_colptr = Array.make (n + 1) 0 in
@@ -94,17 +138,19 @@ let factorize (a : Sparse.csc) =
   (* L's column pointers grow as we emit columns; dfs needs access to
      the partially built arrays, so we hand it the raw buffers. *)
   for j = 0 to n - 1 do
+    (* elimination step [j] processes original column [q.(j)] *)
+    let col = q.(j) in
     l_colptr.(j) <- lbuf.len;
     u_colptr.(j) <- ubuf.len;
-    (* symbolic: reach of A(:,j) *)
+    (* symbolic: reach of A(:,col) *)
     let top = ref n in
-    for p = a.Sparse.colptr.(j) to a.Sparse.colptr.(j + 1) - 1 do
+    for p = a.Sparse.colptr.(col) to a.Sparse.colptr.(col + 1) - 1 do
       let r = a.Sparse.rowind.(p) in
       if not marked.(r) then
         top := dfs r ~marked ~pinv ~l_colptr ~l_rowind:lbuf.idx ~xi ~rstack ~pstack !top
     done;
-    (* numeric: scatter A(:,j) and run the sparse triangular solve *)
-    for p = a.Sparse.colptr.(j) to a.Sparse.colptr.(j + 1) - 1 do
+    (* numeric: scatter A(:,col) and run the sparse triangular solve *)
+    for p = a.Sparse.colptr.(col) to a.Sparse.colptr.(col + 1) - 1 do
       x.(a.Sparse.rowind.(p)) <- x.(a.Sparse.rowind.(p)) +. a.Sparse.values.(p)
     done;
     for px = !top to n - 1 do
@@ -128,11 +174,11 @@ let factorize (a : Sparse.csc) =
           best_abs := ax;
           best := r
         end;
-        if r = j then diag_abs := ax
+        if r = col then diag_abs := ax
       end
     done;
-    if !best < 0 || !best_abs < pivot_abs_threshold then raise (Singular j);
-    let piv = if !diag_abs >= diag_preference *. !best_abs then j else !best in
+    if !best < 0 || !best_abs < pivot_abs_threshold then raise (Singular col);
+    let piv = if !diag_abs >= diag_preference *. !best_abs then col else !best in
     let pivot_value = x.(piv) in
     pinv.(piv) <- j;
     (* emit column j of L (unit diagonal first) and U (diagonal last) *)
@@ -164,6 +210,10 @@ let factorize (a : Sparse.csc) =
     u_rowind = Array.sub ubuf.idx 0 ubuf.len;
     u_values = Array.sub ubuf.v 0 ubuf.len;
     pinv;
+    q;
+    q_identity;
+    qwork = (if q_identity then [||] else Array.make n 0.0);
+    ordering_label;
     a_colptr = a.Sparse.colptr;
     a_rowind = a.Sparse.rowind;
     (* x ends the column loop all-zero; adopt it as the refactorize
@@ -190,8 +240,9 @@ let refactorize f (a : Sparse.csc) =
        let j = ref 0 in
        while !ok && !j < n do
          let jj = !j in
-         (* scatter A(:,j) into pivotal numbering *)
-         for p = a.Sparse.colptr.(jj) to a.Sparse.colptr.(jj + 1) - 1 do
+         let col = f.q.(jj) in
+         (* scatter A(:,q.(j)) into pivotal numbering *)
+         for p = a.Sparse.colptr.(col) to a.Sparse.colptr.(col + 1) - 1 do
            let r = pinv.(a.Sparse.rowind.(p)) in
            x.(r) <- x.(r) +. a.Sparse.values.(p)
          done;
@@ -243,27 +294,36 @@ let refactorize f (a : Sparse.csc) =
 let solve_into f b x =
   let n = f.n in
   assert (Array.length b = n && Array.length x = n && not (b == x));
+  (* the triangular solves run in elimination numbering; under a
+     fill-reducing column order the result is the permuted unknown
+     vector, unscrambled into [x] at the end through the [qwork]
+     scratch (the natural order keeps the historical in-place path) *)
+  let w = if f.q_identity then x else f.qwork in
   for i = 0 to n - 1 do
-    x.(f.pinv.(i)) <- b.(i)
+    w.(f.pinv.(i)) <- b.(i)
   done;
   (* forward solve with unit lower triangular L *)
   for j = 0 to n - 1 do
-    let xj = x.(j) in
+    let xj = w.(j) in
     if xj <> 0.0 then
       for p = f.l_colptr.(j) + 1 to f.l_colptr.(j + 1) - 1 do
-        x.(f.l_rowind.(p)) <- x.(f.l_rowind.(p)) -. (f.l_values.(p) *. xj)
+        w.(f.l_rowind.(p)) <- w.(f.l_rowind.(p)) -. (f.l_values.(p) *. xj)
       done
   done;
   (* backward solve with U; the diagonal is the last entry of each column *)
   for j = n - 1 downto 0 do
     let dpos = f.u_colptr.(j + 1) - 1 in
-    let xj = x.(j) /. f.u_values.(dpos) in
-    x.(j) <- xj;
+    let xj = w.(j) /. f.u_values.(dpos) in
+    w.(j) <- xj;
     if xj <> 0.0 then
       for p = f.u_colptr.(j) to dpos - 1 do
-        x.(f.u_rowind.(p)) <- x.(f.u_rowind.(p)) -. (f.u_values.(p) *. xj)
+        w.(f.u_rowind.(p)) <- w.(f.u_rowind.(p)) -. (f.u_values.(p) *. xj)
       done
-  done
+  done;
+  if not f.q_identity then
+    for j = 0 to n - 1 do
+      x.(f.q.(j)) <- w.(j)
+    done
 
 let solve f b =
   let x = Array.make f.n 0.0 in
@@ -271,3 +331,36 @@ let solve f b =
   x
 
 let lu_nnz f = (f.l_colptr.(f.n), f.u_colptr.(f.n))
+
+let ordering_name f = f.ordering_label
+
+let fill_ratio f =
+  let nnz_a = f.a_colptr.(f.n) in
+  if nnz_a = 0 then 0.0
+  else float_of_int (f.l_colptr.(f.n) + f.u_colptr.(f.n)) /. float_of_int nnz_a
+
+(* Sharing a symbolic analysis between structurally identical systems
+   (batch lanes of one compiled design): the index arrays, pivot order
+   and column order are immutable after [factorize], so a second
+   matrix with the same pattern *content* can reuse them wholesale and
+   only needs its own numeric storage.  The adopted factor starts with
+   meaningless values — the caller must [refactorize] it (and fall
+   back to a fresh [factorize] if the donor's pivot order is unstable
+   for the new values). *)
+let adopt_symbolic donor (a : Sparse.csc) =
+  if
+    donor.n = a.Sparse.n
+    && donor.a_colptr = a.Sparse.colptr
+    && donor.a_rowind = a.Sparse.rowind
+  then
+    Some
+      {
+        donor with
+        l_values = Array.make (Array.length donor.l_values) 0.0;
+        u_values = Array.make (Array.length donor.u_values) 0.0;
+        qwork = (if donor.q_identity then [||] else Array.make donor.n 0.0);
+        a_colptr = a.Sparse.colptr;
+        a_rowind = a.Sparse.rowind;
+        work = Array.make donor.n 0.0;
+      }
+  else None

@@ -8,11 +8,25 @@ exception Singular of int
     eliminating the given column. *)
 
 type factor
-(** A factorisation [P*A = L*U] of a {!Sparse.csc} matrix. *)
+(** A factorisation [P*A*Q = L*U] of a {!Sparse.csc} matrix ([Q] is
+    the fill-reducing column order, the identity under [Natural]). *)
 
-val factorize : Sparse.csc -> factor
-(** Factor the matrix: symbolic analysis (reach sets, pivot order,
-    L/U patterns, buffer sizing) plus the numeric elimination.
+type ordering =
+  | Natural  (** eliminate columns in matrix order *)
+  | Amd  (** {!Ordering.amd} minimum-degree order, unconditionally *)
+  | Auto
+      (** compare the symbolic fill of the minimum-degree order
+          against the natural one and keep whichever is smaller —
+          never worse than [Natural] on structurally symmetric
+          patterns (the default).  Prices the natural order first with
+          the cheap {!Ordering.natural_fill} count and skips the
+          min-degree analysis when the natural factor is already small
+          enough that ordering cannot pay for itself. *)
+
+val factorize : ?ordering:ordering -> Sparse.csc -> factor
+(** Factor the matrix: symbolic analysis (column ordering, reach sets,
+    pivot order, L/U patterns, buffer sizing) plus the numeric
+    elimination.
     @raise Singular on structural or numeric singularity. *)
 
 val reusable : factor -> Sparse.csc -> bool
@@ -41,3 +55,20 @@ val solve_into : factor -> float array -> float array -> unit
 
 val lu_nnz : factor -> int * int
 (** Stored entries in [(L, U)]; for diagnostics. *)
+
+val ordering_name : factor -> string
+(** The column ordering the factor was built with: ["natural"] or
+    ["amd"]. *)
+
+val fill_ratio : factor -> float
+(** [nnz(L) + nnz(U)] over [nnz(A)] — 1.0 means no fill beyond the
+    matrix's own entries (L's unit diagonal included). *)
+
+val adopt_symbolic : factor -> Sparse.csc -> factor option
+(** [adopt_symbolic donor a] shares the donor's symbolic analysis
+    (orderings, patterns, pivot order — immutable after
+    {!factorize}) with a matrix whose pattern has the same {e
+    content}, returning a factor with fresh numeric storage that the
+    caller must {!refactorize} before solving (falling back to
+    {!factorize} if the donor's pivot order is unstable for the new
+    values).  [None] when the patterns differ. *)

@@ -89,6 +89,11 @@ type sparse_backend = {
           stability allow it *)
   mutable symbolic : int;  (** full factorizations performed *)
   mutable numeric : int;  (** numeric-only refactorizations *)
+  mutable shared : int;  (** symbolic analyses adopted from a donor sim *)
+  mutable donor : Cml_numerics.Sparse_lu.factor option;
+      (** a structurally identical sim's factor offered via
+          {!share_symbolic}; tried once before the first full
+          factorization *)
   mutable sstamp : int -> int -> float -> unit;
       (** prebuilt stamping closure: appends triplet entries until the
           pattern is compressed, then overwrites values in entry
@@ -250,6 +255,8 @@ let compile ?(options = default_options) net =
           lu = None;
           symbolic = 0;
           numeric = 0;
+          shared = 0;
+          donor = None;
           sstamp = (fun _ _ _ -> ());
         }
       in
@@ -581,16 +588,36 @@ let solve_linear_into sim out =
              pivot order, fill pattern, buffer allocation) is done once
              and only the numeric elimination repeats; a degraded pivot
              falls back to a full factorization with a fresh pivot order *)
+          let fresh_factorize () =
+            let f = Cml_numerics.Sparse_lu.factorize a in
+            sp.lu <- Some f;
+            sp.symbolic <- sp.symbolic + 1;
+            f
+          in
           let f =
             match sp.lu with
             | Some f when Cml_numerics.Sparse_lu.refactorize f a ->
                 sp.numeric <- sp.numeric + 1;
                 f
-            | Some _ | None ->
-                let f = Cml_numerics.Sparse_lu.factorize a in
-                sp.lu <- Some f;
-                sp.symbolic <- sp.symbolic + 1;
-                f
+            | Some _ -> fresh_factorize ()
+            | None -> begin
+                (* first factorization: a donor sim of the same design
+                   may have offered its symbolic analysis — adopt it
+                   (ordering, patterns, pivot order) and only run the
+                   numeric elimination, unless its pivot order is
+                   unstable for this sim's values *)
+                match sp.donor with
+                | None -> fresh_factorize ()
+                | Some d -> begin
+                    sp.donor <- None;
+                    match Cml_numerics.Sparse_lu.adopt_symbolic d a with
+                    | Some f when Cml_numerics.Sparse_lu.refactorize f a ->
+                        sp.lu <- Some f;
+                        sp.shared <- sp.shared + 1;
+                        f
+                    | Some _ | None -> fresh_factorize ()
+                  end
+              end
           in
           sim.rt_have_factor <- true;
           Cml_numerics.Sparse_lu.solve_into f sim.rhs out
@@ -600,39 +627,61 @@ let solve_linear_into sim out =
 type solver_stats = {
   symbolic_factorizations : int;
   numeric_refactorizations : int;
+  shared_symbolic : int;
   newton_iters : int;
   device_loads : int;
   bypassed_loads : int;
   reused_factorizations : int;
   skipped_solves : int;
+  lu_nnz_factors : int;
+  lu_fill_ratio : float;
+  lu_ordering : string;
 }
 
 let solver_stats sim =
-  let symbolic, numeric =
+  let symbolic, numeric, shared, lu =
     match sim.backend with
-    | BDense _ -> (0, 0)
-    | BSparse { symbolic; numeric; _ } -> (symbolic, numeric)
+    | BDense _ -> (0, 0, 0, None)
+    | BSparse { symbolic; numeric; shared; lu; _ } -> (symbolic, numeric, shared, lu)
   in
   {
     symbolic_factorizations = symbolic;
     numeric_refactorizations = numeric;
+    shared_symbolic = shared;
     newton_iters = sim.n_newton_iters;
     device_loads = sim.n_device_loads;
     bypassed_loads = sim.n_bypassed;
     reused_factorizations = sim.n_reused_factors;
     skipped_solves = sim.n_skipped_solves;
+    lu_nnz_factors =
+      (match lu with
+      | Some f ->
+          let nl, nu = Cml_numerics.Sparse_lu.lu_nnz f in
+          nl + nu
+      | None -> 0);
+    lu_fill_ratio = (match lu with Some f -> Cml_numerics.Sparse_lu.fill_ratio f | None -> 0.0);
+    lu_ordering = (match lu with Some f -> Cml_numerics.Sparse_lu.ordering_name f | None -> "");
   }
 
 let zero_stats =
   {
     symbolic_factorizations = 0;
     numeric_refactorizations = 0;
+    shared_symbolic = 0;
     newton_iters = 0;
     device_loads = 0;
     bypassed_loads = 0;
     reused_factorizations = 0;
     skipped_solves = 0;
+    lu_nnz_factors = 0;
+    lu_fill_ratio = 0.0;
+    lu_ordering = "";
   }
+
+let share_symbolic ~donor sim =
+  match (donor.backend, sim.backend) with
+  | BSparse d, BSparse s -> ( match d.lu with Some f -> s.donor <- Some f | None -> ())
+  | (BDense _ | BSparse _), (BDense _ | BSparse _) -> ()
 
 let lu_fill sim =
   match sim.backend with
@@ -653,7 +702,11 @@ let m_device_loads = M.counter "engine.device_loads"
 let m_bypassed = M.counter "engine.bypassed_loads"
 let m_reused = M.counter "solver.reused_factorizations"
 let m_skipped = M.counter "solver.skipped_solves"
+let m_shared = M.counter "solver.shared_symbolic"
 let m_lu_fill = M.gauge "solver.lu_fill_nnz"
+let m_lu_fill_ratio = M.gauge "solver.lu_fill_ratio"
+let m_ordering_amd = M.counter "solver.ordering.amd"
+let m_ordering_natural = M.counter "solver.ordering.natural"
 
 let publish_metrics ?(since = zero_stats) sim =
   let now = solver_stats sim in
@@ -664,9 +717,16 @@ let publish_metrics ?(since = zero_stats) sim =
   M.add m_bypassed (now.bypassed_loads - since.bypassed_loads);
   M.add m_reused (now.reused_factorizations - since.reused_factorizations);
   M.add m_skipped (now.skipped_solves - since.skipped_solves);
-  match lu_fill sim with
-  | Some (nl, nu) -> M.set m_lu_fill (float_of_int (nl + nu))
-  | None -> ()
+  M.add m_shared (now.shared_symbolic - since.shared_symbolic);
+  if now.lu_nnz_factors > 0 then begin
+    M.set m_lu_fill (float_of_int now.lu_nnz_factors);
+    M.set m_lu_fill_ratio now.lu_fill_ratio;
+    (* count factorizations by the ordering they ended up with, so a
+       metrics snapshot shows which path large designs actually take *)
+    let fresh = now.symbolic_factorizations - since.symbolic_factorizations in
+    if fresh > 0 then
+      M.add (if now.lu_ordering = "amd" then m_ordering_amd else m_ordering_natural) fresh
+  end
 
 let converged sim x x' =
   let ok = ref true in

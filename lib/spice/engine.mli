@@ -111,6 +111,10 @@ type solver_stats = {
   numeric_refactorizations : int;
       (** numeric-only refactorizations reusing the cached symbolic
           analysis — the cheap per-Newton-iteration path *)
+  shared_symbolic : int;
+      (** symbolic analyses adopted wholesale from a donor sim via
+          {!share_symbolic} instead of being recomputed — batch lanes
+          of one design pay for one ordering + pattern analysis *)
   newton_iters : int;
       (** Newton iterations (assemble + linear solve) since
           {!compile} *)
@@ -131,6 +135,15 @@ type solver_stats = {
           the whole system (matrix {e and} RHS) was bit-identical to
           the one the previous iteration just solved — the solution is
           the current iterate, exactly *)
+  lu_nnz_factors : int;
+      (** nnz(L) + nnz(U) of the cached sparse factor; 0 for the dense
+          backend or before the first factorization *)
+  lu_fill_ratio : float;
+      (** [lu_nnz_factors] over nnz(A) — 1.0 means the factors stored
+          no entries beyond the matrix's own *)
+  lu_ordering : string;
+      (** column ordering of the cached factor (["natural"] or
+          ["amd"]); [""] when there is no sparse factor *)
 }
 
 val solver_stats : sim -> solver_stats
@@ -144,14 +157,25 @@ val lu_fill : sim -> (int * int) option
 (** [(nnz L, nnz U)] of the cached sparse LU factor, [None] for the
     dense backend or before the first factorization. *)
 
+val share_symbolic : donor:sim -> sim -> unit
+(** Offer the donor's cached sparse symbolic analysis (column
+    ordering, L/U patterns, pivot order) to [sim], to be adopted at
+    its first factorization if the Jacobian patterns match — the
+    batch scheduler calls this so K lanes of one design run one
+    symbolic analysis and K numeric refactorizations.  A stale or
+    mismatched offer is harmless: adoption silently falls back to a
+    full factorization.  No-op unless both sims use the sparse
+    backend and the donor has factored. *)
+
 val publish_metrics : ?since:solver_stats -> sim -> unit
 (** Fold this sim's counter movement since [since] (default: a fresh
     sim) into the global {!Cml_telemetry.Metrics} registry
     ([solver.newton_iters], [engine.device_loads],
     [engine.bypassed_loads], [solver.*_refactorizations],
     [solver.reused_factorizations], [solver.skipped_solves],
-    [solver.lu_fill_nnz]).  Called at run boundaries, never inside the
-    Newton loop. *)
+    [solver.shared_symbolic], [solver.lu_fill_nnz],
+    [solver.lu_fill_ratio], [solver.ordering.*]).  Called at run
+    boundaries, never inside the Newton loop. *)
 
 val ac_system :
   sim -> float array -> (int * int * float) list * (int * int * float) list

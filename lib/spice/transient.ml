@@ -502,19 +502,27 @@ let run_batch ?guide ?breakpoints lanes net cfg =
     M.observe m_batch_size (float_of_int n);
     let steppers = Array.make n None in
     let failures = Array.make n "" in
+    (* lanes of one design share one sparse symbolic analysis: the
+       first lane to factor (stepper creation runs the initial DC
+       solve) becomes the donor for every later lane, which then only
+       refactorizes numerically on the adopted ordering + patterns *)
+    let donor = ref None in
     Array.iteri
       (fun lane (sim, observers) ->
         if Engine.unknown_count sim <> width then
           Batch.retire batch lane Batch.Incompatible
-        else
+        else begin
+          (match !donor with Some d -> Engine.share_symbolic ~donor:d sim | None -> ());
           match stepper_create ?guide ~breakpoints ?observers sim net cfg with
           | st ->
               stepper_record st 0.0 st.st_x_n;
               Batch.write_lane batch lane st.st_x_n;
-              steppers.(lane) <- Some st
+              steppers.(lane) <- Some st;
+              if !donor = None then donor := Some sim
           | exception Engine.No_convergence msg ->
               failures.(lane) <- msg;
-              Batch.retire batch lane Batch.Diverged)
+              Batch.retire batch lane Batch.Diverged
+        end)
       lanes;
     Array.iter
       (fun target ->

@@ -211,6 +211,22 @@ let render_text ?(top = 5) t =
     line "options :";
     List.iter (fun (k, v) -> line "  %-22s %s" k v) t.options
   end;
+  (* surface the sparse-LU fill/ordering gauges as one line — the
+     full metrics dump below keeps the raw values *)
+  let num k =
+    match List.assoc_opt k t.metrics with
+    | Some (Metrics.Gauge v) -> Some v
+    | Some (Metrics.Counter n) -> Some (float_of_int n)
+    | Some (Metrics.Histogram _) | None -> None
+  in
+  (match num "solver.lu_fill_nnz" with
+  | Some nnz when nnz > 0.0 ->
+      let get k = Option.value ~default:0.0 (num k) in
+      line "solver  : nnz(L+U) %.0f, fill ratio %.2f, orderings amd %.0f / natural %.0f" nnz
+        (get "solver.lu_fill_ratio")
+        (get "solver.ordering.amd")
+        (get "solver.ordering.natural")
+  | Some _ | None -> ());
   if t.variants <> [] then begin
     line "";
     line "classification (%d variants):" (List.length t.variants);

@@ -332,6 +332,73 @@ let test_transfer_dead_gate_zero_margin () =
   in
   Alcotest.(check bool) "gain collapsed" true (Float.abs m.Cml_cells.Transfer.gain < 0.5)
 
+(* ------------------------------------------------------------------ *)
+(* .bench -> CML compiler *)
+
+module Cp = Cml_cells.Compile
+module L = Cml_logic
+
+let test_compile_names_match_contract () =
+  (* every physical instance resolves under the Circuit.net_names
+     contract the DFT planner uses, with the right polarity nodes *)
+  let c = L.Bench_format.s27 () in
+  let d = Cp.compile ~freq:200e6 c in
+  let names = L.Circuit.net_names c in
+  Array.iteri
+    (fun id nm ->
+      match c.L.Circuit.gates.(id) with
+      | L.Circuit.Input _ -> ()
+      | _ -> (
+          match Cp.find_cell d nm with
+          | Some _ -> ()
+          | None -> Alcotest.failf "net %d (%s) has no cell" id nm))
+    names;
+  (* DFF plain names alias the slave output nodes *)
+  Array.iter
+    (fun id ->
+      match Cp.find_cell d names.(id) with
+      | Some diff ->
+          Alcotest.(check string)
+            (names.(id) ^ " aliases its slave output")
+            (names.(id) ^ ".s.op")
+            (N.node_name d.Cp.builder.B.net diff.B.p)
+      | None -> Alcotest.failf "dff %s unresolved" names.(id))
+    c.L.Circuit.dffs
+
+let test_compile_physical_and_defaults () =
+  let c =
+    L.Bench_format.of_string "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nx = NOT(a)\ny = AND(x, b)\n"
+  in
+  let d = Cp.compile c in
+  Alcotest.(check bool) "free NOT is not physical" false (Cp.physical d "x");
+  Alcotest.(check bool) "AND is physical" true (Cp.physical d "y");
+  Alcotest.(check bool) "input is not physical" false (Cp.physical d "a");
+  Alcotest.(check string) "default dut skips the free NOT" "y" (Cp.default_dut d);
+  Alcotest.(check string) "default output is the declared one" "y" (Cp.default_output d)
+
+let test_compile_dc_converges () =
+  (* compiled s27 (flip-flops, free NOTs, fanout > 2 nets) reaches a
+     DC operating point with every declared output at a legal CML
+     level *)
+  let c = L.Bench_format.s27 () in
+  let d = Cp.compile ~freq:200e6 c in
+  let sim = E.compile (Cp.netlist d) in
+  let x = E.dc_operating_point sim in
+  let proc = Cml_cells.Process.default in
+  let vgnd = proc.Cml_cells.Process.vgnd and swing = proc.Cml_cells.Process.swing in
+  (* legal band: the rail down to one VBE level shift plus a swing *)
+  let vlow = vgnd -. Cml_cells.Process.vbe_on proc -. (2.0 *. swing) in
+  List.iter
+    (fun (nm, diff) ->
+      let vp = E.voltage x diff.B.p and vn = E.voltage x diff.B.n in
+      if vp < vlow || vp > vgnd +. 1e-6 then
+        Alcotest.failf "%s.p = %.3f V outside CML levels" nm vp;
+      if vn < vlow || vn > vgnd +. 1e-6 then
+        Alcotest.failf "%s.n = %.3f V outside CML levels" nm vn;
+      if Float.abs (vp -. vn) > 2.0 *. swing then
+        Alcotest.failf "%s differential |%.3f - %.3f| exceeds 2 swings" nm vp vn)
+    d.Cp.outputs
+
 let () =
   Alcotest.run "cells"
     [
@@ -380,5 +447,13 @@ let () =
             test_transfer_pipe_increases_margin;
           Alcotest.test_case "dead gate" `Slow test_transfer_dead_gate_zero_margin;
           Alcotest.test_case "nominal swing" `Slow test_chain_swing_nominal;
+        ] );
+      ( "compile",
+        [
+          Alcotest.test_case "names match planner contract" `Quick
+            test_compile_names_match_contract;
+          Alcotest.test_case "physical cells and defaults" `Quick
+            test_compile_physical_and_defaults;
+          Alcotest.test_case "s27 DC converges" `Quick test_compile_dc_converges;
         ] );
     ]

@@ -226,6 +226,54 @@ let prop_batch_matches_sequential =
           && Cml_defects.Campaign.summary batched = Cml_defects.Campaign.summary sequential)
         [ true; false ])
 
+(* ------------------------------------------------------------------ *)
+(* Campaign on a compiled .bench design *)
+
+let test_campaign_run_design_smoke () =
+  (* one AND cell compiled from .bench text: every enumerated defect
+     measures without a sim failure, and a tail-starving pipe is not
+     classified benign *)
+  let c =
+    Cml_logic.Bench_format.of_string "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n"
+  in
+  let d = Cml_cells.Compile.compile ~freq:200e6 c in
+  let golden = Cml_cells.Compile.netlist d in
+  let defects =
+    Cml_defects.Sites.enumerate golden ~prefix:"y" ~pipe_values:[ 4e3 ]
+  in
+  Alcotest.(check bool) "sites enumerate non-empty" true (defects <> []);
+  let dut =
+    match Cml_cells.Compile.find_cell d "y" with
+    | Some diff -> diff
+    | None -> Alcotest.fail "cell y unresolved"
+  in
+  let campaign =
+    Cml_defects.Campaign.run_design ~freq:200e6 ~tstop:10e-9 ~jobs:1
+      ~input:d.Cml_cells.Compile.input ~dut ~final:dut ~golden ~defects ()
+  in
+  Alcotest.(check int) "every defect measured"
+    (List.length defects)
+    (List.length campaign.Cml_defects.Campaign.entries);
+  List.iter
+    (fun e ->
+      match e.Cml_defects.Campaign.outcome with
+      | Cml_defects.Campaign.Measured _ -> ()
+      | Cml_defects.Campaign.Failed msg ->
+          Alcotest.failf "%s failed: %s" (Cml_defects.Defect.describe e.Cml_defects.Campaign.defect) msg)
+    campaign.Cml_defects.Campaign.entries;
+  let tail_pipe_flagged =
+    List.exists
+      (fun e ->
+        match (e.Cml_defects.Campaign.defect, e.Cml_defects.Campaign.outcome) with
+        | Cml_defects.Defect.Pipe { device; _ }, Cml_defects.Campaign.Measured (_, fl) ->
+            String.length device >= 3
+            && String.sub device (String.length device - 3) 3 = ".q3"
+            && Cml_defects.Campaign.flag_labels fl <> []
+        | _ -> false)
+      campaign.Cml_defects.Campaign.entries
+  in
+  Alcotest.(check bool) "a tail pipe is detectable" true tail_pipe_flagged
+
 let () =
   Alcotest.run "defects"
     [
@@ -255,6 +303,7 @@ let () =
           Alcotest.test_case "reference sanity" `Slow test_campaign_reference_sane;
           Alcotest.test_case "summary counts" `Slow test_campaign_summary_counts;
           Alcotest.test_case "warm-start parity" `Slow test_campaign_warm_start_parity;
+          Alcotest.test_case "compiled design smoke" `Slow test_campaign_run_design_smoke;
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest prop_batch_matches_sequential ] );

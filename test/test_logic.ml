@@ -400,6 +400,73 @@ let test_bench_cycle_line_number () =
   expect_parse_error ~line:3 ~needle:{|combinational cycle through "x"|}
     "INPUT(a)\nOUTPUT(x)\nx = BUF(x)\n"
 
+let test_bench_comment_headers () =
+  (* ISCAS-style header comments, trailing comments and blank lines *)
+  let c =
+    L.Bench_format.of_string
+      "# c17 style header\n# total gates: 1\n\nINPUT(a)  # first input\nINPUT(b)\n\nOUTPUT(y)\ny = AND(a, b)\n\n"
+  in
+  let values = L.Sim.eval c (L.Sim.initial c V.F) ~inputs:[| V.T; V.T |] in
+  Alcotest.check val_eq "and(1,1)" V.T (List.assoc "y" (L.Sim.outputs_of c values))
+
+let test_bench_multiline_args () =
+  (* an argument list wrapped over several physical lines, with
+     comments and blank continuation lines inside the statement *)
+  let c =
+    L.Bench_format.of_string
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = AND(a,  # wraps\n        b,\n\n        c)\n"
+  in
+  let check inputs expect =
+    let values = L.Sim.eval c (L.Sim.initial c V.F) ~inputs in
+    Alcotest.check val_eq "and3" expect (List.assoc "y" (L.Sim.outputs_of c values))
+  in
+  check [| V.T; V.T; V.T |] V.T;
+  check [| V.T; V.T; V.F |] V.F
+
+let test_bench_multiline_error_line () =
+  (* an error inside a wrapped statement reports the line it started on *)
+  expect_parse_error ~line:2 ~needle:{|unknown gate type "FOO"|}
+    "INPUT(a)\nx = FOO(a,\n        a)\nOUTPUT(x)\n"
+
+let test_bench_unclosed_at_eof () =
+  expect_parse_error ~line:3 ~needle:"missing ')'" "INPUT(a)\nOUTPUT(x)\nx = AND(a,\n        a\n"
+
+let test_bench_undeclared_fanin_line () =
+  (* an undeclared fanin names the signal and the referencing line *)
+  expect_parse_error ~line:3 ~needle:{|undefined signal "zz"|} "INPUT(a)\nOUTPUT(x)\nx = NOT(zz)\n"
+
+let test_net_names_contract () =
+  let c = L.Bench_format.s27 () in
+  let names = L.Circuit.net_names c in
+  (* unique *)
+  let tbl = Hashtbl.create 32 in
+  Array.iter
+    (fun n ->
+      if Hashtbl.mem tbl n then Alcotest.failf "duplicate net name %S" n;
+      Hashtbl.replace tbl n ())
+    names;
+  (* declared names land on their nets *)
+  List.iter
+    (fun (nm, id) -> Alcotest.(check string) "output name" nm names.(id))
+    c.L.Circuit.outputs;
+  List.iter
+    (fun (nm, id) -> Alcotest.(check string) "input name" nm names.(id))
+    c.L.Circuit.inputs
+
+let test_net_names_collision () =
+  (* an output declared "n1" on a net other than net 1: the positional
+     name of net 1 must step aside *)
+  let b = L.Circuit.create () in
+  let a = L.Circuit.input b "a" in
+  let x = L.Circuit.not1 b a in
+  let y = L.Circuit.buf b x in
+  L.Circuit.output b "n1" y;
+  let c = L.Circuit.finalize b in
+  let names = L.Circuit.net_names c in
+  Alcotest.(check string) "input keeps its name" "a" names.(a);
+  Alcotest.(check string) "declared output wins" "n1" names.(y);
+  Alcotest.(check string) "displaced positional name" "n1_" names.(x)
+
 let test_bench_roundtrip_behaviour () =
   let c = L.Bench_format.s27 () in
   let c2 = L.Bench_format.of_string (L.Bench_format.to_string c) in
@@ -600,6 +667,13 @@ let () =
           Alcotest.test_case "duplicate output" `Quick test_bench_duplicate_output;
           Alcotest.test_case "duplicate definition" `Quick test_bench_duplicate_definition;
           Alcotest.test_case "cycle line number" `Quick test_bench_cycle_line_number;
+          Alcotest.test_case "comment headers" `Quick test_bench_comment_headers;
+          Alcotest.test_case "multi-line args" `Quick test_bench_multiline_args;
+          Alcotest.test_case "multi-line error line" `Quick test_bench_multiline_error_line;
+          Alcotest.test_case "unclosed at EOF" `Quick test_bench_unclosed_at_eof;
+          Alcotest.test_case "undeclared fanin line" `Quick test_bench_undeclared_fanin_line;
+          Alcotest.test_case "net names contract" `Quick test_net_names_contract;
+          Alcotest.test_case "net names collision" `Quick test_net_names_collision;
           Alcotest.test_case "round-trip behaviour" `Quick test_bench_roundtrip_behaviour;
         ] );
       ("value-properties", qc [ prop_demorgan; prop_xor_via_andor; prop_x_monotone ]);

@@ -383,6 +383,70 @@ let test_batch_iter_live_allows_retiring_current () =
     (List.rev !seen);
   Alcotest.(check int) "retire inside callback stuck" 2 (B.live_count b)
 
+(* MNA-like patterns: structurally symmetric (a conductance stamp
+   touches (i,j), (j,i) and both diagonals) and diagonally dominant,
+   the shape every nodal-analysis Jacobian has.  On these the Auto
+   ordering picks the smaller of the natural and amd fill estimates,
+   so its factors can never hold more nonzeros than Natural's. *)
+let mna_system_gen =
+  QCheck2.Gen.(
+    int_range 2 40 >>= fun n ->
+    list_size (int_range 0 (3 * n))
+      (triple (int_range 0 (n - 1)) (int_range 0 (n - 1)) (float_range 0.1 1.0))
+    >>= fun stamps ->
+    array_size (return n) (float_range (-10.0) 10.0) >>= fun rhs -> return (n, stamps, rhs))
+
+let mna_matrix (n, stamps, _) =
+  let t = Cml_numerics.Sparse.triplet_create n in
+  List.iter
+    (fun (i, j, g) ->
+      Cml_numerics.Sparse.add t i j (-.g);
+      Cml_numerics.Sparse.add t j i (-.g);
+      Cml_numerics.Sparse.add t i i g;
+      Cml_numerics.Sparse.add t j j g)
+    stamps;
+  for i = 0 to n - 1 do
+    Cml_numerics.Sparse.add t i i (float_of_int n)
+  done;
+  Cml_numerics.Sparse.csc_of_pattern (Cml_numerics.Sparse.compress t)
+
+let factor_nnz f =
+  let l, u = Cml_numerics.Sparse_lu.lu_nnz f in
+  l + u
+
+let prop_amd_solve_matches_natural =
+  QCheck2.Test.make ~name:"amd-ordered solve matches natural-order solve" ~count:200
+    mna_system_gen (fun ((_, _, rhs) as sys) ->
+      let a = mna_matrix sys in
+      let solve ordering =
+        Cml_numerics.Sparse_lu.solve (Cml_numerics.Sparse_lu.factorize ~ordering a) rhs
+      in
+      Cml_numerics.Vec.max_abs_diff
+        (solve Cml_numerics.Sparse_lu.Natural)
+        (solve Cml_numerics.Sparse_lu.Amd)
+      < 1e-8)
+
+let prop_auto_fill_no_worse =
+  QCheck2.Test.make ~name:"Auto fill <= natural fill on MNA-like patterns" ~count:200
+    mna_system_gen (fun sys ->
+      let a = mna_matrix sys in
+      let nnz ordering = factor_nnz (Cml_numerics.Sparse_lu.factorize ~ordering a) in
+      nnz Cml_numerics.Sparse_lu.Auto <= nnz Cml_numerics.Sparse_lu.Natural)
+
+(* The fast fill counters Auto's decision rests on must agree exactly
+   with replaying the order through the quotient-graph elimination. *)
+let prop_fill_counters_agree =
+  QCheck2.Test.make ~name:"natural_fill / amd_with_fill match fill_estimate" ~count:200
+    mna_system_gen (fun sys ->
+      let a = mna_matrix sys in
+      let module O = Cml_numerics.Ordering in
+      let n = a.Cml_numerics.Sparse.n in
+      let q, fa = O.amd_with_fill a in
+      let fn = O.natural_fill a in
+      fn = O.fill_estimate a ~order:(O.identity n)
+      && fa = O.fill_estimate a ~order:q
+      && fn <= O.envelope_bound a)
+
 let () =
   let qc = List.map (fun t -> QCheck_alcotest.to_alcotest t) in
   Alcotest.run "numerics"
@@ -447,5 +511,8 @@ let () =
             prop_dense_lu_roundtrip;
             prop_compress_preserves_sums;
             prop_linspace_bounds;
+            prop_amd_solve_matches_natural;
+            prop_auto_fill_no_worse;
+            prop_fill_counters_agree;
           ] );
     ]

@@ -745,6 +745,55 @@ let test_run_batch_matches_scalar () =
   Alcotest.(check bool) "final probe value matches scalar run" true
     (Float.abs (last v0 -. last vs) <= 1e-3)
 
+let test_run_batch_shares_symbolic () =
+  (* K sparse lanes of one design pay for one symbolic analysis: lane
+     0 factors, the others adopt its ordering and patterns through the
+     batch donor path, and the adoption must not change the
+     trajectory *)
+  let chain = Cml_cells.Chain.build ~stages:2 ~freq:1e9 () in
+  let net = chain.Cml_cells.Chain.builder.Cml_cells.Builder.net in
+  let opts = { E.default_options with E.solver = E.Sparse_solver } in
+  let cfg = T.config ~tstop:2e-9 ~max_step:10e-12 ~record_every:0 () in
+  let out = Cml_cells.Chain.output chain 2 in
+  let idx = E.node_unknown out.Cml_cells.Builder.p in
+  let probe () = T.observers [ ("out", idx) ] in
+  let scalar_obs = probe () in
+  ignore
+    (T.run ~observers:scalar_obs (E.compile ~options:opts net) net
+       (T.config ~tstop:2e-9 ~max_step:10e-12 ()));
+  let lane_obs = Array.init 3 (fun _ -> probe ()) in
+  let sims = Array.map (fun _ -> E.compile ~options:opts net) lane_obs in
+  let lanes = Array.mapi (fun i obs -> (sims.(i), Some obs)) lane_obs in
+  Array.iter
+    (function
+      | T.Lane_done _ -> ()
+      | T.Lane_failed msg -> Alcotest.failf "lane failed: %s" msg
+      | T.Lane_incompatible -> Alcotest.fail "lane incompatible")
+    (T.run_batch lanes net cfg);
+  let stats i = E.solver_stats sims.(i) in
+  Alcotest.(check bool) "lane 0 did the symbolic analysis" true
+    ((stats 0).E.symbolic_factorizations >= 1);
+  Alcotest.(check int) "lane 0 adopted nothing" 0 (stats 0).E.shared_symbolic;
+  for i = 1 to 2 do
+    Alcotest.(check int)
+      (Printf.sprintf "lane %d adopted the donor's symbolic" i)
+      1 (stats i).E.shared_symbolic;
+    Alcotest.(check int)
+      (Printf.sprintf "lane %d ran no symbolic of its own" i)
+      0 (stats i).E.symbolic_factorizations
+  done;
+  let _, v0 = T.probe_samples lane_obs.(0) "out" in
+  for lane = 1 to 2 do
+    let _, v = T.probe_samples lane_obs.(lane) "out" in
+    Alcotest.(check (array (float 0.0)))
+      (Printf.sprintf "lane %d bit-identical to lane 0" lane)
+      v0 v
+  done;
+  let _, vs = T.probe_samples scalar_obs "out" in
+  let last a = a.(Array.length a - 1) in
+  Alcotest.(check bool) "final probe value matches the per-lane-symbolic run" true
+    (Float.abs (last v0 -. last vs) <= 1e-3)
+
 let test_run_batch_early_retire () =
   (* three layout-compatible lanes; the middle one carries a diode and
      an iteration budget too small for its turn-on, so it must retire
@@ -852,6 +901,7 @@ let () =
           Alcotest.test_case "incompatible guide ignored" `Quick
             test_transient_incompatible_guide_ignored;
           Alcotest.test_case "batch matches scalar" `Slow test_run_batch_matches_scalar;
+          Alcotest.test_case "batch shares symbolic" `Quick test_run_batch_shares_symbolic;
           Alcotest.test_case "batch early retire" `Quick test_run_batch_early_retire;
           Alcotest.test_case "batch incompatible lane" `Quick test_run_batch_incompatible_lane;
         ] );
