@@ -5,7 +5,7 @@
 DUNE ?= dune
 LINT := $(DUNE) exec --no-build bin/cmldft.exe -- lint
 
-.PHONY: all build test fmt lint-examples lint-fixtures plan-smoke report-examples telemetry-overhead diagnose-smoke compile-smoke fixtures check perf clean
+.PHONY: all build test fmt lint-examples lint-fixtures plan-smoke report-examples telemetry-overhead diagnose-smoke compile-smoke watch-smoke fixtures check perf clean
 
 all: build
 
@@ -53,9 +53,13 @@ plan-smoke: build
 	rm -rf $(PLAN_DIR)
 
 # The committed run manifests must stay parseable by `cmldft report`
-# (they are the documented example of the manifest schema).
+# (they are the documented example of the manifest schema), and the
+# committed event stream by `cmldft watch` (ditto for
+# cml-dft-events/1).
 report-examples: build
 	$(DUNE) exec --no-build bin/cmldft.exe -- report examples/manifests/*.json
+	$(DUNE) exec --no-build bin/cmldft.exe -- watch --once \
+	  examples/manifests/campaign_x3.events.jsonl
 
 # Disabled-tracing cost gate: the telemetry span hooks on the Newton
 # hot path must amount to < 3% of the recorded chain-transient
@@ -94,6 +98,21 @@ compile-smoke: build
 	  echo "compile-smoke: FAILED time budget (>= 5000 ms)"; exit 1; \
 	fi
 
+# End-to-end smoke of the run observatory: stream a small campaign's
+# events to a JSONL file alongside its manifest, replay the stream
+# with `cmldft watch --once`, feed the manifest to `cmldft report`
+# over stdin, and run the cross-run trend analyzer over the perf
+# history plus the fresh manifest.
+watch-smoke: build
+	$(eval WATCH_DIR := $(shell mktemp -d))
+	$(DUNE) exec --no-build bin/cmldft.exe -- campaign --jobs 2 \
+	  --events $(WATCH_DIR)/events.jsonl --manifest $(WATCH_DIR)/manifest.json >/dev/null
+	$(DUNE) exec --no-build bin/cmldft.exe -- watch --once $(WATCH_DIR)/events.jsonl
+	$(DUNE) exec --no-build bin/cmldft.exe -- report - < $(WATCH_DIR)/manifest.json
+	$(DUNE) exec --no-build bin/cmldft.exe -- report --trend BENCH_spice.json \
+	  $(WATCH_DIR)/manifest.json
+	rm -rf $(WATCH_DIR)
+
 # Regenerate the committed decks in examples/netlists/ from the cell
 # library (they are kept in git so `lint-examples` needs no codegen).
 fixtures: build
@@ -112,7 +131,7 @@ PERF_JOBS ?= 4
 perf: build
 	$(DUNE) exec bench/main.exe -- perf --jobs $(PERF_JOBS) --json BENCH_spice.json --check
 
-check: build test fmt lint-examples lint-fixtures plan-smoke report-examples diagnose-smoke compile-smoke telemetry-overhead
+check: build test fmt lint-examples lint-fixtures plan-smoke report-examples diagnose-smoke compile-smoke watch-smoke telemetry-overhead
 ifeq ($(CHECK_PERF),1)
 	$(MAKE) perf
 endif

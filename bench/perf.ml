@@ -580,6 +580,26 @@ let disabled_observe_ns () =
   done;
   !best
 
+(* min ns cost of the disabled per-accepted-step progress hook
+   ([Progress.note_step]) — the price every transient pays once the
+   step loop carries the live-observatory hook, whether or not an
+   event stream is attached *)
+let disabled_progress_ns () =
+  assert (not (Cml_telemetry.Progress.enabled ()));
+  let n = 2_000_000 in
+  let best = ref infinity in
+  for _ = 1 to 5 do
+    let t0 = Cml_telemetry.Clock.now_ns () in
+    for _ = 1 to n do
+      Cml_telemetry.Progress.note_step ()
+    done;
+    let per =
+      Int64.to_float (Int64.sub (Cml_telemetry.Clock.now_ns ()) t0) /. float_of_int n
+    in
+    if per < !best then best := per
+  done;
+  !best
+
 (* min-of-[passes] wall clock of the standard chain transient, plus
    its Newton iteration count (an upper bound on the number of
    newton_solve spans: every call runs at least one iteration) and its
@@ -615,6 +635,7 @@ let telemetry_overhead ?json () =
   in
   let pair = disabled_pair_ns () in
   let observe = disabled_observe_ns () in
+  let progress = disabled_progress_ns () in
   let run_ns, iters, accepted = chain_transient_min ~passes:10 in
   (* hook executions per transient: one newton_solve pair per Newton
      call (over-counted by iterations), the transient span, and the
@@ -625,14 +646,19 @@ let telemetry_overhead ?json () =
      initial point *)
   let observes = accepted + 1 in
   let observe_ns = observe *. float_of_int observes in
+  (* progress hooks per transient: one note_step per accepted step *)
+  let progress_ns = progress *. float_of_int (accepted + 1) in
   Printf.printf "  disabled start/finish pair      %10.2f ns\n" pair;
   Printf.printf "  disabled observer dispatch      %10.2f ns\n" observe;
+  Printf.printf "  disabled progress hook          %10.2f ns\n" progress;
   Printf.printf "  chain transient (min of 10)     %10.2f ms  (%d newton iterations)\n"
     (run_ns /. 1e6) iters;
   Printf.printf "  worst-case hook time            %10.2f us  (%d hooks)\n" (hook_ns /. 1e3)
     hooks;
   Printf.printf "  worst-case observer time        %10.2f us  (%d accepted steps)\n"
     (observe_ns /. 1e3) observes;
+  Printf.printf "  worst-case progress time        %10.2f us  (%d accepted steps)\n"
+    (progress_ns /. 1e3) (accepted + 1);
   let denom, denom_what =
     match baseline_ns with
     | Some b ->
@@ -655,6 +681,12 @@ let telemetry_overhead ?json () =
   Util.verdict obs_ok
     (Printf.sprintf "disabled observers cost < %.0f%% of the %s chain transient"
        (overhead_limit *. 100.0) denom_what);
+  let prog_frac = progress_ns /. denom in
+  Printf.printf "  progress share of the transient %10.4f %%\n" (prog_frac *. 100.0);
+  let prog_ok = prog_frac < overhead_limit in
+  Util.verdict prog_ok
+    (Printf.sprintf "disabled progress hooks cost < %.0f%% of the %s chain transient"
+       (overhead_limit *. 100.0) denom_what);
   let drifted =
     match baseline_ns with Some b -> run_ns > regression_limit *. b | None -> false
   in
@@ -662,4 +694,4 @@ let telemetry_overhead ?json () =
     Util.verdict false
       (Printf.sprintf "chain transient slower than %.2fx the recorded baseline"
          regression_limit);
-  if (not ok) || drifted then exit 1
+  if (not ok) || (not obs_ok) || (not prog_ok) || drifted then exit 1

@@ -89,15 +89,27 @@ let manifest_arg =
   let doc = "Write a run manifest (JSON) for $(b,cmldft report)." in
   Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"FILE" ~doc)
 
-(* [with_telemetry ~trace ~metrics f]: enable tracing when [--trace]
-   was given, run [f], then drain the spans into the Chrome trace and
-   the registry delta into the metrics file.  The sinks are written
-   even when [f] raises, so a crashed campaign still leaves its
-   partial trace behind. *)
-let with_telemetry ~trace ~metrics f =
+let events_arg =
+  let doc =
+    "Stream run events (JSONL, schema $(b,cml-dft-events/1)) to this file while the run is \
+     in flight, for $(b,cmldft watch); $(b,-) streams to stderr."
+  in
+  Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc)
+
+(* [with_telemetry ?events ~trace ~metrics f]: enable tracing when
+   [--trace] was given and install the run-event sink when [--events]
+   was, run [f], then drain the spans into the Chrome trace and the
+   registry delta into the metrics file.  The sinks are written (and
+   the event stream closed) even when [f] raises, so a crashed
+   campaign still leaves its partial trace and stream behind. *)
+let with_telemetry ?(events = None) ~trace ~metrics f =
   if trace <> None then Cml_telemetry.Trace.set_enabled true;
+  (match events with
+  | None -> ()
+  | Some path -> Cml_telemetry.Events.(install (open_sink path)));
   let snap0 = Cml_telemetry.Metrics.snapshot () in
   let finish () =
+    Cml_telemetry.Events.close ();
     (match trace with
     | None -> ()
     | Some path ->
@@ -118,6 +130,40 @@ let with_telemetry ~trace ~metrics f =
   | exception e ->
       finish ();
       raise e
+
+(* Minimal run framing for commands without a variant loop of their
+   own (plan, diagnose): with a sink installed, bracket the work in
+   run_start/run_end so the stream is a complete document. *)
+let with_run_events ~kind f =
+  if not (Cml_telemetry.Events.installed ()) then f ()
+  else begin
+    let t0 = Cml_telemetry.Clock.now_ns () in
+    let ev = Cml_telemetry.Events.run_start ~kind ~total:0 () in
+    let finish () =
+      let wall_s = Cml_telemetry.Clock.ns_to_s (Int64.sub (Cml_telemetry.Clock.now_ns ()) t0) in
+      Cml_telemetry.Events.finish ev ~classes:[] ~wall_s ~utilization:[]
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+(* End-of-run pool attribution table (campaign, mc). *)
+let print_utilization ~wall_s rows =
+  if rows <> [] then begin
+    Printf.printf "\nutilization (wall %.3f s):\n" wall_s;
+    Printf.printf "  %6s %10s %6s %6s %14s\n" "domain" "busy" "ratio" "items" "longest stall";
+    List.iter
+      (fun u ->
+        Printf.printf "  %6d %9.3fs %6.2f %6d %13.3fs\n" u.Cml_telemetry.Events.du_domain
+          u.Cml_telemetry.Events.du_busy_s u.Cml_telemetry.Events.du_busy_ratio
+          u.Cml_telemetry.Events.du_items u.Cml_telemetry.Events.du_longest_stall_s)
+      rows
+  end
 
 (* ------------------------------------------------------------------ *)
 (* chain: simulate the Figure-3 buffer chain *)
@@ -380,9 +426,9 @@ let campaign_cmd =
       ~options:[ ("bench", path); ("dut", dut) ]
       ~golden ~input:design.Cml_cells.Compile.input ~dut:dut_out ~final ~defects ()
   in
-  let run freq bench dut jobs no_warm_start no_batch trace metrics manifest =
+  let run freq bench dut jobs no_warm_start no_batch trace metrics manifest events =
     apply_jobs jobs;
-    with_telemetry ~trace ~metrics @@ fun () ->
+    with_telemetry ~events ~trace ~metrics @@ fun () ->
     let c =
       match bench with
       | None ->
@@ -400,6 +446,7 @@ let campaign_cmd =
               exit 2)
     in
     print_entries c;
+    print_utilization ~wall_s:c.Cml_defects.Campaign.wall_s c.Cml_defects.Campaign.utilization;
     match manifest with Some path -> Printf.printf "wrote %s\n" path | None -> ()
   in
   let info =
@@ -410,7 +457,7 @@ let campaign_cmd =
   in
   Cmd.v info
     Term.(const run $ freq_arg $ bench_arg $ dut_arg $ jobs_arg $ no_warm_start_arg
-          $ no_batch_arg $ trace_arg $ metrics_arg $ manifest_arg)
+          $ no_batch_arg $ trace_arg $ metrics_arg $ manifest_arg $ events_arg)
 
 (* ------------------------------------------------------------------ *)
 (* diagnose: waveform-level drill-down on one defect *)
@@ -448,8 +495,9 @@ let diagnose_cmd =
   let plot_arg =
     Arg.(value & flag & info [ "plot" ] ~doc:"Render ASCII plots of the DUT and detector waves.")
   in
-  let run freq pipe bench stages dut cell json vcd plot trace metrics =
-    with_telemetry ~trace ~metrics @@ fun () ->
+  let run freq pipe bench stages dut cell json vcd plot trace metrics events =
+    with_telemetry ~events ~trace ~metrics @@ fun () ->
+    with_run_events ~kind:"diagnose" @@ fun () ->
     let d, dut_wave_name =
       match bench with
       | None ->
@@ -538,7 +586,7 @@ let diagnose_cmd =
   let info = Cmd.info "diagnose" ~doc in
   Cmd.v info
     Term.(const run $ freq_arg $ pipe_arg $ bench_arg $ stages_arg $ dut_arg $ cell_arg
-          $ json_arg $ vcd_out_arg $ plot_arg $ trace_arg $ metrics_arg)
+          $ json_arg $ vcd_out_arg $ plot_arg $ trace_arg $ metrics_arg $ events_arg)
 
 (* ------------------------------------------------------------------ *)
 (* area *)
@@ -575,9 +623,9 @@ let mc_cmd =
   let gates_arg =
     Arg.(value & opt int 10 & info [ "g"; "gates" ] ~docv:"N" ~doc:"Monitored gates per block.")
   in
-  let run samples seed gates jobs no_warm_start trace metrics manifest =
+  let run samples seed gates jobs no_warm_start trace metrics manifest events =
     apply_jobs jobs;
-    with_telemetry ~trace ~metrics @@ fun () ->
+    with_telemetry ~events ~trace ~metrics @@ fun () ->
     let r =
       Dft.Montecarlo.run ~n:gates ~warm_start:(not no_warm_start) ?manifest ~samples ~seed ()
     in
@@ -589,12 +637,13 @@ let mc_cmd =
       (1e3 *. Cml_numerics.Stats.stddev r.Dft.Montecarlo.good_vouts)
       r.Dft.Montecarlo.good_vout_min;
     Printf.printf "margin        : %.3f V\n" r.Dft.Montecarlo.separation;
+    print_utilization ~wall_s:r.Dft.Montecarlo.wall_s r.Dft.Montecarlo.utilization;
     match manifest with Some path -> Printf.printf "wrote %s\n" path | None -> ()
   in
   let info = Cmd.info "mc" ~doc:"Monte-Carlo robustness of the DFT under process spread." in
   Cmd.v info
     Term.(const run $ samples_arg $ seed_arg $ gates_arg $ jobs_arg $ no_warm_start_arg
-          $ trace_arg $ metrics_arg $ manifest_arg)
+          $ trace_arg $ metrics_arg $ manifest_arg $ events_arg)
 
 (* ------------------------------------------------------------------ *)
 (* logic: run a .bench circuit through the digital test flow *)
@@ -1033,10 +1082,12 @@ let plan_cmd =
           in
           if over_budget || A.Lint.fails ~fail_on:A.Diagnostic.Error diags then 1 else 0
   in
-  let run file scenario stages bits limit derate samples seed budget json jobs trace metrics =
+  let run file scenario stages bits limit derate samples seed budget json jobs trace metrics
+      events =
     apply_jobs jobs;
     let code =
-      with_telemetry ~trace ~metrics @@ fun () ->
+      with_telemetry ~events ~trace ~metrics @@ fun () ->
+      with_run_events ~kind:"plan" @@ fun () ->
       plan_code file scenario stages bits limit derate samples seed budget json
     in
     if code <> 0 then exit code
@@ -1050,7 +1101,113 @@ let plan_cmd =
   Cmd.v info
     Term.(const run $ file_arg $ scenario_arg $ stages_arg $ bits_arg $ limit_arg
           $ derate_arg $ samples_arg $ seed_arg $ budget_arg $ json_arg $ jobs_arg
-          $ trace_arg $ metrics_arg)
+          $ trace_arg $ metrics_arg $ events_arg)
+
+(* ------------------------------------------------------------------ *)
+(* watch: live in-place terminal view of a run-event stream *)
+
+let watch_cmd =
+  let module Ev = Cml_telemetry.Events in
+  let file_arg =
+    let doc = "Event stream to follow (JSONL from $(b,--events)); $(b,-) reads stdin." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EVENTS.jsonl" ~doc)
+  in
+  let once_arg =
+    let doc = "Render the stream's final state once and exit (no polling, no redraw)." in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let read_stdin () =
+    let b = Buffer.create 4096 in
+    (try
+       while true do
+         Buffer.add_channel b stdin 4096
+       done
+     with End_of_file -> ());
+    Buffer.contents b
+  in
+  (* Read whatever the file holds right now, dropping a trailing
+     partial line (the writer flushes whole lines, but a poll can
+     still catch one mid-write) and tolerating lines that fail to
+     parse for the same reason. *)
+  let snapshot_docs path =
+    match open_in_bin path with
+    | exception Sys_error _ -> None
+    | ic ->
+        let len = in_channel_length ic in
+        let text = really_input_string ic len in
+        close_in ic;
+        let lines = String.split_on_char '\n' text in
+        let rec complete = function [] | [ _ ] -> [] | l :: rest -> l :: complete rest in
+        Some
+          (List.filter_map
+             (fun l ->
+               let l = String.trim l in
+               if l = "" then None
+               else
+                 match Cml_telemetry.Json.parse l with
+                 | j -> Some j
+                 | exception Cml_telemetry.Json.Parse_error _ -> None)
+             (complete lines))
+  in
+  let count_lines s =
+    String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 s
+  in
+  let live path =
+    let last = ref "" in
+    let last_lines = ref 0 in
+    let redraw st =
+      let s = Ev.render_state st in
+      if s <> !last then begin
+        (* move back over the previous frame and clear to the end, so
+           the view updates in place instead of scrolling *)
+        if !last_lines > 0 then Printf.printf "\027[%dA\027[J" !last_lines;
+        print_string s;
+        flush stdout;
+        last := s;
+        last_lines := count_lines s
+      end
+    in
+    let rec loop () =
+      match snapshot_docs path with
+      | None ->
+          (* stream not created yet: keep waiting for the run *)
+          Unix.sleepf 0.2;
+          loop ()
+      | Some docs ->
+          let st = Ev.state_of_events docs in
+          redraw st;
+          if not st.Ev.w_finished then begin
+            Unix.sleepf 0.2;
+            loop ()
+          end
+    in
+    loop ()
+  in
+  let run path once =
+    if once then
+      let docs =
+        if path = "-" then Ev.read_string (read_stdin ())
+        else
+          match snapshot_docs path with
+          | Some docs -> docs
+          | None ->
+              Printf.eprintf "cmldft watch: cannot read %s\n" path;
+              exit 2
+      in
+      print_string (Ev.render_state (Ev.state_of_events docs))
+    else if path = "-" then begin
+      Printf.eprintf "cmldft watch: live mode needs a file (use --once to read stdin)\n";
+      exit 2
+    end
+    else live path
+  in
+  let doc =
+    "Follow a run-event stream ($(b,cml-dft-events/1), written by $(b,--events)) as a live \
+     in-place terminal view: progress bar with ETA, per-domain lanes, classification and \
+     healing histograms so far, utilization table at the end."
+  in
+  let info = Cmd.info "watch" ~doc in
+  Cmd.v info Term.(const run $ file_arg $ once_arg)
 
 (* ------------------------------------------------------------------ *)
 (* report: render manifests / metrics files for humans *)
@@ -1067,8 +1224,30 @@ let report_cmd =
   let top_arg =
     Arg.(value & opt int 5 & info [ "top" ] ~docv:"N" ~doc:"Slowest variants to list.")
   in
+  let trend_arg =
+    let doc =
+      "Cross-run trend analysis: classify the given files (and the $(b,.json) files of any \
+       given directory) into perf histories ($(b,cml-dft-perf)) and run manifests, then \
+       render per-kernel trajectory sparklines with regression flags, the campaign scaling \
+       probe against its best-matching (jobs, cores) history, and wall-clock attribution \
+       by span group."
+    in
+    Arg.(value & flag & info [ "trend" ] ~doc)
+  in
+  let read_stdin () =
+    let b = Buffer.create 4096 in
+    (try
+       while true do
+         Buffer.add_channel b stdin 4096
+       done
+     with End_of_file -> ());
+    Buffer.contents b
+  in
+  let parse_path path =
+    if path = "-" then Tel.Json.parse (read_stdin ()) else Tel.Json.parse_file path
+  in
   let report_one ~top path =
-    let j = Tel.Json.parse_file path in
+    let j = parse_path path in
     match Tel.Manifest.of_json j with
     | m -> print_string (Tel.Manifest.render_text ~top m)
     | exception Tel.Manifest.Bad_manifest _ -> (
@@ -1089,26 +1268,64 @@ let report_cmd =
                   print_string (Tel.Metrics.render_text snap)
                 end))
   in
-  let run files top =
+  let report_trend files =
     let fail = ref false in
-    List.iteri
-      (fun i path ->
-        if i > 0 then print_newline ();
-        match report_one ~top path with
-        | () -> ()
+    let expand path =
+      if path <> "-" && Sys.file_exists path && Sys.is_directory path then
+        Sys.readdir path |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".json")
+        |> List.sort compare
+        |> List.map (Filename.concat path)
+      else [ path ]
+    in
+    let history = ref [] and manifests = ref [] in
+    List.iter
+      (fun path ->
+        match parse_path path with
         | exception Tel.Json.Parse_error (pos, msg) ->
             Printf.eprintf "cmldft report: %s: JSON error at offset %d: %s\n" path pos msg;
             fail := true
-        | exception (Sys_error msg | Failure msg) ->
-            Printf.eprintf "cmldft report: %s: %s\n" path msg;
-            fail := true)
-      files;
+        | exception Sys_error msg ->
+            Printf.eprintf "cmldft report: %s\n" msg;
+            fail := true
+        | j -> (
+            match Tel.Trend.history_of_json j with
+            | _ :: _ as entries -> history := !history @ entries
+            | [] -> (
+                match Tel.Manifest.of_json j with
+                | m -> manifests := !manifests @ [ (path, m) ]
+                | exception Tel.Manifest.Bad_manifest _ ->
+                    (* not trend material (a plan, a metrics snapshot):
+                       skip quietly so globs stay convenient *)
+                    ())))
+      (List.concat_map expand files);
+    print_string (Tel.Trend.render ~history:!history ~manifests:!manifests ());
     if !fail then exit 2
   in
+  let run files top trend =
+    if trend then report_trend files
+    else begin
+      let fail = ref false in
+      List.iteri
+        (fun i path ->
+          if i > 0 then print_newline ();
+          match report_one ~top path with
+          | () -> ()
+          | exception Tel.Json.Parse_error (pos, msg) ->
+              Printf.eprintf "cmldft report: %s: JSON error at offset %d: %s\n" path pos msg;
+              fail := true
+          | exception (Sys_error msg | Failure msg) ->
+              Printf.eprintf "cmldft report: %s: %s\n" path msg;
+              fail := true)
+        files;
+      if !fail then exit 2
+    end
+  in
   let doc = "Render run manifests and metrics snapshots (classification histogram, slowest \
-             variants, histogram percentiles, span summary)." in
+             variants, histogram percentiles, span summary); $(b,-) reads from stdin.  \
+             With $(b,--trend), cross-run trajectory analysis instead." in
   let info = Cmd.info "report" ~doc in
-  Cmd.v info Term.(const run $ files_arg $ top_arg)
+  Cmd.v info Term.(const run $ files_arg $ top_arg $ trend_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1118,7 +1335,7 @@ let main_cmd =
   Cmd.group info
     [
       chain_cmd; detector_cmd; sharing_cmd; campaign_cmd; diagnose_cmd; area_cmd; mc_cmd;
-      logic_cmd; export_cmd; op_cmd; lint_cmd; plan_cmd; report_cmd;
+      logic_cmd; export_cmd; op_cmd; lint_cmd; plan_cmd; watch_cmd; report_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -37,6 +37,9 @@ type t = {
   entries : entry list;
   variants : Cml_telemetry.Manifest.variant list;
   metrics : Cml_telemetry.Metrics.snapshot;
+  utilization : Cml_telemetry.Events.domain_util list;
+      (* per-domain busy/idle attribution over the variant phase *)
+  wall_s : float;
 }
 
 (* The probe set every chain measurement samples: both outputs of each
@@ -229,27 +232,52 @@ let variant_of_entry entry ~seconds ~stats =
     v_metrics = meas @ healing @ solver;
   }
 
-(* Healing-depth histogram over the measured entries: how many stages
-   each degraded variant needed to recover ("depth=N"), "unhealed" for
-   degradations that persist to the chain output, "clean" otherwise. *)
+(* Healing label of one measured entry: how many stages a degraded
+   variant needed to recover ("depth=N"), "unhealed" for degradations
+   that persist to the chain output, "clean" otherwise.  Shared by the
+   manifest histogram and the per-variant run events. *)
+let healing_label e =
+  match e.outcome with
+  | Failed _ -> None
+  | Measured (m, _) -> (
+      match (m.degraded_at, m.healing_depth) with
+      | None, _ -> Some "clean"
+      | Some _, Some d -> Some (Printf.sprintf "depth=%d" d)
+      | Some _, None -> Some "unhealed")
+
 let healing_histogram entries =
-  let label e =
-    match e.outcome with
-    | Failed _ -> None
-    | Measured (m, _) -> (
-        match (m.degraded_at, m.healing_depth) with
-        | None, _ -> Some "clean"
-        | Some _, Some d -> Some (Printf.sprintf "depth=%d" d)
-        | Some _, None -> Some "unhealed")
-  in
   let tbl = Hashtbl.create 8 in
   List.iter
     (fun e ->
-      match label e with
+      match healing_label e with
       | None -> ()
       | Some l -> Hashtbl.replace tbl l (1 + Option.value ~default:0 (Hashtbl.find_opt tbl l)))
     entries;
   List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl [])
+
+(* The run-event view of a finished variant (index-addressed so the
+   stream reassembles in run order whatever domain ran it). *)
+let event_variant ~idx entry ~seconds ~stats =
+  {
+    Cml_telemetry.Events.ev_idx = idx;
+    ev_name = Defect.describe entry.defect;
+    ev_classes =
+      (match entry.outcome with Failed _ -> [ "failed" ] | Measured (_, fl) -> flag_labels fl);
+    ev_healing = healing_label entry;
+    ev_failed = (match entry.outcome with Failed _ -> true | Measured _ -> false);
+    ev_steps = (match stats with Some (s : T.stats) -> s.T.accepted_steps | None -> 0);
+    ev_seconds = seconds;
+  }
+
+(* Per-domain utilization rows for this run: pool counters diffed
+   against the snapshot taken at run start, busy ratio against the
+   run's wall clock (also published as gauges). *)
+let utilization_rows ~wall_s before =
+  List.map
+    (fun (dom, (d : Cml_runtime.Pool.domain_stats)) ->
+      Cml_telemetry.Events.util_row ~wall_s ~domain:dom ~busy_ns:d.Cml_runtime.Pool.busy_ns
+        ~items:d.Cml_runtime.Pool.items ~longest_stall_ns:d.Cml_runtime.Pool.longest_stall_ns)
+    (Cml_runtime.Pool.utilization_since before)
 
 let to_manifest ?seed ?(options = []) t =
   let spans = Cml_telemetry.Trace.aggregate (Cml_telemetry.Trace.peek ()) in
@@ -282,7 +310,26 @@ let run ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?(stages = 8) ?dut ?
      so variants only keep a thinned dense trajectory — the reference
      keeps all of it because the guide seeds from its rows *)
   let variant_record_every = 8 in
-  let run_one defect =
+  let run_options =
+    [
+      ("freq", Printf.sprintf "%g" freq);
+      ("stages", string_of_int stages);
+      ("dut", string_of_int dut);
+      ("tstop", Printf.sprintf "%g" tstop);
+      ("warm_start", string_of_bool warm_start);
+      ("batch", string_of_bool batch);
+      ("defects", string_of_int (List.length defects));
+    ]
+  in
+  let ev_run =
+    Cml_telemetry.Events.run_start ~kind:"campaign" ~total:(List.length defects) ?jobs
+      ~options:run_options ()
+  in
+  let util0 = Cml_runtime.Pool.utilization () in
+  Cml_runtime.Pool.reset_stall_watermarks ();
+  let wall_t0 = Cml_telemetry.Clock.now_ns () in
+  let run_one (idx, defect) =
+    Cml_telemetry.Progress.variant_start (Defect.describe defect);
     let tok = Cml_telemetry.Trace.start () in
     let t0 = Cml_telemetry.Clock.now_ns () in
     let entry, stats =
@@ -304,6 +351,9 @@ let run ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?(stages = 8) ?dut ?
         (if tok >= 0L then [ ("defect", Cml_telemetry.Trace.S (Defect.describe defect)) ]
          else [])
       "variant" tok;
+    Cml_telemetry.Progress.variant_finish
+      ~failed:(match entry.outcome with Failed _ -> true | Measured _ -> false);
+    Cml_telemetry.Events.variant_done ev_run (event_variant ~idx entry ~seconds ~stats);
     (entry, variant_of_entry entry ~seconds ~stats)
   in
   (* Batch scheduling: a contiguous slice of defects becomes one
@@ -318,8 +368,11 @@ let run ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?(stages = 8) ?dut ?
      the batch wall time amortised over its lanes. *)
   let stages_count = Array.length chain.Cml_cells.Chain.stages in
   let cfg_batch = T.config ~tstop ~max_step:10e-12 ~record_every:0 () in
-  let run_slice (defs : Defect.t array) =
+  let run_slice (idefs : (int * Defect.t) array) =
+    let defs = Array.map snd idefs in
     let n = Array.length defs in
+    (* lockstep lanes genuinely are all in flight at once *)
+    Array.iter (fun d -> Cml_telemetry.Progress.variant_start (Defect.describe d)) defs;
     let tok = Cml_telemetry.Trace.start () in
     let t0 = Cml_telemetry.Clock.now_ns () in
     let sims =
@@ -370,19 +423,29 @@ let run ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?(stages = 8) ?dut ?
       ~args:(if tok >= 0L then [ ("lanes", Cml_telemetry.Trace.I n) ] else [])
       "variant_batch" tok;
     let per_lane = seconds /. float_of_int (max 1 n) in
-    Array.mapi (fun i e -> (e, variant_of_entry e ~seconds:per_lane ~stats:statsv.(i))) entries
+    Array.mapi
+      (fun i e ->
+        Cml_telemetry.Progress.variant_finish
+          ~failed:(match e.outcome with Failed _ -> true | Measured _ -> false);
+        Cml_telemetry.Events.variant_done ev_run
+          (event_variant ~idx:(fst idefs.(i)) e ~seconds:per_lane ~stats:statsv.(i));
+        (e, variant_of_entry e ~seconds:per_lane ~stats:statsv.(i)))
+      entries
   in
   (* one compiled sim per defect ([Inject.apply] copies the netlist,
      [measure_chain_full] compiles its own engine), so tasks share
      only read-only state and can run on worker domains *)
+  let indexed = List.mapi (fun i d -> (i, d)) defects in
   let results =
     if batch then
       Array.to_list
         (Cml_runtime.Pool.parallel_map_batches ?jobs ~max_batch:16 run_slice
-           (Array.of_list defects))
-    else Cml_runtime.Pool.parallel_list_map ?jobs run_one defects
+           (Array.of_list indexed))
+    else Cml_runtime.Pool.parallel_list_map ?jobs run_one indexed
   in
   Cml_telemetry.Trace.finish ~cat:"campaign" "campaign" span;
+  let wall_s = Cml_telemetry.Clock.ns_to_s (Int64.sub (Cml_telemetry.Clock.now_ns ()) wall_t0) in
+  let utilization = utilization_rows ~wall_s util0 in
   let metrics = Cml_telemetry.Metrics.diff snap0 (Cml_telemetry.Metrics.snapshot ()) in
   let t =
     {
@@ -390,23 +453,16 @@ let run ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?(stages = 8) ?dut ?
       entries = List.map fst results;
       variants = List.map snd results;
       metrics;
+      utilization;
+      wall_s;
     }
   in
+  Cml_telemetry.Events.finish ev_run
+    ~classes:(Cml_telemetry.Manifest.class_histogram (to_manifest t))
+    ~wall_s ~utilization;
   (match manifest with
   | None -> ()
-  | Some path ->
-      let options =
-        [
-          ("freq", Printf.sprintf "%g" freq);
-          ("stages", string_of_int stages);
-          ("dut", string_of_int dut);
-          ("tstop", Printf.sprintf "%g" tstop);
-          ("warm_start", string_of_bool warm_start);
-          ("batch", string_of_bool batch);
-          ("defects", string_of_int (List.length defects));
-        ]
-      in
-      Cml_telemetry.Manifest.write ~path (to_manifest ~options t));
+  | Some path -> Cml_telemetry.Manifest.write ~path (to_manifest ~options:run_options t));
   t
 
 (* ------------------------------------------------------------------ *)
@@ -499,7 +555,25 @@ let run_design ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?tstop ?jobs
   let reference, ref_traj = measure_design_full ~breakpoints ~probes golden ~freq ~tstop in
   let guide = if warm_start then Some ref_traj else None in
   let variant_record_every = 8 in
-  let run_one defect =
+  let run_options =
+    options
+    @ [
+        ("freq", Printf.sprintf "%g" freq);
+        ("tstop", Printf.sprintf "%g" tstop);
+        ("warm_start", string_of_bool warm_start);
+        ("batch", string_of_bool batch);
+        ("defects", string_of_int (List.length defects));
+      ]
+  in
+  let ev_run =
+    Cml_telemetry.Events.run_start ~kind:"campaign" ~total:(List.length defects) ?jobs
+      ~options:run_options ()
+  in
+  let util0 = Cml_runtime.Pool.utilization () in
+  Cml_runtime.Pool.reset_stall_watermarks ();
+  let wall_t0 = Cml_telemetry.Clock.now_ns () in
+  let run_one (idx, defect) =
+    Cml_telemetry.Progress.variant_start (Defect.describe defect);
     let tok = Cml_telemetry.Trace.start () in
     let t0 = Cml_telemetry.Clock.now_ns () in
     let entry, stats =
@@ -521,6 +595,9 @@ let run_design ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?tstop ?jobs
         (if tok >= 0L then [ ("defect", Cml_telemetry.Trace.S (Defect.describe defect)) ]
          else [])
       "variant" tok;
+    Cml_telemetry.Progress.variant_finish
+      ~failed:(match entry.outcome with Failed _ -> true | Measured _ -> false);
+    Cml_telemetry.Events.variant_done ev_run (event_variant ~idx entry ~seconds ~stats);
     (entry, variant_of_entry entry ~seconds ~stats)
   in
   (* Batched slices mirror [run]: lanes grouped by unknown layout run
@@ -529,8 +606,11 @@ let run_design ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?tstop ?jobs
      ({!Cml_spice.Engine.share_symbolic}) — one column ordering and
      one pattern analysis serve the whole group. *)
   let cfg_batch = T.config ~tstop ~max_step:10e-12 ~record_every:0 () in
-  let run_slice (defs : Defect.t array) =
+  let run_slice (idefs : (int * Defect.t) array) =
+    let defs = Array.map snd idefs in
     let n = Array.length defs in
+    (* lockstep lanes genuinely are all in flight at once *)
+    Array.iter (fun d -> Cml_telemetry.Progress.variant_start (Defect.describe d)) defs;
     let tok = Cml_telemetry.Trace.start () in
     let t0 = Cml_telemetry.Clock.now_ns () in
     let sims =
@@ -579,16 +659,26 @@ let run_design ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?tstop ?jobs
       ~args:(if tok >= 0L then [ ("lanes", Cml_telemetry.Trace.I n) ] else [])
       "variant_batch" tok;
     let per_lane = seconds /. float_of_int (max 1 n) in
-    Array.mapi (fun i e -> (e, variant_of_entry e ~seconds:per_lane ~stats:statsv.(i))) entries
+    Array.mapi
+      (fun i e ->
+        Cml_telemetry.Progress.variant_finish
+          ~failed:(match e.outcome with Failed _ -> true | Measured _ -> false);
+        Cml_telemetry.Events.variant_done ev_run
+          (event_variant ~idx:(fst idefs.(i)) e ~seconds:per_lane ~stats:statsv.(i));
+        (e, variant_of_entry e ~seconds:per_lane ~stats:statsv.(i)))
+      entries
   in
+  let indexed = List.mapi (fun i d -> (i, d)) defects in
   let results =
     if batch then
       Array.to_list
         (Cml_runtime.Pool.parallel_map_batches ?jobs ~max_batch:16 run_slice
-           (Array.of_list defects))
-    else Cml_runtime.Pool.parallel_list_map ?jobs run_one defects
+           (Array.of_list indexed))
+    else Cml_runtime.Pool.parallel_list_map ?jobs run_one indexed
   in
   Cml_telemetry.Trace.finish ~cat:"campaign" "campaign" span;
+  let wall_s = Cml_telemetry.Clock.ns_to_s (Int64.sub (Cml_telemetry.Clock.now_ns ()) wall_t0) in
+  let utilization = utilization_rows ~wall_s util0 in
   let metrics = Cml_telemetry.Metrics.diff snap0 (Cml_telemetry.Metrics.snapshot ()) in
   let t =
     {
@@ -596,22 +686,16 @@ let run_design ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?tstop ?jobs
       entries = List.map fst results;
       variants = List.map snd results;
       metrics;
+      utilization;
+      wall_s;
     }
   in
+  Cml_telemetry.Events.finish ev_run
+    ~classes:(Cml_telemetry.Manifest.class_histogram (to_manifest t))
+    ~wall_s ~utilization;
   (match manifest with
   | None -> ()
-  | Some path ->
-      let options =
-        options
-        @ [
-            ("freq", Printf.sprintf "%g" freq);
-            ("tstop", Printf.sprintf "%g" tstop);
-            ("warm_start", string_of_bool warm_start);
-            ("batch", string_of_bool batch);
-            ("defects", string_of_int (List.length defects));
-          ]
-      in
-      Cml_telemetry.Manifest.write ~path (to_manifest ~options t));
+  | Some path -> Cml_telemetry.Manifest.write ~path (to_manifest ~options:run_options t));
   t
 
 let summary t =

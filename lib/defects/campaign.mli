@@ -52,6 +52,11 @@ type t = {
           sequential runs produce structurally equal entries *)
   metrics : Cml_telemetry.Metrics.snapshot;
       (** metrics-registry movement over this campaign *)
+  utilization : Cml_telemetry.Events.domain_util list;
+      (** per-domain busy/idle attribution (busy seconds, items,
+          longest stall, busy ratio against [wall_s]) over the variant
+          phase — the end-of-run utilization table *)
+  wall_s : float;  (** wall clock of the variant phase *)
 }
 
 val measure_chain :

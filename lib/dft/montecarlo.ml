@@ -13,6 +13,8 @@ type result = {
   bad_vouts : float array;
   sample_reports : Tel.Manifest.variant list;
   metrics : Tel.Metrics.snapshot;
+  utilization : Tel.Events.domain_util list;
+  wall_s : float;
 }
 
 let m_samples = Tel.Metrics.counter "montecarlo.samples"
@@ -67,9 +69,25 @@ let run ?(proc = Cml_cells.Process.default) ?(spec = Cml_defects.Variation.defau
      are scheduled as contiguous slices (one pool task per slice, see
      {!Cml_runtime.Pool.parallel_map_batches}) so the per-task
      wake-up/handoff cost is paid per slice, not per sample *)
+  let run_options =
+    [
+      ("n", string_of_int n);
+      ("samples", string_of_int samples);
+      ("defect", Cml_defects.Defect.describe defect);
+      ("warm_start", string_of_bool warm_start);
+    ]
+  in
+  let ev_run =
+    Tel.Events.run_start ~kind:"montecarlo" ~total:samples ?jobs ~options:run_options ()
+  in
+  let util0 = Cml_runtime.Pool.utilization () in
+  Cml_runtime.Pool.reset_stall_watermarks ();
+  let wall_t0 = Tel.Clock.now_ns () in
   let outcomes =
     Cml_runtime.Pool.parallel_map_batches ?jobs
       (Array.map (fun k ->
+           let name = Printf.sprintf "sample %d" k in
+           Tel.Progress.variant_start name;
            let tok = Tel.Trace.start () in
            let t0 = Tel.Clock.now_ns () in
            let good = measure golden x_good k and bad = measure faulty x_bad k in
@@ -79,6 +97,20 @@ let run ?(proc = Cml_cells.Process.default) ?(spec = Cml_defects.Variation.defau
            Tel.Trace.finish ~cat:"montecarlo"
              ~args:(if tok >= 0L then [ ("sample", Tel.Trace.I k) ] else [])
              "sample" tok;
+           Tel.Progress.variant_finish ~failed:false;
+           let flagged_good, _ = good and flagged_bad, _ = bad in
+           Tel.Events.variant_done ev_run
+             {
+               Tel.Events.ev_idx = k;
+               ev_name = name;
+               ev_classes =
+                 ((if flagged_good then [ "false-alarm" ] else [])
+                 @ if flagged_bad then [ "detected" ] else [ "missed" ]);
+               ev_healing = None;
+               ev_failed = false;
+               ev_steps = 0;  (* DC-only: no transient steps *)
+               ev_seconds = seconds;
+             };
            (good, bad, seconds)))
       (Array.init samples Fun.id)
   in
@@ -105,6 +137,14 @@ let run ?(proc = Cml_cells.Process.default) ?(spec = Cml_defects.Variation.defau
         :: !sample_reports)
     outcomes;
   Tel.Trace.finish ~cat:"montecarlo" "montecarlo" span;
+  let wall_s = Tel.Clock.ns_to_s (Int64.sub (Tel.Clock.now_ns ()) wall_t0) in
+  let utilization =
+    List.map
+      (fun (dom, (d : Cml_runtime.Pool.domain_stats)) ->
+        Tel.Events.util_row ~wall_s ~domain:dom ~busy_ns:d.Cml_runtime.Pool.busy_ns
+          ~items:d.Cml_runtime.Pool.items ~longest_stall_ns:d.Cml_runtime.Pool.longest_stall_ns)
+      (Cml_runtime.Pool.utilization_since util0)
+  in
   let metrics = Tel.Metrics.diff snap0 (Tel.Metrics.snapshot ()) in
   let gmin = Cml_numerics.Stats.minimum good_vouts in
   let r =
@@ -120,18 +160,14 @@ let run ?(proc = Cml_cells.Process.default) ?(spec = Cml_defects.Variation.defau
       bad_vouts;
       sample_reports = List.rev !sample_reports;
       metrics;
+      utilization;
+      wall_s;
     }
   in
+  Tel.Events.finish ev_run
+    ~classes:(Tel.Manifest.class_histogram (to_manifest r))
+    ~wall_s ~utilization;
   (match manifest with
   | None -> ()
-  | Some path ->
-      let options =
-        [
-          ("n", string_of_int n);
-          ("samples", string_of_int samples);
-          ("defect", Cml_defects.Defect.describe defect);
-          ("warm_start", string_of_bool warm_start);
-        ]
-      in
-      Tel.Manifest.write ~path (to_manifest ~seed ~options r));
+  | Some path -> Tel.Manifest.write ~path (to_manifest ~seed ~options:run_options r));
   r

@@ -19,6 +19,9 @@ type result = {
           sample order, for the run manifest *)
   metrics : Cml_telemetry.Metrics.snapshot;
       (** metrics-registry movement over this run *)
+  utilization : Cml_telemetry.Events.domain_util list;
+      (** per-domain busy/idle attribution over the sampling phase *)
+  wall_s : float;  (** wall clock of the sampling phase *)
 }
 
 val run :

@@ -40,6 +40,131 @@ let default_jobs () =
     | None -> max 1 (Domain.recommended_domain_count () - 1)
 
 (* ------------------------------------------------------------------ *)
+(* Per-domain busy/idle accounting.
+
+   Every chunk a domain claims is timed around its execution, into a
+   cell the domain owns (domain-local storage, same registration
+   pattern as {!Cml_telemetry.Trace}): busy nanoseconds, items
+   executed, and the longest stall — the widest gap between two
+   consecutive chunk executions within one job, which is the direct
+   measurement of "was this domain idle while the batch still had
+   work" (tail imbalance under contiguous chunking).  Owner domains
+   write plain mutable fields; readers sample at quiescent points
+   (after the pool barrier), so no lock guards the counters. *)
+
+type dstat = {
+  ds_domain : int;
+  mutable ds_busy_ns : int64;
+  mutable ds_items : int;
+  mutable ds_longest_stall_ns : int64;
+  mutable ds_last_end_ns : int64;
+  mutable ds_job_gen : int;  (* last job this domain accounted under *)
+}
+
+let dstat_registry : dstat list ref = ref []
+
+let dstat_mutex = Mutex.create ()
+
+let dstat_key =
+  Domain.DLS.new_key (fun () ->
+      let c =
+        {
+          ds_domain = (Domain.self () :> int);
+          ds_busy_ns = 0L;
+          ds_items = 0;
+          ds_longest_stall_ns = 0L;
+          ds_last_end_ns = 0L;
+          ds_job_gen = 0;
+        }
+      in
+      Mutex.lock dstat_mutex;
+      dstat_registry := c :: !dstat_registry;
+      Mutex.unlock dstat_mutex;
+      c)
+
+(* job epoch, for stall attribution: a domain's first chunk of a job
+   measures its stall from the job's submission instant, later chunks
+   from the end of the domain's previous chunk *)
+let job_gen = Atomic.make 0
+
+let job_start_ns = Atomic.make 0L
+
+let now_ns () = Cml_telemetry.Clock.now_ns ()
+
+(* one tick per oversubscribed batch (jobs > cores), so the condition
+   shows up in manifests and the watch view, not just as a one-shot
+   stderr warning *)
+let m_oversubscribed = Cml_telemetry.Metrics.counter "pool.oversubscribed"
+
+let account_chunk cell ~t0 ~t1 ~items ~gen ~job_start =
+  let stall_from =
+    if cell.ds_job_gen <> gen then begin
+      cell.ds_job_gen <- gen;
+      job_start
+    end
+    else cell.ds_last_end_ns
+  in
+  let stall = Int64.sub t0 stall_from in
+  if stall > cell.ds_longest_stall_ns then cell.ds_longest_stall_ns <- stall;
+  cell.ds_busy_ns <- Int64.add cell.ds_busy_ns (Int64.sub t1 t0);
+  cell.ds_items <- cell.ds_items + items;
+  cell.ds_last_end_ns <- t1
+
+(* sequential fallbacks still account busy time and items (as one
+   chunk, no stall) so a jobs=1 run reports a utilization row too *)
+let account_sequential ~items f =
+  let cell = Domain.DLS.get dstat_key in
+  let t0 = now_ns () in
+  let r = f () in
+  let t1 = now_ns () in
+  cell.ds_busy_ns <- Int64.add cell.ds_busy_ns (Int64.sub t1 t0);
+  cell.ds_items <- cell.ds_items + items;
+  cell.ds_last_end_ns <- t1;
+  r
+
+type domain_stats = { busy_ns : int64; items : int; longest_stall_ns : int64 }
+
+let utilization () =
+  Mutex.lock dstat_mutex;
+  let cells = !dstat_registry in
+  Mutex.unlock dstat_mutex;
+  List.sort compare
+    (List.map
+       (fun c ->
+         ( c.ds_domain,
+           { busy_ns = c.ds_busy_ns; items = c.ds_items; longest_stall_ns = c.ds_longest_stall_ns }
+         ))
+       cells)
+
+let utilization_since before =
+  List.filter_map
+    (fun (dom, (a : domain_stats)) ->
+      let b =
+        match List.assoc_opt dom before with
+        | Some b -> b
+        | None -> { busy_ns = 0L; items = 0; longest_stall_ns = 0L }
+      in
+      let d =
+        {
+          busy_ns = Int64.sub a.busy_ns b.busy_ns;
+          items = a.items - b.items;
+          (* the stall is a cumulative watermark (a max cannot be
+             subtracted); {!reset_stall_watermarks} scopes it to a run *)
+          longest_stall_ns = a.longest_stall_ns;
+        }
+      in
+      if d.items = 0 && d.busy_ns = 0L then None else Some (dom, d))
+    (utilization ())
+
+(* only safe while no other domain is inside a pool batch — i.e. at
+   the same quiescent points where [utilization] snapshots are taken *)
+let reset_stall_watermarks () =
+  Mutex.lock dstat_mutex;
+  let cells = !dstat_registry in
+  Mutex.unlock dstat_mutex;
+  List.iter (fun c -> c.ds_longest_stall_ns <- 0L) cells
+
+(* ------------------------------------------------------------------ *)
 (* The pool proper.
 
    Workers block on [work_ready] until the generation counter moves,
@@ -70,13 +195,19 @@ type t = {
 }
 
 let drain job =
+  let cell = Domain.DLS.get dstat_key in
+  let gen = Atomic.get job_gen in
+  let job_start = Atomic.get job_start_ns in
   let rec go () =
     let start = Atomic.fetch_and_add job.next job.chunk in
     if start < job.total then begin
       let stop = min job.total (start + job.chunk) in
+      let t0 = now_ns () in
       for i = start to stop - 1 do
         job.run i
       done;
+      let t1 = now_ns () in
+      account_chunk cell ~t0 ~t1 ~items:(stop - start) ~gen ~job_start;
       go ()
     end
   in
@@ -137,10 +268,15 @@ let shutdown t =
 let run_tasks t ~active ~total run =
   if total > 0 then
     if active <= 1 || t.workers = 0 then
-      for i = 0 to total - 1 do
-        run i
-      done
+      account_sequential ~items:total (fun () ->
+          for i = 0 to total - 1 do
+            run i
+          done)
     else begin
+      (* stamp the job epoch before waking anyone: every domain's
+         first-chunk stall is measured from this instant *)
+      Atomic.set job_start_ns (now_ns ());
+      Atomic.incr job_gen;
       (* coarse claiming: each cursor fetch takes a run of indices, so
          a batch much larger than the domain count (fault simulation,
          Monte-Carlo) touches the shared cursor ~8 times per domain
@@ -173,14 +309,18 @@ let map t ?jobs f arr =
      which turns "--jobs 4" on a 1-core host into a large slowdown
      rather than a wash *)
   let cores = Domain.recommended_domain_count () in
-  if jobs > cores then
+  if jobs > cores then begin
+    (* counted per oversubscribed batch (the warning itself is
+       one-shot), so manifests record how often the cap was hit *)
+    Cml_telemetry.Metrics.incr m_oversubscribed;
     Cml_telemetry.Trace.warn_once ~key:"pool.jobs_exceed_cores"
       (Printf.sprintf
          "%d jobs requested (--jobs / %s) but only %d cores are available; capping active \
           domains at %d"
-         jobs env_var cores cores);
+         jobs env_var cores cores)
+  end;
   let active = min (min jobs n) (min (t.workers + 1) cores) in
-  if active <= 1 then Array.map f arr
+  if active <= 1 then account_sequential ~items:n (fun () -> Array.map f arr)
   else begin
     if Cml_telemetry.Trace.enabled () then
       Cml_telemetry.Trace.instant ~cat:"pool"
@@ -240,7 +380,7 @@ let global_pool ~at_least =
 let parallel_map ?jobs f arr =
   let n = Array.length arr in
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
-  if min jobs n <= 1 then Array.map f arr
+  if min jobs n <= 1 then account_sequential ~items:n (fun () -> Array.map f arr)
   else map (global_pool ~at_least:jobs) ~jobs f arr
 
 let parallel_list_map ?jobs f l =
@@ -280,7 +420,8 @@ let parallel_map_batches ?jobs ?(min_batch = 1) ?(max_batch = max_int) f arr =
     in
     let run (lo, len) = f (Array.sub arr lo len) in
     let results =
-      if nslices = 1 || active <= 1 then Array.map run slices
+      if nslices = 1 || active <= 1 then
+        account_sequential ~items:nslices (fun () -> Array.map run slices)
       else map (global_pool ~at_least:jobs) ~jobs run slices
     in
     Array.iteri

@@ -59,6 +59,39 @@ val parallel_map_batches :
     @raise Invalid_argument on [min_batch < 1] or
     [max_batch < min_batch]. *)
 
+(** {1 Busy/idle accounting}
+
+    Every chunk of pool work a domain executes is timed into a
+    per-domain cell: busy nanoseconds, items executed, and the longest
+    stall (the widest gap between two consecutive chunk executions
+    within one batch — idle time while the batch still had work).
+    Sequential fallbacks account busy time and items too (no stall),
+    so a [jobs = 1] run reports a utilization row.  Counters are
+    cumulative over the process; snapshot-and-diff with
+    {!utilization_since} to scope them to a run.  Sampling is only
+    exact at quiescent points (no batch in flight), which is where
+    every caller reads it. *)
+
+type domain_stats = {
+  busy_ns : int64;  (** time spent inside pool tasks *)
+  items : int;  (** pool tasks executed (slices count as one each) *)
+  longest_stall_ns : int64;  (** watermark since the last reset *)
+}
+
+val utilization : unit -> (int * domain_stats) list
+(** Cumulative per-domain counters, keyed by domain id, sorted. *)
+
+val utilization_since : (int * domain_stats) list -> (int * domain_stats) list
+(** [utilization_since before] diffs the current counters against an
+    earlier {!utilization} snapshot, dropping domains that did no work
+    in between.  The stall column is the current watermark (a max
+    cannot be diffed) — call {!reset_stall_watermarks} at the start of
+    the window to scope it. *)
+
+val reset_stall_watermarks : unit -> unit
+(** Zero every domain's longest-stall watermark.  Only safe at a
+    quiescent point (no batch in flight). *)
+
 (** {1 Explicit pools}
 
     For callers that want their own worker domains rather than the

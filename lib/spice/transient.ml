@@ -383,6 +383,9 @@ let stepper_advance st target =
         st.st_h_prev <- h_step;
         st.st_t <- t_next;
         st.st_accepted <- st.st_accepted + 1;
+        (* live-progress hook: one atomic load + branch when no run is
+           being observed (gated by `make telemetry-overhead`) *)
+        Cml_telemetry.Progress.note_step ();
         stepper_record st st.st_t x;
         if hitting && is_bp then begin
           st.st_bp_index <- st.st_bp_index + 1;

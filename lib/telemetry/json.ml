@@ -181,8 +181,13 @@ let escape s =
   Buffer.add_char b '"';
   Buffer.contents b
 
+(* JSON has no NaN/Infinity literals; degenerate measurements (a
+   collapsed wave measuring as NaN, an unbounded delay) must still
+   produce a parseable document, so non-finite numbers serialize as
+   null — readers already treat a missing/null member as "absent". *)
 let number f =
-  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.6g" f
 
 let rec write buf ~indent v =

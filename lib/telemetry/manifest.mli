@@ -3,7 +3,13 @@
     options and seed, per-variant classification + metrics, a
     metrics-registry snapshot and a span summary — so results are
     reproducible and diffable.  Rendered for humans by
-    [cmldft report]. *)
+    [cmldft report].
+
+    A manifest records a run after the fact; its streaming sibling is
+    the {!Events} JSONL run-event schema ([cml-dft-events/1]), written
+    while the run is in flight.  Committed examples of both live in
+    [examples/manifests/] ([campaign_x3.json] next to
+    [campaign_x3.events.jsonl]), re-rendered by [make check]. *)
 
 val schema : string
 (** ["cml-dft-manifest/1"]. *)

@@ -1,0 +1,67 @@
+(** Per-domain lock-free progress cells.
+
+    Worker domains report run progress (variants started / done /
+    failed, accepted solver steps, current item label) into a cell
+    they own; a sampler on any domain snapshots every cell at once.
+    Disabled cost is one atomic load and a branch per hook — cheap
+    enough for the transient step loop, and gated by
+    [make telemetry-overhead] alongside the {!Trace} hooks.
+
+    Cells are process-global and cumulative; a run calls {!reset}
+    before its first hook (from the submitting domain, while the pool
+    is quiescent) so samples read as per-run counts. *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Progress recording is off by default; {!Events.run_start} turns
+    it on for the duration of an instrumented run. *)
+
+(** {1 Recording} — owner-domain hooks, no-ops while disabled. *)
+
+val variant_start : string -> unit
+(** Mark one variant started on this domain and set its label. *)
+
+val variant_finish : failed:bool -> unit
+(** Mark the variant done (or failed) on this domain. *)
+
+val note_step : unit -> unit
+(** One accepted solver step on this domain.  Hot path: the transient
+    integrator calls this per accepted step. *)
+
+val note_items : int -> unit
+(** [n] items started and finished at once — for sub-variant-grained
+    work (logic fault simulation) where per-item labels would cost
+    more than the items. *)
+
+(** {1 Sampling} *)
+
+type sample = {
+  s_domain : int;  (** domain id, matches trace [tid] *)
+  s_started : int;
+  s_done : int;
+  s_failed : int;
+  s_steps : int;
+  s_label : string;  (** most recent {!variant_start} label *)
+}
+
+val sample : unit -> sample list
+(** Snapshot of every registered cell, sorted by domain id.  Safe
+    from any thread or domain while owners are recording. *)
+
+val totals : sample list -> int * int * int * int
+(** Summed [(started, done, failed, steps)]. *)
+
+val reset : unit -> unit
+(** Zero every cell.  Only safe while no other domain is recording. *)
+
+(** {1 Ticker} — the lightweight sampler loop. *)
+
+type ticker
+
+val ticker : period_s:float -> (unit -> unit) -> ticker
+(** Run [f] every [period_s] seconds on a system thread until
+    {!stop_ticker}.  [f] must only touch thread-safe state. *)
+
+val stop_ticker : ticker -> unit
+(** Stop the loop and join the thread (waits at most one period). *)

@@ -120,6 +120,9 @@ let warn_once ~key message =
   Mutex.unlock warned_mutex;
   if first then begin
     Printf.eprintf "warning: %s\n%!" message;
+    (* mirror onto the run-event stream (if one is installed) so the
+       condition is visible to `cmldft watch`, not just on a tty *)
+    Events.warning ~key message;
     if Atomic.get enabled_flag then
       record
         {
