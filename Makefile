@@ -5,7 +5,7 @@
 DUNE ?= dune
 LINT := $(DUNE) exec --no-build bin/cmldft.exe -- lint
 
-.PHONY: all build test fmt lint-examples lint-fixtures plan-smoke report-examples telemetry-overhead diagnose-smoke compile-smoke watch-smoke fixtures check perf clean
+.PHONY: all build test fmt lint-examples lint-fixtures plan-smoke report-examples telemetry-overhead diagnose-smoke compile-smoke watch-smoke explain-smoke fixtures check perf clean
 
 all: build
 
@@ -113,6 +113,34 @@ watch-smoke: build
 	  $(WATCH_DIR)/manifest.json
 	rm -rf $(WATCH_DIR)
 
+# End-to-end smoke of the post-mortem pipeline: run a deliberately
+# hard campaign (cold start, Newton capped at 12 iterations so
+# marginal solves fail visibly), explain the slowest variant — the
+# re-simulation must blame a named net for at least one LTE rejection
+# and one Newton retry — write the post-mortem JSON and render it
+# back with `cmldft report`.  Budgeted at five seconds.
+explain-smoke: build
+	@start=$$(date +%s%N); \
+	dir=$$(mktemp -d); \
+	$(DUNE) exec --no-build bin/cmldft.exe -- campaign --no-warm-start --max-iter 12 \
+	  --manifest $$dir/campaign.json >/dev/null || { rm -rf $$dir; exit 1; }; \
+	$(DUNE) exec --no-build bin/cmldft.exe -- explain $$dir/campaign.json \
+	  > $$dir/postmortem.txt || { rm -rf $$dir; exit 1; }; \
+	grep -q "LTE pressure concentrates on" $$dir/postmortem.txt || \
+	  { echo "explain-smoke: FAILED (no LTE blame line)"; rm -rf $$dir; exit 1; }; \
+	grep -q "Newton gave up" $$dir/postmortem.txt || \
+	  { echo "explain-smoke: FAILED (no Newton retry blame line)"; rm -rf $$dir; exit 1; }; \
+	$(DUNE) exec --no-build bin/cmldft.exe -- explain $$dir/campaign.json \
+	  --json $$dir/postmortem.json >/dev/null || { rm -rf $$dir; exit 1; }; \
+	$(DUNE) exec --no-build bin/cmldft.exe -- report $$dir/postmortem.json >/dev/null \
+	  || { rm -rf $$dir; exit 1; }; \
+	rm -rf $$dir; \
+	elapsed_ms=$$((($$(date +%s%N) - start) / 1000000)); \
+	echo "explain-smoke: OK ($${elapsed_ms} ms)"; \
+	if [ $$elapsed_ms -ge 5000 ]; then \
+	  echo "explain-smoke: FAILED time budget (>= 5000 ms)"; exit 1; \
+	fi
+
 # Regenerate the committed decks in examples/netlists/ from the cell
 # library (they are kept in git so `lint-examples` needs no codegen).
 fixtures: build
@@ -131,7 +159,7 @@ PERF_JOBS ?= 4
 perf: build
 	$(DUNE) exec bench/main.exe -- perf --jobs $(PERF_JOBS) --json BENCH_spice.json --check
 
-check: build test fmt lint-examples lint-fixtures plan-smoke report-examples diagnose-smoke compile-smoke watch-smoke telemetry-overhead
+check: build test fmt lint-examples lint-fixtures plan-smoke report-examples diagnose-smoke compile-smoke watch-smoke explain-smoke telemetry-overhead
 ifeq ($(CHECK_PERF),1)
 	$(MAKE) perf
 endif

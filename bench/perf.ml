@@ -471,7 +471,9 @@ let run ?json ?(check = false) () =
         Printf.printf "wrote %s (%d history entries)\n" path (List.length history + 1);
         let campaign_baseline = last_matching ~jobs ~cores history in
         (match List.rev history with
-        | [] -> ()
+        | [] ->
+            print_endline
+              "  no history yet: this run is the first entry, trajectory starts next run"
         | baseline :: _ -> print_trajectory ~baseline ~campaign_baseline ~kernels ~t1 ~tn);
         if not check then false
         else begin
@@ -600,6 +602,30 @@ let disabled_progress_ns () =
   done;
   !best
 
+(* min ns cost of the disabled introspection hook
+   ([Introspect.note_newton] with no recorder attached) — the
+   per-Newton-iteration price every solve pays now that the iteration
+   loop carries the numerical-health observatory hook.  The [None] is
+   laundered through [Sys.opaque_identity] so the match cannot be
+   constant-folded away. *)
+let disabled_introspect_ns () =
+  let n = 2_000_000 in
+  let x = Array.make 32 0.0 and xn = Array.make 32 0.0 in
+  let rec_opt = Sys.opaque_identity (None : Cml_spice.Introspect.t option) in
+  let best = ref infinity in
+  for _ = 1 to 5 do
+    let t0 = Cml_telemetry.Clock.now_ns () in
+    for i = 1 to n do
+      Cml_spice.Introspect.note_newton rec_opt ~time:(float_of_int i) ~iter:i ~x ~xn
+        ~junction_error:0.0 ~junction_worst:(-1)
+    done;
+    let per =
+      Int64.to_float (Int64.sub (Cml_telemetry.Clock.now_ns ()) t0) /. float_of_int n
+    in
+    if per < !best then best := per
+  done;
+  !best
+
 (* min-of-[passes] wall clock of the standard chain transient, plus
    its Newton iteration count (an upper bound on the number of
    newton_solve spans: every call runs at least one iteration) and its
@@ -636,6 +662,7 @@ let telemetry_overhead ?json () =
   let pair = disabled_pair_ns () in
   let observe = disabled_observe_ns () in
   let progress = disabled_progress_ns () in
+  let introspect = disabled_introspect_ns () in
   let run_ns, iters, accepted = chain_transient_min ~passes:10 in
   (* hook executions per transient: one newton_solve pair per Newton
      call (over-counted by iterations), the transient span, and the
@@ -648,9 +675,14 @@ let telemetry_overhead ?json () =
   let observe_ns = observe *. float_of_int observes in
   (* progress hooks per transient: one note_step per accepted step *)
   let progress_ns = progress *. float_of_int (accepted + 1) in
+  (* introspection hooks per transient: one note_newton per Newton
+     iteration dominates; note_dt / note_lte are one per step, already
+     covered by the iteration count *)
+  let introspect_ns = introspect *. float_of_int (iters + accepted + 1) in
   Printf.printf "  disabled start/finish pair      %10.2f ns\n" pair;
   Printf.printf "  disabled observer dispatch      %10.2f ns\n" observe;
   Printf.printf "  disabled progress hook          %10.2f ns\n" progress;
+  Printf.printf "  disabled introspection hook     %10.2f ns\n" introspect;
   Printf.printf "  chain transient (min of 10)     %10.2f ms  (%d newton iterations)\n"
     (run_ns /. 1e6) iters;
   Printf.printf "  worst-case hook time            %10.2f us  (%d hooks)\n" (hook_ns /. 1e3)
@@ -659,6 +691,9 @@ let telemetry_overhead ?json () =
     (observe_ns /. 1e3) observes;
   Printf.printf "  worst-case progress time        %10.2f us  (%d accepted steps)\n"
     (progress_ns /. 1e3) (accepted + 1);
+  Printf.printf "  worst-case introspection time   %10.2f us  (%d hook sites)\n"
+    (introspect_ns /. 1e3)
+    (iters + accepted + 1);
   let denom, denom_what =
     match baseline_ns with
     | Some b ->
@@ -687,6 +722,12 @@ let telemetry_overhead ?json () =
   Util.verdict prog_ok
     (Printf.sprintf "disabled progress hooks cost < %.0f%% of the %s chain transient"
        (overhead_limit *. 100.0) denom_what);
+  let intro_frac = introspect_ns /. denom in
+  Printf.printf "  introspect share of transient   %10.4f %%\n" (intro_frac *. 100.0);
+  let intro_ok = intro_frac < overhead_limit in
+  Util.verdict intro_ok
+    (Printf.sprintf "disabled introspection hooks cost < %.0f%% of the %s chain transient"
+       (overhead_limit *. 100.0) denom_what);
   let drifted =
     match baseline_ns with Some b -> run_ns > regression_limit *. b | None -> false
   in
@@ -694,4 +735,4 @@ let telemetry_overhead ?json () =
     Util.verdict false
       (Printf.sprintf "chain transient slower than %.2fx the recorded baseline"
          regression_limit);
-  if (not ok) || (not obs_ok) || (not prog_ok) || drifted then exit 1
+  if (not ok) || (not obs_ok) || (not prog_ok) || (not intro_ok) || drifted then exit 1

@@ -364,6 +364,15 @@ let campaign_cmd =
     in
     Arg.(value & flag & info [ "no-batch" ] ~doc)
   in
+  let max_iter_arg =
+    let doc =
+      "Cap Newton iterations per solve (engine default 100).  Low caps (e.g. $(b,12)) are \
+       a stress knob: solves that marginal defects make hard fail visibly instead of \
+       grinding, which $(b,cmldft explain) then attributes step by step.  Recorded in the \
+       run options so $(b,explain) re-simulates under the same cap."
+    in
+    Arg.(value & opt (some int) None & info [ "max-iter" ] ~docv:"N" ~doc)
+  in
   let print_entries c =
     List.iter
       (fun e ->
@@ -381,7 +390,7 @@ let campaign_cmd =
     print_newline ();
     List.iter (fun (k, v) -> Printf.printf "%-24s %d\n" k v) (Cml_defects.Campaign.summary c)
   in
-  let chain_campaign ~freq ~dut ~no_warm_start ~no_batch ~manifest =
+  let chain_campaign ~freq ~dut ~no_warm_start ~no_batch ~max_iter ~manifest =
     let golden = Cml_cells.Chain.build ~stages:8 ~freq () in
     let defects =
       Cml_defects.Sites.enumerate golden.Cml_cells.Chain.builder.B.net ~prefix:dut
@@ -391,9 +400,9 @@ let campaign_cmd =
       (Cml_runtime.Pool.default_jobs ())
       (if no_batch then ", unbatched" else "");
     Cml_defects.Campaign.run ~freq ~warm_start:(not no_warm_start) ~batch:(not no_batch)
-      ?manifest ~defects ()
+      ?max_iter ?manifest ~defects ()
   in
-  let bench_campaign ~freq ~path ~dut ~no_warm_start ~no_batch ~manifest =
+  let bench_campaign ~freq ~path ~dut ~no_warm_start ~no_batch ~max_iter ~manifest =
     let circuit = Cml_logic.Bench_format.read_file ~path in
     let design = Cml_cells.Compile.compile ~freq circuit in
     let dut =
@@ -422,20 +431,21 @@ let campaign_cmd =
       (Cml_runtime.Pool.default_jobs ())
       (if no_batch then ", unbatched" else "");
     Cml_defects.Campaign.run_design ~freq ~warm_start:(not no_warm_start)
-      ~batch:(not no_batch) ?manifest
+      ~batch:(not no_batch) ?max_iter ?manifest
       ~options:[ ("bench", path); ("dut", dut) ]
       ~golden ~input:design.Cml_cells.Compile.input ~dut:dut_out ~final ~defects ()
   in
-  let run freq bench dut jobs no_warm_start no_batch trace metrics manifest events =
+  let run freq bench dut jobs no_warm_start no_batch max_iter trace metrics manifest events =
     apply_jobs jobs;
     with_telemetry ~events ~trace ~metrics @@ fun () ->
     let c =
       match bench with
       | None ->
           let dut = Option.value ~default:"x3" dut in
-          chain_campaign ~freq ~dut ~no_warm_start ~no_batch ~manifest
+          chain_campaign ~freq ~dut ~no_warm_start ~no_batch ~max_iter ~manifest
       | Some path -> (
-          match bench_campaign ~freq ~path ~dut ~no_warm_start ~no_batch ~manifest with
+          match bench_campaign ~freq ~path ~dut ~no_warm_start ~no_batch ~max_iter ~manifest
+          with
           | c -> c
           | exception Cml_logic.Bench_format.Parse_error { line; message } ->
               Printf.eprintf "cmldft campaign: bench parse error at line %d: %s\n" line
@@ -457,7 +467,7 @@ let campaign_cmd =
   in
   Cmd.v info
     Term.(const run $ freq_arg $ bench_arg $ dut_arg $ jobs_arg $ no_warm_start_arg
-          $ no_batch_arg $ trace_arg $ metrics_arg $ manifest_arg $ events_arg)
+          $ no_batch_arg $ max_iter_arg $ trace_arg $ metrics_arg $ manifest_arg $ events_arg)
 
 (* ------------------------------------------------------------------ *)
 (* diagnose: waveform-level drill-down on one defect *)
@@ -730,7 +740,9 @@ let op_cmd =
     in
     Arg.(value & opt (some string) None & info [ "bench" ] ~docv:"FILE.bench" ~doc)
   in
-  let run pipe stages bench =
+  let run pipe stages bench events =
+    with_telemetry ~events ~trace:None ~metrics:None @@ fun () ->
+    with_run_events ~kind:"op" @@ fun () ->
     match bench with
     | Some path -> (
         match Cml_logic.Bench_format.read_file ~path with
@@ -781,7 +793,7 @@ let op_cmd =
     Cmd.info "op"
       ~doc:"SPICE-style transistor operating-point report (or a compiled-design DC summary)."
   in
-  Cmd.v info Term.(const run $ pipe_arg $ stages_arg $ bench_arg)
+  Cmd.v info Term.(const run $ pipe_arg $ stages_arg $ bench_arg $ events_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lint: the unified static-analysis pass *)
@@ -889,9 +901,12 @@ let lint_cmd =
           let all = List.concat_map snd targets in
           if A.Lint.fails ~fail_on all then 1 else 0
   in
-  let run files json fail_on rules max_share jobs =
+  let run files json fail_on rules max_share jobs events =
     apply_jobs jobs;
-    let code = lint_code files json fail_on rules max_share in
+    let code =
+      with_telemetry ~events ~trace:None ~metrics:None @@ fun () ->
+      with_run_events ~kind:"lint" @@ fun () -> lint_code files json fail_on rules max_share
+    in
     if code <> 0 then exit code
   in
   let doc =
@@ -901,7 +916,7 @@ let lint_cmd =
   let info = Cmd.info "lint" ~doc in
   Cmd.v info
     Term.(const run $ files_arg $ json_arg $ fail_on_arg $ rules_arg $ max_share_arg
-          $ jobs_arg)
+          $ jobs_arg $ events_arg)
 
 (* ------------------------------------------------------------------ *)
 (* plan: COP/SCOAP-guided detector placement *)
@@ -1210,6 +1225,81 @@ let watch_cmd =
   Cmd.v info Term.(const run $ file_arg $ once_arg)
 
 (* ------------------------------------------------------------------ *)
+(* explain: numerical post-mortem of one campaign variant *)
+
+let explain_cmd =
+  let module Tel = Cml_telemetry in
+  let file_arg =
+    let doc =
+      "Finished campaign to explain: a run manifest (from $(b,--manifest)) or a run-events \
+       JSONL stream (from $(b,--events))."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let variant_arg =
+    let doc = "Explain the variant at this 0-based run index." in
+    Arg.(value & opt (some int) None & info [ "variant" ] ~docv:"N" ~doc)
+  in
+  let defect_arg =
+    let doc =
+      "Explain the first variant whose name contains $(docv) (case-insensitive), e.g. \
+       $(b,--defect 'c-e short')."
+    in
+    Arg.(value & opt (some string) None & info [ "defect" ] ~docv:"SITE" ~doc)
+  in
+  let json_arg =
+    let doc =
+      "Write the post-mortem document (schema $(b,cml-dft-postmortem/1)) to this file, \
+       renderable later by $(b,cmldft report); $(b,-) writes the JSON to stdout."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let top_arg =
+    Arg.(value & opt int 8 & info [ "top" ] ~docv:"N" ~doc:"Rows per blame/hotspot table.")
+  in
+  let run file variant defect json top jobs events trace metrics =
+    apply_jobs jobs;
+    with_telemetry ~events ~trace ~metrics @@ fun () ->
+    with_run_events ~kind:"explain" @@ fun () ->
+    let selection =
+      match (variant, defect) with
+      | Some _, Some _ ->
+          Printf.eprintf "cmldft explain: --variant and --defect are mutually exclusive\n";
+          exit 2
+      | Some n, None -> Dft.Explain.Nth n
+      | None, Some s -> Dft.Explain.Named s
+      | None, None -> Dft.Explain.Auto
+    in
+    match Dft.Explain.explain_path ~top ~selection file with
+    | pm -> (
+        match json with
+        | None -> print_string (Tel.Postmortem.render_text pm)
+        | Some "-" -> print_endline (Tel.Json.to_string (Tel.Postmortem.to_json pm))
+        | Some path ->
+            Tel.Postmortem.write ~path pm;
+            Printf.printf "wrote %s (%s)\n" path pm.Tel.Postmortem.pm_variant)
+    | exception Dft.Explain.Unexplainable msg ->
+        Printf.eprintf "cmldft explain: %s\n" msg;
+        exit 2
+    | exception Sys_error msg ->
+        Printf.eprintf "cmldft explain: %s\n" msg;
+        exit 2
+    | exception Tel.Json.Parse_error (pos, msg) ->
+        Printf.eprintf "cmldft explain: %s: JSON error at offset %d: %s\n" file pos msg;
+        exit 2
+  in
+  let doc =
+    "Numerical post-mortem of one campaign variant: pick the slowest or failed variant (or \
+     $(b,--variant)/$(b,--defect)), re-simulate it with solver introspection attached, and \
+     report the convergence narrative, worst-net/worst-device hotspots, per-rejection LTE \
+     blame, Newton retry blame, the dt timeline and the sparse-LU health summary."
+  in
+  let info = Cmd.info "explain" ~doc in
+  Cmd.v info
+    Term.(const run $ file_arg $ variant_arg $ defect_arg $ json_arg $ top_arg $ jobs_arg
+          $ events_arg $ trace_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
 (* report: render manifests / metrics files for humans *)
 
 let report_cmd =
@@ -1251,22 +1341,26 @@ let report_cmd =
     match Tel.Manifest.of_json j with
     | m -> print_string (Tel.Manifest.render_text ~top m)
     | exception Tel.Manifest.Bad_manifest _ -> (
-        (* not a manifest: a diagnosis record, then a bare metrics
-           snapshot *)
-        match Dft.Diagnose.of_json j with
-        | d -> print_string (Dft.Diagnose.render_text d)
-        | exception Dft.Diagnose.Bad_diagnosis _ -> (
-            match Dft.Placement.of_json j with
-            | p -> print_string (Dft.Placement.render_text p)
-            | exception Dft.Placement.Bad_plan _ ->
-                let snap = Tel.Metrics.of_json j in
-                if snap = [] then
-                  failwith
-                    "not a run manifest, diagnosis record, placement plan or metrics snapshot"
-                else begin
-                  Printf.printf "metrics snapshot: %s\n" path;
-                  print_string (Tel.Metrics.render_text snap)
-                end))
+        (* not a manifest: a post-mortem, a diagnosis record, then a
+           bare metrics snapshot *)
+        match Tel.Postmortem.of_json j with
+        | pm -> print_string (Tel.Postmortem.render_text pm)
+        | exception Tel.Postmortem.Bad_postmortem _ -> (
+            match Dft.Diagnose.of_json j with
+            | d -> print_string (Dft.Diagnose.render_text d)
+            | exception Dft.Diagnose.Bad_diagnosis _ -> (
+                match Dft.Placement.of_json j with
+                | p -> print_string (Dft.Placement.render_text p)
+                | exception Dft.Placement.Bad_plan _ ->
+                    let snap = Tel.Metrics.of_json j in
+                    if snap = [] then
+                      failwith
+                        "not a run manifest, post-mortem, diagnosis record, placement plan \
+                         or metrics snapshot"
+                    else begin
+                      Printf.printf "metrics snapshot: %s\n" path;
+                      print_string (Tel.Metrics.render_text snap)
+                    end)))
   in
   let report_trend files =
     let fail = ref false in
@@ -1335,7 +1429,7 @@ let main_cmd =
   Cmd.group info
     [
       chain_cmd; detector_cmd; sharing_cmd; campaign_cmd; diagnose_cmd; area_cmd; mc_cmd;
-      logic_cmd; export_cmd; op_cmd; lint_cmd; plan_cmd; watch_cmd; report_cmd;
+      logic_cmd; export_cmd; op_cmd; lint_cmd; plan_cmd; watch_cmd; report_cmd; explain_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -133,9 +133,9 @@ let analyze_probes ?nominal obs ~stages ~freq ~tstop ~dut =
     },
     Cml_wave.Measure.levels wp_fin ~t_from )
 
-let measure_chain_full ?guide ?breakpoints ?(record_every = 1) ?nominal chain net ~freq ~tstop
-    ~dut =
-  let sim = E.compile net in
+let measure_chain_full ?engine_options ?guide ?breakpoints ?(record_every = 1) ?nominal chain
+    net ~freq ~tstop ~dut =
+  let sim = E.compile ?options:engine_options net in
   let cfg = T.config ~tstop ~max_step:10e-12 ~record_every () in
   let obs = T.observers (chain_probes chain sim) in
   let r = T.run ?guide ?breakpoints ~observers:obs sim net cfg in
@@ -143,9 +143,11 @@ let measure_chain_full ?guide ?breakpoints ?(record_every = 1) ?nominal chain ne
   let m, levels = analyze_probes ?nominal obs ~stages ~freq ~tstop ~dut in
   (m, r, levels)
 
-let measure_chain ?guide ?breakpoints ?record_every ?nominal chain net ~freq ~tstop ~dut =
+let measure_chain ?engine_options ?guide ?breakpoints ?record_every ?nominal chain net ~freq
+    ~tstop ~dut =
   let m, _, _ =
-    measure_chain_full ?guide ?breakpoints ?record_every ?nominal chain net ~freq ~tstop ~dut
+    measure_chain_full ?engine_options ?guide ?breakpoints ?record_every ?nominal chain net
+      ~freq ~tstop ~dut
   in
   m
 
@@ -285,9 +287,12 @@ let to_manifest ?seed ?(options = []) t =
     ~variants:t.variants ~metrics:t.metrics ~spans ~kind:"campaign" ()
 
 let run ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?(stages = 8) ?dut ?tstop ?jobs
-    ?(preflight = true) ?(warm_start = true) ?(batch = true) ?manifest ~defects () =
+    ?(preflight = true) ?(warm_start = true) ?(batch = true) ?max_iter ?manifest ~defects () =
   let dut = match dut with Some d -> d | None -> Cml_cells.Chain.dut_stage in
   let tstop = match tstop with Some t -> t | None -> 2.0 /. freq in
+  let engine_options =
+    Option.map (fun n -> { E.default_options with E.max_iter = n }) max_iter
+  in
   let snap0 = Cml_telemetry.Metrics.snapshot () in
   let span = Cml_telemetry.Trace.start () in
   let chain = Cml_cells.Chain.build ~proc ~stages ~freq () in
@@ -299,7 +304,7 @@ let run ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?(stages = 8) ?dut ?
      breakpoint schedule is valid for all of them *)
   let breakpoints = T.collect_breakpoints golden ~tstop in
   let reference, ref_traj, nominal =
-    measure_chain_full ~breakpoints chain golden ~freq ~tstop ~dut
+    measure_chain_full ?engine_options ~breakpoints chain golden ~freq ~tstop ~dut
   in
   (* the nominal trajectory seeds every variant's Newton solves;
      [T.run] ignores it for variants whose defect changed the unknown
@@ -320,6 +325,7 @@ let run ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?(stages = 8) ?dut ?
       ("batch", string_of_bool batch);
       ("defects", string_of_int (List.length defects));
     ]
+    @ match max_iter with None -> [] | Some n -> [ ("max_iter", string_of_int n) ]
   in
   let ev_run =
     Cml_telemetry.Events.run_start ~kind:"campaign" ~total:(List.length defects) ?jobs
@@ -338,8 +344,8 @@ let run ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?(stages = 8) ?dut ?
           ({ defect; outcome = Failed "injection failed" }, None)
       | faulty -> (
           match
-            measure_chain_full ?guide ~breakpoints ~record_every:variant_record_every ~nominal
-              chain faulty ~freq ~tstop ~dut
+            measure_chain_full ?engine_options ?guide ~breakpoints
+              ~record_every:variant_record_every ~nominal chain faulty ~freq ~tstop ~dut
           with
           | m, r, _ ->
               ({ defect; outcome = Measured (m, classify ~proc ~reference m) }, Some r.T.stats)
@@ -380,7 +386,7 @@ let run ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?(stages = 8) ?dut ?
         (fun defect ->
           match Inject.apply golden defect with
           | exception (Not_found | Invalid_argument _) -> None
-          | faulty -> Some (E.compile faulty))
+          | faulty -> Some (E.compile ?options:engine_options faulty))
         defs
     in
     let entries =
@@ -535,24 +541,30 @@ let analyze_design_probes obs ~freq ~tstop =
     healing_depth = None;
   }
 
-let measure_design_full ?guide ?breakpoints ?(record_every = 1) ~probes net ~freq ~tstop =
-  let sim = E.compile net in
+let measure_design_full ?engine_options ?guide ?breakpoints ?(record_every = 1) ~probes net
+    ~freq ~tstop =
+  let sim = E.compile ?options:engine_options net in
   let cfg = T.config ~tstop ~max_step:10e-12 ~record_every () in
   let obs = T.observers (probes sim) in
   let r = T.run ?guide ?breakpoints ~observers:obs sim net cfg in
   (analyze_design_probes obs ~freq ~tstop, r)
 
 let run_design ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?tstop ?jobs
-    ?(preflight = true) ?(warm_start = true) ?(batch = true) ?manifest ?(options = [])
-    ~golden ~input ~dut ~final ~defects () =
+    ?(preflight = true) ?(warm_start = true) ?(batch = true) ?max_iter ?manifest
+    ?(options = []) ~golden ~input ~dut ~final ~defects () =
   let tstop = match tstop with Some t -> t | None -> 2.0 /. freq in
+  let engine_options =
+    Option.map (fun n -> { E.default_options with E.max_iter = n }) max_iter
+  in
   let snap0 = Cml_telemetry.Metrics.snapshot () in
   let span = Cml_telemetry.Trace.start () in
   if preflight then
     Cml_analysis.Lint.preflight_netlist ~what:"campaign golden netlist" golden;
   let probes = design_probes ~input ~dut ~final in
   let breakpoints = T.collect_breakpoints golden ~tstop in
-  let reference, ref_traj = measure_design_full ~breakpoints ~probes golden ~freq ~tstop in
+  let reference, ref_traj =
+    measure_design_full ?engine_options ~breakpoints ~probes golden ~freq ~tstop
+  in
   let guide = if warm_start then Some ref_traj else None in
   let variant_record_every = 8 in
   let run_options =
@@ -564,6 +576,7 @@ let run_design ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?tstop ?jobs
         ("batch", string_of_bool batch);
         ("defects", string_of_int (List.length defects));
       ]
+    @ match max_iter with None -> [] | Some n -> [ ("max_iter", string_of_int n) ]
   in
   let ev_run =
     Cml_telemetry.Events.run_start ~kind:"campaign" ~total:(List.length defects) ?jobs
@@ -582,8 +595,8 @@ let run_design ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?tstop ?jobs
           ({ defect; outcome = Failed "injection failed" }, None)
       | faulty -> (
           match
-            measure_design_full ?guide ~breakpoints ~record_every:variant_record_every
-              ~probes faulty ~freq ~tstop
+            measure_design_full ?engine_options ?guide ~breakpoints
+              ~record_every:variant_record_every ~probes faulty ~freq ~tstop
           with
           | m, r ->
               ({ defect; outcome = Measured (m, classify ~proc ~reference m) }, Some r.T.stats)
@@ -618,7 +631,7 @@ let run_design ?(proc = Cml_cells.Process.default) ?(freq = 100e6) ?tstop ?jobs
         (fun defect ->
           match Inject.apply golden defect with
           | exception (Not_found | Invalid_argument _) -> None
-          | faulty -> Some (E.compile faulty))
+          | faulty -> Some (E.compile ?options:engine_options faulty))
         defs
     in
     let entries =

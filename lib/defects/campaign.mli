@@ -60,6 +60,7 @@ type t = {
 }
 
 val measure_chain :
+  ?engine_options:Cml_spice.Engine.options ->
   ?guide:Cml_spice.Transient.result ->
   ?breakpoints:float array ->
   ?record_every:int ->
@@ -67,7 +68,9 @@ val measure_chain :
   Cml_cells.Chain.t -> Cml_spice.Netlist.t -> freq:float -> tstop:float -> dut:int ->
   measurement
 (** Simulate the given (possibly faulty) netlist of a chain and
-    extract the measurement.  [guide] and [breakpoints] are passed to
+    extract the measurement.  [engine_options] compiles the sim with
+    non-default solver options ({!run}'s [max_iter] stress knob);
+    [guide] and [breakpoints] are passed to
     {!Cml_spice.Transient.run}: a campaign measures the fault-free
     chain once and warm-starts every variant from its trajectory.
 
@@ -92,6 +95,7 @@ val run :
   ?preflight:bool ->
   ?warm_start:bool ->
   ?batch:bool ->
+  ?max_iter:int ->
   ?manifest:string ->
   defects:Defect.t list ->
   unit ->
@@ -128,6 +132,13 @@ val run :
     lanes.  [batch = false] keeps the classic one-transient-per-defect
     path (the parity oracle in tests).
 
+    [max_iter] caps Newton iterations per solve (default: the engine's
+    100) for every compiled sim of the run, reference included — a
+    stress knob that makes marginal defects fail solves visibly for
+    the introspection pipeline.  When given it is recorded in the run
+    options (key ["max_iter"]), so [cmldft explain] re-simulates under
+    the same cap.
+
     [manifest] writes a {!Cml_telemetry.Manifest} JSON document to the
     given path after the run (options, per-variant classification and
     solver metrics, registry delta, span summary). *)
@@ -140,6 +151,7 @@ val run_design :
   ?preflight:bool ->
   ?warm_start:bool ->
   ?batch:bool ->
+  ?max_iter:int ->
   ?manifest:string ->
   ?options:(string * string) list ->
   golden:Cml_spice.Netlist.t ->
@@ -154,8 +166,8 @@ val run_design :
     the built-in buffer chain.  [input] is the toggling stimulus
     pair (delay reference), [dut] the attacked cell's output pair
     and [final] the primary output whose swing decides the stuck-at
-    class.  Semantics of [warm_start], [batch], [jobs], [preflight]
-    and [manifest] match {!run}; [options] prepends caller context
+    class.  Semantics of [warm_start], [batch], [jobs], [preflight],
+    [max_iter] and [manifest] match {!run}; [options] prepends caller context
     (e.g. the bench path) to the manifest options.  There is no
     stage chain, so measurements carry no healing profile
     ([degraded_at] and [healing_depth] are [None]) and the manifest's

@@ -34,7 +34,15 @@ type factor = {
   a_colptr : int array;  (* the A pattern the symbolic analysis is valid for, *)
   a_rowind : int array;  (* identified physically: refill keeps these arrays *)
   work : float array;  (* dense scratch for refactorize; zero between calls *)
+  mutable last_failure : refactor_failure option;
+      (* why the most recent [refactorize] returned false; [None]
+         after a successful one *)
 }
+
+and refactor_failure =
+  | Mismatched_pattern
+  | Small_pivot of int
+  | Unstable_pivot of int
 
 type ordering = Natural | Amd | Auto
 
@@ -219,6 +227,7 @@ let factorize ?(ordering = Auto) (a : Sparse.csc) =
     (* x ends the column loop all-zero; adopt it as the refactorize
        scratch so the numeric phase allocates nothing *)
     work = x;
+    last_failure = None;
   }
 
 let reusable f (a : Sparse.csc) =
@@ -231,8 +240,11 @@ let reusable f (a : Sparse.csc) =
 let refactor_stability = 1e-8
 
 let refactorize f (a : Sparse.csc) =
-  reusable f a
-  && begin
+  if not (reusable f a) then begin
+    f.last_failure <- Some Mismatched_pattern;
+    false
+  end
+  else begin
        let n = f.n in
        let x = f.work in
        let pinv = f.pinv in
@@ -273,6 +285,10 @@ let refactorize f (a : Sparse.csc) =
            || Float.abs pivot < refactor_stability *. !colmax
          then begin
            ok := false;
+           f.last_failure <-
+             Some
+               (if Float.abs pivot < pivot_abs_threshold then Small_pivot col
+                else Unstable_pivot col);
            (* leave the scratch clean for the next attempt *)
            for p = f.l_colptr.(jj) + 1 to f.l_colptr.(jj + 1) - 1 do
              x.(f.l_rowind.(p)) <- 0.0
@@ -288,8 +304,11 @@ let refactorize f (a : Sparse.csc) =
          end;
          incr j
        done;
+       if !ok then f.last_failure <- None;
        !ok
-     end
+  end
+
+let last_refactor_failure f = f.last_failure
 
 let solve_into f b x =
   let n = f.n in
@@ -339,6 +358,43 @@ let fill_ratio f =
   if nnz_a = 0 then 0.0
   else float_of_int (f.l_colptr.(f.n) + f.u_colptr.(f.n)) /. float_of_int nnz_a
 
+type health = {
+  pivot_growth : float;  (* max|U| / max|A|; large values flag instability *)
+  u_diag_max : float;
+  u_diag_min : float;
+  condition_estimate : float;  (* u_diag_max / u_diag_min *)
+}
+
+(* Pure O(nnz) scans over the stored values — callers pay only when
+   they ask (run-boundary stats, post-mortems), never on the solve
+   path.  The pivot-growth ratio is the classical element-growth
+   estimate; the U-diagonal extremes give the standard cheap
+   condition lower bound for a triangular factor. *)
+let health f (a : Sparse.csc) =
+  let amax = ref 0.0 in
+  for p = 0 to a.Sparse.colptr.(a.Sparse.n) - 1 do
+    let v = Float.abs a.Sparse.values.(p) in
+    if v > !amax then amax := v
+  done;
+  let umax = ref 0.0 in
+  for p = 0 to f.u_colptr.(f.n) - 1 do
+    let v = Float.abs f.u_values.(p) in
+    if v > !umax then umax := v
+  done;
+  let dmax = ref 0.0 and dmin = ref infinity in
+  for j = 0 to f.n - 1 do
+    let d = Float.abs f.u_values.(f.u_colptr.(j + 1) - 1) in
+    if d > !dmax then dmax := d;
+    if d < !dmin then dmin := d
+  done;
+  let dmin = if Float.is_finite !dmin then !dmin else 0.0 in
+  {
+    pivot_growth = (if !amax > 0.0 then !umax /. !amax else 0.0);
+    u_diag_max = !dmax;
+    u_diag_min = dmin;
+    condition_estimate = (if dmin > 0.0 then !dmax /. dmin else 0.0);
+  }
+
 (* Sharing a symbolic analysis between structurally identical systems
    (batch lanes of one compiled design): the index arrays, pivot order
    and column order are immutable after [factorize], so a second
@@ -362,5 +418,6 @@ let adopt_symbolic donor (a : Sparse.csc) =
         a_colptr = a.Sparse.colptr;
         a_rowind = a.Sparse.rowind;
         work = Array.make donor.n 0.0;
+        last_failure = None;
       }
   else None

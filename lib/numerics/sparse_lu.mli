@@ -64,6 +64,38 @@ val fill_ratio : factor -> float
 (** [nnz(L) + nnz(U)] over [nnz(A)] — 1.0 means no fill beyond the
     matrix's own entries (L's unit diagonal included). *)
 
+type refactor_failure =
+  | Mismatched_pattern  (** {!reusable} said no: wrong pattern arrays *)
+  | Small_pivot of int
+      (** a recycled pivot fell below the absolute threshold while
+          eliminating the given original column *)
+  | Unstable_pivot of int
+      (** a recycled pivot fell below the stability fraction of its
+          column's magnitude at the given original column *)
+
+val last_refactor_failure : factor -> refactor_failure option
+(** Why the most recent {!refactorize} on this factor returned
+    [false] — the reason for the caller's stability fallback to a
+    full {!factorize}.  [None] after a successful refactorization
+    (and on a freshly built or adopted factor). *)
+
+type health = {
+  pivot_growth : float;
+      (** element-growth estimate [max|U| / max|A|]; values far above
+          1 flag a factorization that is losing precision *)
+  u_diag_max : float;
+  u_diag_min : float;  (** extremes of [|diag(U)|] *)
+  condition_estimate : float;
+      (** [u_diag_max / u_diag_min] — a cheap lower bound on the
+          condition number; 0 when the matrix is empty or a diagonal
+          vanished *)
+}
+
+val health : factor -> Sparse.csc -> health
+(** Numerical-health report for the current values of [f] against the
+    matrix it factored.  Pure O(nnz) scans: safe to call at run
+    boundaries, not meant for the per-solve hot path. *)
+
 val adopt_symbolic : factor -> Sparse.csc -> factor option
 (** [adopt_symbolic donor a] shares the donor's symbolic analysis
     (orderings, patterns, pivot order — immutable after

@@ -119,9 +119,22 @@ type sim = {
       (** largest |v_solution - v_limited| over all junctions during
           the last load; convergence requires this to vanish, or the
           slow creep of [pnjlim] could be mistaken for a fixed point *)
+  mutable junction_worst : int;
+      (** device index attaining [junction_error], -1 when no junction
+          was limited during the last load *)
   mutable n_newton_iters : int;
-  mutable n_device_loads : int;
-  mutable n_bypassed : int;
+  (* device loads and bypass-cache hits, attributed per device class *)
+  mutable n_diode_loads : int;
+  mutable n_diode_bypassed : int;
+  mutable n_bjt_loads : int;
+  mutable n_bjt_bypassed : int;
+  (* stability fallbacks to a full factorization, by reason *)
+  mutable n_fb_small_pivot : int;
+  mutable n_fb_unstable_pivot : int;
+  mutable n_fb_pattern : int;
+  mutable introspect : Introspect.t option;
+      (** optional solver-introspection recorder; [None] costs one
+          load and one branch per hook (see {!Introspect}) *)
   (* Jacobian-reuse tracking.  A load whose junction devices all
      replayed cached stamps, with the same integration coefficient and
      gshunt as the previous load, assembled a matrix bit-identical to
@@ -285,9 +298,16 @@ let compile ?(options = default_options) net =
     ws_x = Array.make nunk 0.0;
     ws_xnew = Array.make nunk 0.0;
     junction_error = 0.0;
+    junction_worst = -1;
     n_newton_iters = 0;
-    n_device_loads = 0;
-    n_bypassed = 0;
+    n_diode_loads = 0;
+    n_diode_bypassed = 0;
+    n_bjt_loads = 0;
+    n_bjt_bypassed = 0;
+    n_fb_small_pivot = 0;
+    n_fb_unstable_pivot = 0;
+    n_fb_pattern = 0;
+    introspect = None;
     n_full_evals = 0;
     rt_loaded = false;
     rt_have_factor = false;
@@ -349,6 +369,7 @@ let assemble sim ~x ~time ~integ ~srcscale ~gshunt ~bypass ~stamp =
   let gmin = opts.gmin in
   let nvt = Models.boltzmann_vt in
   sim.junction_error <- 0.0;
+  sim.junction_worst <- -1;
   sim.n_full_evals <- 0;
   (* gshunt diagonal for every node unknown: also guarantees a
      structurally non-empty diagonal for the sparse pattern *)
@@ -371,10 +392,10 @@ let assemble sim ~x ~time ~integ ~srcscale ~gshunt ~bypass ~stamp =
         inject rhs i irhs;
         inject rhs j (-.irhs)
     | SDiode { a; k; m; js; dc } ->
-        sim.n_device_loads <- sim.n_device_loads + 1;
+        sim.n_diode_loads <- sim.n_diode_loads + 1;
         let vnew = vof x a -. vof x k in
         if bypass && dc.d_valid && bypass_close opts vnew dc.d_v then begin
-          sim.n_bypassed <- sim.n_bypassed + 1;
+          sim.n_diode_bypassed <- sim.n_diode_bypassed + 1;
           stamp_conductance stamp a k dc.d_g;
           inject rhs a dc.d_ieq;
           inject rhs k (-.dc.d_ieq)
@@ -388,7 +409,10 @@ let assemble sim ~x ~time ~integ ~srcscale ~gshunt ~bypass ~stamp =
           in
           js.v_last <- vlim;
           let err = Float.abs (vnew -. vlim) in
-          if err > sim.junction_error then sim.junction_error <- err;
+          if err > sim.junction_error then begin
+            sim.junction_error <- err;
+            sim.junction_worst <- di
+          end;
           let id, gd = Models.junction_current ~is:m.Models.d_is ~nvt:n_nvt vlim in
           let g = gd +. gmin and i0 = id +. (gmin *. vlim) in
           stamp_conductance stamp a k g;
@@ -401,7 +425,7 @@ let assemble sim ~x ~time ~integ ~srcscale ~gshunt ~bypass ~stamp =
           dc.d_ieq <- ieq
         end
     | SBjt { c; b; e; m; jbe; jbc; bc; name = _ } ->
-        sim.n_device_loads <- sim.n_device_loads + 1;
+        sim.n_bjt_loads <- sim.n_bjt_loads + 1;
         let vbe_new = vof x b -. vof x e in
         let vbc_new = vof x b -. vof x c in
         if
@@ -409,7 +433,7 @@ let assemble sim ~x ~time ~integ ~srcscale ~gshunt ~bypass ~stamp =
           && bypass_close opts vbe_new bc.b_vbe
           && bypass_close opts vbc_new bc.b_vbc
         then begin
-          sim.n_bypassed <- sim.n_bypassed + 1;
+          sim.n_bjt_bypassed <- sim.n_bjt_bypassed + 1;
           stamp c b bc.g_cb;
           stamp c c bc.g_cc;
           stamp c e bc.g_ce;
@@ -430,14 +454,20 @@ let assemble sim ~x ~time ~integ ~srcscale ~gshunt ~bypass ~stamp =
             let v = Models.pnjlim ~vnew:vbe_new ~vold:jbe.v_last ~nvt ~vcrit in
             jbe.v_last <- v;
             let err = Float.abs (vbe_new -. v) in
-            if err > sim.junction_error then sim.junction_error <- err;
+            if err > sim.junction_error then begin
+              sim.junction_error <- err;
+              sim.junction_worst <- di
+            end;
             v
           in
           let vbc =
             let v = Models.pnjlim ~vnew:vbc_new ~vold:jbc.v_last ~nvt ~vcrit in
             jbc.v_last <- v;
             let err = Float.abs (vbc_new -. v) in
-            if err > sim.junction_error then sim.junction_error <- err;
+            if err > sim.junction_error then begin
+              sim.junction_error <- err;
+              sim.junction_worst <- di
+            end;
             v
           in
           let ift, gif = Models.junction_current ~is:m.Models.q_is ~nvt vbe in
@@ -594,12 +624,31 @@ let solve_linear_into sim out =
             sp.symbolic <- sp.symbolic + 1;
             f
           in
+          (* a refactorize that bailed forces a full factorization;
+             attribute the fallback to its recorded reason *)
+          let note_fallback f =
+            let reason =
+              match Cml_numerics.Sparse_lu.last_refactor_failure f with
+              | Some (Cml_numerics.Sparse_lu.Small_pivot _) ->
+                  sim.n_fb_small_pivot <- sim.n_fb_small_pivot + 1;
+                  Introspect.lu_small_pivot
+              | Some (Cml_numerics.Sparse_lu.Unstable_pivot _) ->
+                  sim.n_fb_unstable_pivot <- sim.n_fb_unstable_pivot + 1;
+                  Introspect.lu_unstable_pivot
+              | Some Cml_numerics.Sparse_lu.Mismatched_pattern | None ->
+                  sim.n_fb_pattern <- sim.n_fb_pattern + 1;
+                  Introspect.lu_pattern
+            in
+            Introspect.note_lu_fallback sim.introspect ~reason
+          in
           let f =
             match sp.lu with
             | Some f when Cml_numerics.Sparse_lu.refactorize f a ->
                 sp.numeric <- sp.numeric + 1;
                 f
-            | Some _ -> fresh_factorize ()
+            | Some f ->
+                note_fallback f;
+                fresh_factorize ()
             | None -> begin
                 (* first factorization: a donor sim of the same design
                    may have offered its symbolic analysis — adopt it
@@ -615,7 +664,12 @@ let solve_linear_into sim out =
                         sp.lu <- Some f;
                         sp.shared <- sp.shared + 1;
                         f
-                    | Some _ | None -> fresh_factorize ()
+                    | Some f ->
+                        (* the donor's pivot order is unstable for
+                           this sim's values *)
+                        note_fallback f;
+                        fresh_factorize ()
+                    | None -> fresh_factorize ()
                   end
               end
           in
@@ -631,28 +685,53 @@ type solver_stats = {
   newton_iters : int;
   device_loads : int;
   bypassed_loads : int;
+  diode_loads : int;
+  diode_bypassed : int;
+  bjt_loads : int;
+  bjt_bypassed : int;
   reused_factorizations : int;
   skipped_solves : int;
+  fallback_small_pivot : int;
+  fallback_unstable_pivot : int;
+  fallback_pattern : int;
   lu_nnz_factors : int;
   lu_fill_ratio : float;
   lu_ordering : string;
+  lu_pivot_growth : float;
+  lu_condition : float;
 }
 
 let solver_stats sim =
-  let symbolic, numeric, shared, lu =
+  let symbolic, numeric, shared, lu, health =
     match sim.backend with
-    | BDense _ -> (0, 0, 0, None)
-    | BSparse { symbolic; numeric; shared; lu; _ } -> (symbolic, numeric, shared, lu)
+    | BDense _ -> (0, 0, 0, None, None)
+    | BSparse { symbolic; numeric; shared; lu; pat; _ } ->
+        (* run-boundary call: the O(nnz) health scan is off the solve
+           path by construction *)
+        let health =
+          match (lu, pat) with
+          | Some f, Some p ->
+              Some (Cml_numerics.Sparse_lu.health f (Cml_numerics.Sparse.csc_of_pattern p))
+          | (Some _ | None), _ -> None
+        in
+        (symbolic, numeric, shared, lu, health)
   in
   {
     symbolic_factorizations = symbolic;
     numeric_refactorizations = numeric;
     shared_symbolic = shared;
     newton_iters = sim.n_newton_iters;
-    device_loads = sim.n_device_loads;
-    bypassed_loads = sim.n_bypassed;
+    device_loads = sim.n_diode_loads + sim.n_bjt_loads;
+    bypassed_loads = sim.n_diode_bypassed + sim.n_bjt_bypassed;
+    diode_loads = sim.n_diode_loads;
+    diode_bypassed = sim.n_diode_bypassed;
+    bjt_loads = sim.n_bjt_loads;
+    bjt_bypassed = sim.n_bjt_bypassed;
     reused_factorizations = sim.n_reused_factors;
     skipped_solves = sim.n_skipped_solves;
+    fallback_small_pivot = sim.n_fb_small_pivot;
+    fallback_unstable_pivot = sim.n_fb_unstable_pivot;
+    fallback_pattern = sim.n_fb_pattern;
     lu_nnz_factors =
       (match lu with
       | Some f ->
@@ -661,6 +740,10 @@ let solver_stats sim =
       | None -> 0);
     lu_fill_ratio = (match lu with Some f -> Cml_numerics.Sparse_lu.fill_ratio f | None -> 0.0);
     lu_ordering = (match lu with Some f -> Cml_numerics.Sparse_lu.ordering_name f | None -> "");
+    lu_pivot_growth =
+      (match health with Some h -> h.Cml_numerics.Sparse_lu.pivot_growth | None -> 0.0);
+    lu_condition =
+      (match health with Some h -> h.Cml_numerics.Sparse_lu.condition_estimate | None -> 0.0);
   }
 
 let zero_stats =
@@ -671,12 +754,37 @@ let zero_stats =
     newton_iters = 0;
     device_loads = 0;
     bypassed_loads = 0;
+    diode_loads = 0;
+    diode_bypassed = 0;
+    bjt_loads = 0;
+    bjt_bypassed = 0;
     reused_factorizations = 0;
     skipped_solves = 0;
+    fallback_small_pivot = 0;
+    fallback_unstable_pivot = 0;
+    fallback_pattern = 0;
     lu_nnz_factors = 0;
     lu_fill_ratio = 0.0;
     lu_ordering = "";
+    lu_pivot_growth = 0.0;
+    lu_condition = 0.0;
   }
+
+let set_introspect sim r = sim.introspect <- r
+
+let introspect sim = sim.introspect
+
+(* Attribution label for a device index reported by the recorder
+   (worst-junction blame): BJTs carry their netlist name, diodes are
+   identified by their terminals. *)
+let device_label sim di =
+  if di < 0 || di >= Array.length sim.sdevs then Printf.sprintf "device[%d]" di
+  else
+    match sim.sdevs.(di) with
+    | SBjt { name; _ } -> name
+    | SDiode { a; k; _ } -> Printf.sprintf "diode[%d-%d]" (a + 1) (k + 1)
+    | SRes _ | SCap _ | SVsrc _ | SIsrc _ | SVcvs _ | SVccs _ ->
+        Printf.sprintf "device[%d]" di
 
 let share_symbolic ~donor sim =
   match (donor.backend, sim.backend) with
@@ -707,6 +815,15 @@ let m_lu_fill = M.gauge "solver.lu_fill_nnz"
 let m_lu_fill_ratio = M.gauge "solver.lu_fill_ratio"
 let m_ordering_amd = M.counter "solver.ordering.amd"
 let m_ordering_natural = M.counter "solver.ordering.natural"
+let m_fb_small = M.counter "solver.fallback.small_pivot"
+let m_fb_unstable = M.counter "solver.fallback.unstable_pivot"
+let m_fb_pattern = M.counter "solver.fallback.pattern"
+let m_pivot_growth = M.gauge "solver.lu_pivot_growth"
+let m_condition = M.gauge "solver.lu_condition"
+let m_diode_loads = M.counter "engine.diode_loads"
+let m_diode_bypassed = M.counter "engine.diode_bypassed"
+let m_bjt_loads = M.counter "engine.bjt_loads"
+let m_bjt_bypassed = M.counter "engine.bjt_bypassed"
 
 let publish_metrics ?(since = zero_stats) sim =
   let now = solver_stats sim in
@@ -718,9 +835,18 @@ let publish_metrics ?(since = zero_stats) sim =
   M.add m_reused (now.reused_factorizations - since.reused_factorizations);
   M.add m_skipped (now.skipped_solves - since.skipped_solves);
   M.add m_shared (now.shared_symbolic - since.shared_symbolic);
+  M.add m_diode_loads (now.diode_loads - since.diode_loads);
+  M.add m_diode_bypassed (now.diode_bypassed - since.diode_bypassed);
+  M.add m_bjt_loads (now.bjt_loads - since.bjt_loads);
+  M.add m_bjt_bypassed (now.bjt_bypassed - since.bjt_bypassed);
+  M.add m_fb_small (now.fallback_small_pivot - since.fallback_small_pivot);
+  M.add m_fb_unstable (now.fallback_unstable_pivot - since.fallback_unstable_pivot);
+  M.add m_fb_pattern (now.fallback_pattern - since.fallback_pattern);
   if now.lu_nnz_factors > 0 then begin
     M.set m_lu_fill (float_of_int now.lu_nnz_factors);
     M.set m_lu_fill_ratio now.lu_fill_ratio;
+    M.set m_pivot_growth now.lu_pivot_growth;
+    M.set m_condition now.lu_condition;
     (* count factorizations by the ordering they ended up with, so a
        metrics snapshot shows which path large designs actually take *)
     let fresh = now.symbolic_factorizations - since.symbolic_factorizations in
@@ -783,6 +909,8 @@ let newton sim ~time ~integ ?(srcscale = 1.0) ?(gshunt = 0.0) x0 =
         match solve_linear_into sim xn with
         | exception (Cml_numerics.Dense.Singular _ | Cml_numerics.Sparse_lu.Singular _) -> None
         | () ->
+            Introspect.note_newton sim.introspect ~time ~iter ~x ~xn
+              ~junction_error:sim.junction_error ~junction_worst:sim.junction_worst;
             let junctions_settled = sim.junction_error <= sim.opts.vntol +. (sim.opts.reltol *. 1.0) in
             if iter > 0 && junctions_settled && converged sim x xn then
               Some (Cml_numerics.Vec.copy xn, iter)
@@ -793,6 +921,9 @@ let newton sim ~time ~integ ?(srcscale = 1.0) ?(gshunt = 0.0) x0 =
     end
   in
   let result = iterate 0 in
+  (match result with
+  | None -> Introspect.note_newton_fail sim.introspect ~time
+  | Some _ -> ());
   Cml_telemetry.Trace.finish ~cat:"solver" "newton_solve" tok;
   result
 

@@ -124,6 +124,10 @@ type solver_stats = {
   bypassed_loads : int;
       (** of {!field-device_loads}, how many replayed cached stamps
           instead of re-evaluating the model *)
+  diode_loads : int;  (** per-class attribution of {!field-device_loads} *)
+  diode_bypassed : int;
+  bjt_loads : int;
+  bjt_bypassed : int;
   reused_factorizations : int;
       (** linear solves that reused the previous factorization
           outright because the assembled matrix was bit-identical to
@@ -135,6 +139,13 @@ type solver_stats = {
           the whole system (matrix {e and} RHS) was bit-identical to
           the one the previous iteration just solved — the solution is
           the current iterate, exactly *)
+  fallback_small_pivot : int;
+      (** stability fallbacks to a full factorization because a
+          recycled pivot fell below the absolute threshold *)
+  fallback_unstable_pivot : int;
+      (** ditto, pivot below the stability fraction of its column *)
+  fallback_pattern : int;
+      (** ditto, the cached factor's pattern no longer matched *)
   lu_nnz_factors : int;
       (** nnz(L) + nnz(U) of the cached sparse factor; 0 for the dense
           backend or before the first factorization *)
@@ -144,6 +155,13 @@ type solver_stats = {
   lu_ordering : string;
       (** column ordering of the cached factor (["natural"] or
           ["amd"]); [""] when there is no sparse factor *)
+  lu_pivot_growth : float;
+      (** element-growth estimate max|U|/max|A| of the cached factor
+          against the current matrix values
+          ({!Cml_numerics.Sparse_lu.health}); 0 without one *)
+  lu_condition : float;
+      (** cheap condition estimate from the U-diagonal extremes; 0
+          without a sparse factor *)
 }
 
 val solver_stats : sim -> solver_stats
@@ -152,6 +170,24 @@ val solver_stats : sim -> solver_stats
 
 val zero_stats : solver_stats
 (** All-zero record, the [~since] of a fresh sim. *)
+
+val set_introspect : sim -> Introspect.t option -> unit
+(** Attach (or detach) a solver-introspection recorder.  With [None]
+    — the default — every introspection hook on the Newton/transient
+    hot path costs one load and one branch; with [Some r] the
+    recorder captures per-iteration delta norms with worst-unknown
+    and worst-device attribution, LU fallback reasons and (via
+    {!Transient}) LTE blame and the dt timeline.  Attaching a
+    recorder never changes simulation results — bit-identical
+    waveforms, qcheck-enforced. *)
+
+val introspect : sim -> Introspect.t option
+
+val device_label : sim -> int -> string
+(** Human-readable label for a device index reported by
+    {!Introspect} worst-device attribution: the BJT's netlist name,
+    or [diode[a-k]] terminals; out-of-range indices render as
+    [device[i]]. *)
 
 val lu_fill : sim -> (int * int) option
 (** [(nnz L, nnz U)] of the cached sparse LU factor, [None] for the
@@ -171,11 +207,14 @@ val publish_metrics : ?since:solver_stats -> sim -> unit
 (** Fold this sim's counter movement since [since] (default: a fresh
     sim) into the global {!Cml_telemetry.Metrics} registry
     ([solver.newton_iters], [engine.device_loads],
-    [engine.bypassed_loads], [solver.*_refactorizations],
+    [engine.bypassed_loads], per-class [engine.diode_*] /
+    [engine.bjt_*], [solver.*_refactorizations],
     [solver.reused_factorizations], [solver.skipped_solves],
-    [solver.shared_symbolic], [solver.lu_fill_nnz],
-    [solver.lu_fill_ratio], [solver.ordering.*]).  Called at run
-    boundaries, never inside the Newton loop. *)
+    [solver.shared_symbolic], [solver.fallback.*],
+    [solver.lu_fill_nnz], [solver.lu_fill_ratio],
+    [solver.lu_pivot_growth], [solver.lu_condition],
+    [solver.ordering.*]).  Called at run boundaries, never inside the
+    Newton loop. *)
 
 val ac_system :
   sim -> float array -> (int * int * float) list * (int * int * float) list

@@ -197,6 +197,10 @@ type stepper = {
   st_span : int64;  (** Trace.start token *)
   st_times : Cml_numerics.Fbuf.t;
   st_rec : recorder option;  (** [None] when [record_every = 0]: probes only *)
+  st_introspect : Introspect.t option;
+      (** the sim's recorder, cached at creation; every hook below is
+          one match when [None] *)
+  mutable st_streak : int;  (** consecutive rejections at the current instant *)
   mutable st_nsnap : int;
   mutable st_accepted : int;
   mutable st_rejected : int;
@@ -268,6 +272,8 @@ let stepper_create ?x0 ?guide ?breakpoints ?observers sim net cfg =
       st_span = span;
       st_times = Cml_numerics.Fbuf.create ();
       st_rec = (if cfg.record_every > 0 then Some (recorder_create nunk) else None);
+      st_introspect = Engine.introspect sim;
+      st_streak = 0;
       st_nsnap = 0;
       st_accepted = 0;
       st_rejected = 0;
@@ -369,6 +375,11 @@ let stepper_advance st target =
             if lte_ok st.st_opts xpred x then Some x
             else begin
               st.st_lte <- st.st_lte + 1;
+              (* blame scan only; the accept/reject decision above is
+                 [lte_ok]'s alone, so recording cannot flip a step *)
+              Introspect.note_lte st.st_introspect ~time:t_next ~h:h_step ~xpred ~x
+                ~reltol:(st.st_opts.Engine.lte_reltol_factor *. st.st_opts.Engine.reltol)
+                ~abstol:st.st_opts.Engine.lte_abstol ~cascade:(st.st_streak + 1);
               None
             end
           end
@@ -377,6 +388,7 @@ let stepper_advance st target =
     match accepted with
     | Some x ->
         if attempt_guided then st.st_guided <- st.st_guided + 1;
+        st.st_streak <- 0;
         Engine.update_capacitor_states sim x ~h:h_step ~trap;
         st.st_x_nm1 <- st.st_x_n;
         st.st_x_n <- x;
@@ -386,6 +398,11 @@ let stepper_advance st target =
         (* live-progress hook: one atomic load + branch when no run is
            being observed (gated by `make telemetry-overhead`) *)
         Cml_telemetry.Progress.note_step ();
+        Introspect.note_dt st.st_introspect ~t:t_next ~h:h_step
+          ~cause:
+            (if attempt_guided then Introspect.cause_guide
+             else if hitting && is_bp then Introspect.cause_breakpoint
+             else Introspect.cause_accept);
         stepper_record st st.st_t x;
         if hitting && is_bp then begin
           st.st_bp_index <- st.st_bp_index + 1;
@@ -399,6 +416,12 @@ let stepper_advance st target =
         end
     | None ->
         st.st_rejected <- st.st_rejected + 1;
+        st.st_streak <- st.st_streak + 1;
+        Introspect.note_dt st.st_introspect ~t:t_next ~h:h_step
+          ~cause:
+            (match attempt with
+            | None -> Introspect.cause_newton_fail
+            | Some _ -> Introspect.cause_lte);
         let h' = h_step /. 4.0 in
         if h' < cfg.min_step then
           raise

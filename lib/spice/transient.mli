@@ -136,6 +136,16 @@ val run :
     per-step cost is a single branch (gated alongside the telemetry
     hooks in [make telemetry-overhead]).
 
+    When the sim carries an {!Introspect} recorder
+    ({!Engine.set_introspect}), the step loop additionally records the
+    dt timeline with cause tags (accept / breakpoint restart /
+    guide rescue / LTE reject / Newton reject) and, per LTE
+    rejection, which node forced the step down and the rejection
+    cascade depth.  Recording never changes results: the accept
+    decision stays with the plain LTE band test, and the blame scan
+    only reads.  Without a recorder each hook is one load and one
+    branch (gated in [make telemetry-overhead]).
+
     @raise Engine.No_convergence when a step fails at [min_step]. *)
 
 type lane_result =
@@ -173,7 +183,12 @@ val run_batch :
     points are not bit-identical to a scalar {!run} of the same sim —
     classification-level results (probe measurements, convergence
     outcome) are what batch and scalar runs share.  Results are
-    returned in lane order. *)
+    returned in lane order.
+
+    Introspection is tagged per lane for free: each lane owns its sim,
+    so attaching a recorder per sim ({!Engine.set_introspect}) yields
+    per-lane Newton/LTE/dt records — a [Lane_failed] retirement
+    becomes explainable from that lane's recorder alone. *)
 
 val node_trace : result -> Netlist.node -> float array
 (** Voltage samples of a node, aligned with [times]. *)

@@ -1,0 +1,76 @@
+(** Numerical post-mortem documents ([cml-dft-postmortem/1]).
+
+    One JSON document per [cmldft explain] run, recording why one
+    campaign variant was slow or failed: a convergence narrative,
+    worst-nets / worst-devices hotspot tables, per-rejection LTE
+    blame, Newton retry blame, the step-size controller's dt timeline
+    and the sparse-LU health summary.  This module only carries,
+    (de)serialises and renders the document — Cml_dft.Explain builds
+    it.
+
+    Every field derives from the re-simulation and the source
+    manifest ([pm_created] is copied, not stamped), so explaining the
+    same manifest yields byte-identical JSON at any [--jobs]. *)
+
+val schema : string
+(** ["cml-dft-postmortem/1"] *)
+
+type hotspot = {
+  h_name : string;  (** net or device label *)
+  h_count : int;  (** times it was the worst offender *)
+  h_worst : float;
+      (** worst Newton delta (nets) / junction error (devices) *)
+}
+
+type lte_blame = {
+  l_time : float;
+  l_h : float;  (** the step size the rejection threw away *)
+  l_node : string;  (** the node whose LTE forced the step down *)
+  l_ratio : float;  (** |x - xpred| / tol at that node *)
+  l_cascade : int;  (** consecutive rejections ending at this one *)
+}
+
+type retry_blame = {
+  r_time : float;
+  r_net : string;
+      (** worst unknown of the failed solve's final iteration *)
+  r_delta : float;
+}
+
+type t = {
+  pm_variant : string;
+  pm_classes : string list;  (** the manifest's classification of it *)
+  pm_selection : string;  (** why this variant was picked *)
+  pm_source : string;  (** manifest/events path it came from *)
+  pm_git : string;
+  pm_created : string;  (** copied from the source manifest *)
+  pm_options : (string * string) list;
+  pm_outcome : string;  (** ["completed"] or ["failed: <msg>"] *)
+  pm_narrative : string list;
+  pm_stats : (string * float) list;  (** solver counters of the re-run *)
+  pm_worst_nets : hotspot list;
+  pm_worst_devices : hotspot list;
+  pm_lte : lte_blame list;
+  pm_retries : retry_blame list;
+  pm_dt_times : float list;  (** decimated dt timeline *)
+  pm_dt_steps : float list;
+  pm_dt_causes : (string * int) list;  (** cause histogram, full run *)
+  pm_lu : (string * float) list;  (** LU health numbers *)
+}
+
+exception Bad_postmortem of string
+
+val to_json : t -> Json.t
+(** Non-finite floats are serialised as 0 (JSON has no inf/nan). *)
+
+val of_json : Json.t -> t
+(** @raise Bad_postmortem on a missing or unsupported schema tag. *)
+
+val write : path:string -> t -> unit
+
+val read : path:string -> t
+(** @raise Bad_postmortem / [Json.Parse_error] on bad input. *)
+
+val render_text : t -> string
+(** The [cmldft report] rendering: narrative, hotspot tables, blame
+    tables, dt sparkline and LU health. *)

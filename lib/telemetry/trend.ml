@@ -192,7 +192,11 @@ let padded_spark width values =
 let render ?(history = []) ?(manifests = []) () =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
-  if history <> [] then begin
+  if history = [] then begin
+    line "perf history: no entries yet (a `make perf` run records the first)";
+    if manifests <> [] then line ""
+  end
+  else begin
     line "perf history: %d entries" (List.length history);
     line "  %-44s %-12s %12s %10s" "kernel" "trend" "last" "vs prev";
     List.iter
@@ -245,5 +249,4 @@ let render ?(history = []) ?(manifests = []) () =
           (List.length m.Manifest.variants) m.Manifest.created)
       manifests
   end;
-  if history = [] && manifests = [] then line "report --trend: nothing to analyze";
   Buffer.contents b
